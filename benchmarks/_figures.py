@@ -1,0 +1,60 @@
+"""Figure recording and cached experiment sweeps for the benchmarks."""
+
+from __future__ import annotations
+
+import functools
+import os
+from typing import Dict
+
+from repro.traces import four_tap_trace
+from repro.workloads import (
+    complex_catalog,
+    experiment1_configurations,
+    experiment2_configurations,
+    experiment3_configurations,
+    subnet_jitter_catalog,
+    suspicious_flows_catalog,
+    sweep_hosts,
+)
+from repro.workloads.experiments import (
+    experiment1_trace_config,
+    experiment2_trace_config,
+    experiment3_trace_config,
+    experiment_capacity,
+)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+FIGURES: Dict[str, str] = {}
+
+
+def record_figure(name: str, text: str) -> None:
+    """Store a figure table for the terminal summary and write it out."""
+    FIGURES[name] = text
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+
+
+@functools.lru_cache(maxsize=None)
+def experiment_sweep(experiment: int):
+    """Run one experiment's full 1-4 host sweep once per session."""
+    if experiment == 1:
+        trace = four_tap_trace(experiment1_trace_config())
+        _, dag = suspicious_flows_catalog()
+        configurations = experiment1_configurations()
+    elif experiment == 2:
+        trace = four_tap_trace(experiment2_trace_config())
+        _, dag = subnet_jitter_catalog()
+        configurations = experiment2_configurations()
+    elif experiment == 3:
+        trace = four_tap_trace(experiment3_trace_config())
+        _, dag = complex_catalog()
+        configurations = experiment3_configurations()
+    else:
+        raise ValueError(experiment)
+    capacity = experiment_capacity(experiment, trace)
+    outcomes = sweep_hosts(
+        dag, trace, configurations, host_counts=(1, 2, 3, 4), host_capacity=capacity
+    )
+    return trace, dag, outcomes, capacity

@@ -1,0 +1,60 @@
+"""Ablation A1 — does the §4.2.1 cost model rank partitionings correctly?
+
+The paper's claim ("our cost model correctly identifies the dominant
+queries in a query set and computes the globally optimal partitioning")
+is tested end-to-end: every candidate partitioning explored by the §4.2.2
+search is both costed by the model and actually simulated; the model's
+ranking must agree with the simulator on who wins.
+"""
+
+from _figures import record_figure
+
+from repro.partitioning import CostModel, PartitioningSearch
+from repro.workloads import Configuration, measure_selectivities, run_configuration
+
+
+def test_cost_model_ranking_matches_simulation(benchmark, exp3_sweep):
+    trace, dag, _, capacity = exp3_sweep
+    selectivity = measure_selectivities(dag, trace)
+    model = CostModel(dag, input_rate=trace.rate, selectivity=selectivity)
+    search_result = benchmark.pedantic(
+        PartitioningSearch(dag, model).run, rounds=1, iterations=1
+    )
+
+    rows = ["Ablation A1: cost-model prediction vs simulated aggregator load"]
+    rows.append(
+        "partitioning".ljust(30)
+        + "predicted bytes/epoch".rjust(24)
+        + "simulated net (tuples/s)".rjust(28)
+    )
+    ranked = []
+    for candidate in search_result.explored:
+        outcome = run_configuration(
+            dag,
+            trace,
+            Configuration(str(candidate.ps), candidate.ps),
+            num_hosts=4,
+            host_capacity=capacity,
+        )
+        simulated = outcome.aggregator_net
+        predicted = candidate.cost.max_network_bytes
+        ranked.append((str(candidate.ps), predicted, simulated))
+        rows.append(
+            str(candidate.ps).ljust(30)
+            + f"{predicted:24,.0f}"
+            + f"{simulated:28.1f}"
+        )
+    record_figure("ablation_costmodel", "\n".join(rows))
+
+    # The model's argmin must be the simulator's argmin.
+    by_predicted = min(ranked, key=lambda r: r[1])
+    by_simulated = min(ranked, key=lambda r: r[2])
+    assert by_predicted[0] == by_simulated[0]
+    # And the full ranking must agree pairwise (few candidates, so check
+    # all pairs with distinguishable predictions).
+    for i in range(len(ranked)):
+        for j in range(len(ranked)):
+            name_i, pred_i, sim_i = ranked[i]
+            name_j, pred_j, sim_j = ranked[j]
+            if pred_i < 0.5 * pred_j:  # clearly distinguishable
+                assert sim_i < sim_j, (name_i, name_j)

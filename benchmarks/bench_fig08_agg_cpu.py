@@ -1,0 +1,44 @@
+"""Figure 8 — CPU load on the aggregator node, simple aggregation query.
+
+Workload (§6.1): the suspicious-flows aggregation (OR_AGGR HAVING) over
+1-4 hosts, comparing Naive / Optimized / Partitioned.  Expected shape:
+Naive grows linearly into overload, Optimized sits ~20% below but stays
+linear, Partitioned declines (true linear scaling).
+"""
+
+from _figures import record_figure
+
+from repro.workloads import format_figure, run_configuration
+from repro.workloads.experiments import experiment1_configurations
+
+
+def test_fig08_regenerate(benchmark, exp1_sweep):
+    trace, dag, outcomes, capacity = exp1_sweep
+    partitioned = experiment1_configurations()[2]
+    benchmark.pedantic(
+        run_configuration,
+        args=(dag, trace, partitioned, 4),
+        kwargs={"host_capacity": capacity},
+        rounds=1,
+        iterations=1,
+    )
+    table = format_figure(
+        "Figure 8: CPU load on aggregator node (%), suspicious-flow query",
+        outcomes,
+        "cpu",
+    )
+    record_figure("fig08_agg_cpu", table)
+
+    at4 = {name: series[-1].aggregator_cpu for name, series in outcomes.items()}
+    at1 = {name: series[0].aggregator_cpu for name, series in outcomes.items()}
+    # Naive grows linearly toward overload; the paper's run saturates at
+    # ~100% and drops tuples — the simulator reports the raw demand.
+    assert at4["Naive"] > 1.2 * at1["Naive"]
+    # Optimized reduces the load but keeps growing (paper: 20-22% lower).
+    assert at4["Optimized"] < at4["Naive"]
+    series = [o.aggregator_cpu for o in outcomes["Optimized"]]
+    assert series[-1] > series[1]
+    # Partitioned scales: load falls as hosts are added.
+    partitioned_series = [o.aggregator_cpu for o in outcomes["Partitioned"]]
+    assert partitioned_series[0] > partitioned_series[-1]
+    assert at4["Partitioned"] < 0.5 * at4["Naive"]

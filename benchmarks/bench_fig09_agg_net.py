@@ -1,0 +1,42 @@
+"""Figure 9 — network load (packets/sec) on the aggregator, §6.1 query.
+
+Expected shape: Naive and Optimized grow linearly (re-shipping the same
+partial flows from more hosts); Partitioned stays flat, bounded by the
+HAVING-filtered output cardinality.
+"""
+
+from _figures import record_figure
+
+from repro.workloads import format_figure, run_configuration
+from repro.workloads.experiments import experiment1_configurations
+
+
+def test_fig09_regenerate(benchmark, exp1_sweep):
+    trace, dag, outcomes, capacity = exp1_sweep
+    naive = experiment1_configurations()[0]
+    benchmark.pedantic(
+        run_configuration,
+        args=(dag, trace, naive, 4),
+        kwargs={"host_capacity": capacity},
+        rounds=1,
+        iterations=1,
+    )
+    table = format_figure(
+        "Figure 9: network load on aggregator node (tuples/s), "
+        "suspicious-flow query",
+        outcomes,
+        "net",
+    )
+    record_figure("fig09_agg_net", table)
+
+    naive_series = [o.aggregator_net for o in outcomes["Naive"]]
+    optimized_series = [o.aggregator_net for o in outcomes["Optimized"]]
+    partitioned_series = [o.aggregator_net for o in outcomes["Partitioned"]]
+    # Monotone growth for the round-robin configurations.
+    assert naive_series == sorted(naive_series)
+    assert optimized_series == sorted(optimized_series)
+    # Optimized's per-host partials dedupe some traffic.
+    assert optimized_series[-1] < naive_series[-1]
+    # Partitioned ships only final (HAVING-filtered) results: near-flat
+    # and far below the others, as in the paper.
+    assert partitioned_series[-1] < 0.05 * naive_series[-1]

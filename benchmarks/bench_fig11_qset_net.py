@@ -1,0 +1,40 @@
+"""Figure 11 — network load on the aggregator, mixed query set (§6.2).
+
+Expected shape: Naive grows almost linearly; suboptimal evaluates joins
+locally and cuts traffic by 36-52%; optimal cuts it by 64-70% with
+near-flat growth.
+"""
+
+from _figures import record_figure
+
+from repro.workloads import format_figure, run_configuration
+from repro.workloads.experiments import experiment2_configurations
+
+
+def test_fig11_regenerate(benchmark, exp2_sweep):
+    trace, dag, outcomes, capacity = exp2_sweep
+    suboptimal = experiment2_configurations()[1]
+    benchmark.pedantic(
+        run_configuration,
+        args=(dag, trace, suboptimal, 4),
+        kwargs={"host_capacity": capacity},
+        rounds=1,
+        iterations=1,
+    )
+    table = format_figure(
+        "Figure 11: network load on aggregator node (tuples/s), "
+        "subnet-agg + jitter join",
+        outcomes,
+        "net",
+    )
+    record_figure("fig11_qset_net", table)
+
+    at4 = {name: series[-1].aggregator_net for name, series in outcomes.items()}
+    naive_series = [o.aggregator_net for o in outcomes["Naive"]]
+    assert naive_series == sorted(naive_series)  # near-linear growth
+    sub_reduction = 1 - at4["Partitioned (suboptimal)"] / at4["Naive"]
+    opt_reduction = 1 - at4["Partitioned (optimal)"] / at4["Naive"]
+    # Paper bands: suboptimal 36-52%, optimal 64-70% (loose bounds).
+    assert 0.25 < sub_reduction < 0.70
+    assert 0.55 < opt_reduction < 0.85
+    assert opt_reduction > sub_reduction

@@ -1,0 +1,47 @@
+"""Figure 14 — network load on the aggregator, complex query DAG (§6.3).
+
+Expected shape: Naive and Optimized grow linearly (duplicate partial
+flows re-shipped); the partially- and fully-compatible configurations
+stay flat, approaching the cardinalities of flows and flow_pairs
+respectively.
+"""
+
+from _figures import record_figure
+
+from repro.workloads import format_figure, run_configuration
+from repro.workloads.experiments import experiment3_configurations
+
+
+def test_fig14_regenerate(benchmark, exp3_sweep):
+    trace, dag, outcomes, capacity = exp3_sweep
+    partial = experiment3_configurations()[2]
+    benchmark.pedantic(
+        run_configuration,
+        args=(dag, trace, partial, 4),
+        kwargs={"host_capacity": capacity},
+        rounds=1,
+        iterations=1,
+    )
+    table = format_figure(
+        "Figure 14: network load on aggregator node (tuples/s), "
+        "flows/heavy_flows/flow_pairs",
+        outcomes,
+        "net",
+    )
+    record_figure("fig14_complex_net", table)
+
+    naive = [o.aggregator_net for o in outcomes["Naive"]]
+    optimized = [o.aggregator_net for o in outcomes["Optimized"]]
+    partial_series = [o.aggregator_net for o in outcomes["Partitioned (partial)"]]
+    full_series = [o.aggregator_net for o in outcomes["Partitioned (full)"]]
+    assert naive == sorted(naive)
+    assert optimized == sorted(optimized)
+    assert optimized[-1] < naive[-1]
+    # Compatible configurations stay far below the round-robin ones.
+    assert partial_series[-1] < 0.35 * naive[-1]
+    assert full_series[-1] < partial_series[-1]
+    # Flatness: the compatible configurations' absolute slope from 2 to 4
+    # hosts is a small fraction of Naive's (paper: "flat growth curve").
+    naive_slope = naive[-1] - naive[1]
+    assert partial_series[-1] - partial_series[1] < 0.3 * naive_slope
+    assert full_series[-1] - full_series[1] < 0.1 * naive_slope

@@ -1,0 +1,39 @@
+"""§6.1 in-text series — combined CPU load on the leaf nodes.
+
+"The load on each host drops from 80.4% to 23.9% ... as the number of
+hosts grows from 1 to 4": all three configurations spread the packet-
+level work evenly; only the aggregator diverges.
+"""
+
+from _figures import record_figure
+
+
+def _leaf_load(outcome):
+    leaves = outcome.result.leaf_cpu_loads()
+    if not leaves:  # single host: it is both leaf and aggregator
+        return outcome.result.cpu_load(0)
+    return sum(leaves) / len(leaves)
+
+
+def test_leaf_cpu_series(benchmark, exp1_sweep):
+    trace, dag, outcomes, capacity = exp1_sweep
+
+    def collect():
+        return {
+            name: [_leaf_load(outcome) for outcome in series]
+            for name, series in outcomes.items()
+        }
+
+    loads = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    lines = ["Leaf-node CPU load (%), suspicious-flow query (paper: 80.4 -> 23.9)"]
+    lines.append("configuration".ljust(28) + "".join(f"{n:>10}" for n in (1, 2, 3, 4)))
+    for name, series in loads.items():
+        lines.append(name.ljust(28) + "".join(f"{v:10.1f}" for v in series))
+    record_figure("leaf_cpu", "\n".join(lines))
+
+    for name, series in loads.items():
+        # per-leaf load decreases monotonically with cluster size and
+        # lands well under a third of the centralized load at 4 hosts
+        assert series == sorted(series, reverse=True), name
+        assert series[-1] < 0.45 * series[0], name

@@ -1,0 +1,89 @@
+"""Micro-benchmarks of the analysis front half: parsing, analysis, search.
+
+The paper positions the analysis as an offline optimizer step; these
+benchmarks document that it is far below any deployment-relevant cost
+(microseconds to low milliseconds).
+"""
+
+import pytest
+
+from repro.gsql.catalog import Catalog
+from repro.gsql.parser import parse_query
+from repro.gsql.schema import tcp_schema
+from repro.partitioning import (
+    PartitioningSet,
+    choose_partitioning,
+    reconcile_partition_sets,
+)
+from repro.plan import QueryDag
+from repro.workloads.queries import COMPLEX_SQL
+
+FLOW_SQL = (
+    "SELECT tb, srcIP, destIP, srcPort, destPort, COUNT(*) as cnt, "
+    "SUM(len) as bytes FROM TCP "
+    "GROUP BY time/60 as tb, srcIP, destIP, srcPort, destPort "
+    "HAVING COUNT(*) > 100"
+)
+
+
+def test_parse_throughput(benchmark):
+    stmt = benchmark(parse_query, FLOW_SQL)
+    assert stmt.group_by
+
+
+def test_analyze_throughput(benchmark):
+    def analyze():
+        catalog = Catalog()
+        catalog.add_stream(tcp_schema())
+        return catalog.define_query("flows", FLOW_SQL)
+
+    node = benchmark(analyze)
+    assert node.is_aggregation
+
+
+def test_full_script_load(benchmark):
+    def load():
+        catalog = Catalog()
+        catalog.add_stream(tcp_schema())
+        catalog.load_script(COMPLEX_SQL)
+        return QueryDag.from_catalog(catalog)
+
+    dag = benchmark(load)
+    assert len(dag.query_nodes()) == 3
+
+
+def test_reconcile_throughput(benchmark):
+    ps1 = PartitioningSet.of("time/60", "srcIP", "destIP", "srcPort")
+    ps2 = PartitioningSet.of("time/90", "srcIP & 0xFFF0", "destIP")
+    result = benchmark(reconcile_partition_sets, ps1, ps2)
+    assert not result.is_empty
+
+
+def test_partitioning_search_latency(benchmark):
+    catalog = Catalog()
+    catalog.add_stream(tcp_schema())
+    catalog.load_script(COMPLEX_SQL)
+    dag = QueryDag.from_catalog(catalog)
+    result = benchmark(choose_partitioning, dag, 100_000)
+    assert str(result.partitioning) == "{srcIP}"
+
+
+@pytest.mark.parametrize("num_queries", [10, 50])
+def test_search_scales_to_large_query_sets(benchmark, num_queries):
+    """The paper's deployments run ~50 simultaneous queries; the search
+    must stay fast at that scale."""
+    catalog = Catalog()
+    catalog.add_stream(tcp_schema())
+    for index in range(num_queries):
+        mask_bits = 0xFFFFFFFF << (index % 8) & 0xFFFFFFFF
+        catalog.define_query(
+            f"q{index}",
+            f"SELECT tb, net, destIP, COUNT(*) as c FROM TCP "
+            f"GROUP BY time/{10 * (1 + index % 6)} as tb, "
+            f"srcIP & {mask_bits:#x} as net, destIP",
+        )
+    dag = QueryDag.from_catalog(catalog)
+    result = benchmark.pedantic(
+        choose_partitioning, args=(dag, 100_000), rounds=1, iterations=1
+    )
+    assert not result.partitioning.is_empty

@@ -1,0 +1,57 @@
+"""Micro-benchmarks of the engine's hot paths (multi-round timings).
+
+These are conventional throughput benchmarks — useful for catching
+performance regressions in the operators the figure benchmarks lean on.
+"""
+
+import pytest
+
+from repro.cluster.splitter import HashSplitter, RoundRobinSplitter
+from repro.engine.operators import build_operator
+from repro.partitioning import PartitioningSet
+from repro.traces import TraceConfig, generate_trace
+from repro.workloads import complex_catalog, suspicious_flows_catalog
+
+
+@pytest.fixture(scope="module")
+def packets():
+    return generate_trace(
+        TraceConfig(duration=5, rate=2000, num_taps=1, seed=13)
+    ).packets
+
+
+def test_aggregate_operator_throughput(benchmark, packets):
+    _, dag = suspicious_flows_catalog()
+    operator = build_operator(dag.node("suspicious_flows"))
+    result = benchmark(operator.process, packets)
+    assert isinstance(result, list)
+
+
+def test_sub_aggregate_throughput(benchmark, packets):
+    _, dag = suspicious_flows_catalog()
+    operator = build_operator(dag.node("suspicious_flows"), "sub")
+    result = benchmark(operator.process, packets)
+    assert result
+
+
+def test_join_operator_throughput(benchmark, packets):
+    _, dag = complex_catalog()
+    flows = build_operator(dag.node("flows")).process(packets)
+    heavy = build_operator(dag.node("heavy_flows")).process(flows)
+    join = build_operator(dag.node("flow_pairs"))
+    result = benchmark(join.process, heavy, heavy)
+    assert isinstance(result, list)
+
+
+def test_hash_splitter_throughput(benchmark, packets):
+    splitter = HashSplitter(
+        8, PartitioningSet.of("srcIP", "destIP", "srcPort", "destPort")
+    )
+    batches = benchmark(splitter.split, packets)
+    assert sum(len(b) for b in batches) == len(packets)
+
+
+def test_round_robin_splitter_throughput(benchmark, packets):
+    splitter = RoundRobinSplitter(8)
+    batches = benchmark(splitter.split, packets)
+    assert sum(len(b) for b in batches) == len(packets)

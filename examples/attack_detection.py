@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Attack-flow detection at line rate (the paper's motivating example).
+
+The §1/§6.1 scenario: find flows whose TCP-flag OR-fold matches an attack
+pattern (flows that never complete a normal handshake).  The HAVING
+clause needs *complete* per-flow aggregates, so query-independent
+(round-robin) partitioning cannot filter anything at the leaves — every
+partial flow crosses the network.  Query-aware partitioning on the flow
+key filters locally and ships only actual alerts.
+
+This example contrasts the two deployments side by side on the same
+trace, printing the alerts and the load each deployment induces.
+
+Run:  python examples/attack_detection.py
+"""
+
+from repro import (
+    Catalog,
+    ClusterSimulator,
+    DistributedOptimizer,
+    HashSplitter,
+    Placement,
+    QueryDag,
+    RoundRobinSplitter,
+    TraceConfig,
+    choose_partitioning,
+    four_tap_trace,
+    tcp_schema,
+)
+from repro.traces import ATTACK_PATTERN, format_ip
+
+HOSTS = 4
+
+
+def build_dag():
+    catalog = Catalog()
+    catalog.add_stream(tcp_schema())
+    catalog.define_query(
+        "attack_flows",
+        """
+        SELECT tb, srcIP, destIP, srcPort, destPort,
+               OR_AGGR(flags) as orflags, COUNT(*) as packets, SUM(len) as bytes
+        FROM TCP
+        GROUP BY time as tb, srcIP, destIP, srcPort, destPort
+        HAVING OR_AGGR(flags) = #PATTERN#
+        """,
+        params={"#PATTERN#": ATTACK_PATTERN},
+    )
+    return QueryDag.from_catalog(catalog)
+
+
+def deploy(dag, trace, ps):
+    """Build and run one deployment; ps=None means round-robin."""
+    placement = Placement(num_hosts=HOSTS, partitions_per_host=2)
+    plan = DistributedOptimizer(dag, placement, ps).optimize()
+    simulator = ClusterSimulator(dag, plan, stream_rate=trace.rate)
+    if ps is None:
+        splitter = RoundRobinSplitter(placement.num_partitions)
+    else:
+        splitter = HashSplitter(placement.num_partitions, ps)
+    return simulator.run({"TCP": trace.packets}, splitter, trace.duration_sec)
+
+
+def main():
+    trace = four_tap_trace(TraceConfig(duration=15, rate=2000, seed=23))
+    print(
+        f"trace: {len(trace.packets)} packets, {trace.flow_count} flows, "
+        f"{trace.suspicious_flow_count} synthetic attack flows"
+    )
+
+    dag = build_dag()
+    analysis = choose_partitioning(dag, input_rate=trace.rate)
+    ps = analysis.partitioning
+    print(f"recommended partitioning: {ps}\n")
+
+    naive = deploy(dag, trace, None)
+    aware = deploy(dag, trace, ps)
+
+    print("query-independent (round-robin) deployment:")
+    print(naive.summary())
+    print("\nquery-aware deployment:")
+    print(aware.summary())
+
+    alerts = aware.outputs["attack_flows"]
+    attackers = sorted({row["srcIP"] for row in alerts})
+    print(f"\n{len(alerts)} alert rows; attacking sources:")
+    for src in attackers[:10]:
+        flows = [a for a in alerts if a["srcIP"] == src]
+        total = sum(a["packets"] for a in flows)
+        print(f"  {format_ip(src):15s}  {len(flows):3d} flow-epochs, {total} packets")
+    if len(attackers) > 10:
+        print(f"  ... and {len(attackers) - 10} more")
+
+    saved = 1 - aware.aggregator_network_load() / max(
+        naive.aggregator_network_load(), 1e-9
+    )
+    print(
+        f"\nquery-aware partitioning removed {saved:.1%} of the aggregator's "
+        f"network traffic and cut its CPU from "
+        f"{naive.aggregator_cpu_load():.1f}% to {aware.aggregator_cpu_load():.1f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Capacity planning: how many hosts does a monitoring deployment need?
+
+Uses the whole stack as a what-if tool, the way the paper's conclusions
+suggest ("the techniques described in this paper make OC-768 monitoring
+feasible"): sweep cluster sizes under several splitter hardware options
+and report when the aggregator stops being the bottleneck.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import (
+    QueryDag,
+    choose_partitioning,
+    four_tap_trace,
+    run_configuration,
+)
+from repro.partitioning import ExpressionWhitelist, tcp_header_splitter
+from repro.workloads import Configuration, complex_catalog, measure_selectivities
+from repro.workloads.experiments import (
+    experiment3_trace_config,
+    experiment_capacity,
+)
+
+HOST_COUNTS = (1, 2, 3, 4, 6, 8)
+
+
+def main():
+    catalog, dag = complex_catalog()
+    trace = four_tap_trace(experiment3_trace_config(seed=47))
+    capacity = experiment_capacity(3, trace)
+    selectivity = measure_selectivities(dag, trace)
+
+    hardware_options = {
+        "TCAM header splitter": tcp_header_splitter(),
+        "FPGA image (srcIP only)": ExpressionWhitelist.of("srcIP"),
+        "FPGA image (destIP only)": ExpressionWhitelist.of("destIP"),
+    }
+
+    for label, hardware in hardware_options.items():
+        result = choose_partitioning(
+            dag, input_rate=trace.rate, selectivity=selectivity, hardware=hardware
+        )
+        feasible = result.best_feasible
+        print(f"{label}:")
+        if feasible is None:
+            print("  no query-aware partitioning realizable -> round-robin fallback")
+            configuration = Configuration("round-robin", None)
+        else:
+            print(f"  best feasible partitioning: {feasible.ps}")
+            configuration = Configuration(str(feasible.ps), feasible.ps)
+
+        print(f"  {'hosts':>6} {'agg CPU %':>10} {'max leaf %':>11} {'agg net/s':>10}")
+        for hosts in HOST_COUNTS:
+            outcome = run_configuration(
+                dag, trace, configuration, hosts, host_capacity=capacity
+            )
+            leaves = outcome.result.leaf_cpu_loads() or [outcome.aggregator_cpu]
+            marker = "  <- overloaded" if outcome.aggregator_cpu > 95 else ""
+            print(
+                f"  {hosts:>6} {outcome.aggregator_cpu:>10.1f} "
+                f"{max(leaves):>11.1f} {outcome.aggregator_net:>10.1f}{marker}"
+            )
+        viable = [
+            hosts
+            for hosts in HOST_COUNTS
+            if run_configuration(
+                dag, trace, configuration, hosts, host_capacity=capacity
+            ).aggregator_cpu
+            < 60
+        ]
+        if viable:
+            print(f"  -> smallest viable cluster: {viable[0]} host(s)\n")
+        else:
+            print("  -> no viable cluster size in range\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Legacy setup shim so ``pip install -e .`` works without the wheel package."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Query-aware stream partitioning for network monitoring "
+        "(Johnson et al., 2008) - full reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

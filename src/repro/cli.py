@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the toolkit's workflows:
+
+``figures``   regenerate one paper experiment's figure tables
+``analyze``   run the partitioning analysis on a GSQL script
+``plan``      print the distributed plan for a script + partitioning
+``trace``     generate (and optionally save) a synthetic trace
+
+Examples::
+
+    python -m repro figures --experiment 3
+    python -m repro analyze --script queries.gsql --rate 100000
+    python -m repro plan --script queries.gsql --hosts 4 --partitioning srcIP
+    python -m repro trace --out trace.csv --preset exp2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .distopt import DistributedOptimizer, Placement, render_plan
+from .gsql.catalog import Catalog
+from .gsql.schema import tcp_schema
+from .partitioning import FieldsConstraint, PartitioningSet, choose_partitioning
+from .plan import QueryDag
+from .traces import (
+    TraceConfig,
+    four_tap_trace,
+    save_trace,
+    trace_statistics,
+)
+from .workloads import (
+    complex_catalog,
+    experiment1_configurations,
+    experiment2_configurations,
+    experiment3_configurations,
+    format_figure,
+    subnet_jitter_catalog,
+    suspicious_flows_catalog,
+    sweep_hosts,
+)
+from .workloads.experiments import (
+    experiment1_trace_config,
+    experiment2_trace_config,
+    experiment3_trace_config,
+    experiment_capacity,
+)
+
+_EXPERIMENTS = {
+    1: (suspicious_flows_catalog, experiment1_configurations, experiment1_trace_config),
+    2: (subnet_jitter_catalog, experiment2_configurations, experiment2_trace_config),
+    3: (complex_catalog, experiment3_configurations, experiment3_trace_config),
+}
+
+_PRESETS = {
+    "exp1": experiment1_trace_config,
+    "exp2": experiment2_trace_config,
+    "exp3": experiment3_trace_config,
+}
+
+
+def _load_script_catalog(path: str) -> Catalog:
+    catalog = Catalog()
+    catalog.add_stream(tcp_schema())
+    with open(path) as handle:
+        catalog.load_script(handle.read())
+    return catalog
+
+
+def cmd_figures(args) -> int:
+    catalog_fn, configs_fn, trace_fn = _EXPERIMENTS[args.experiment]
+    trace = four_tap_trace(trace_fn(seed=args.seed))
+    _, dag = catalog_fn()
+    capacity = experiment_capacity(args.experiment, trace)
+    host_counts = tuple(int(h) for h in args.hosts.split(","))
+    outcomes = sweep_hosts(
+        dag,
+        trace,
+        configs_fn(),
+        host_counts=host_counts,
+        host_capacity=capacity,
+    )
+    print(
+        format_figure(
+            f"Experiment {args.experiment}: CPU load on aggregator node (%)",
+            outcomes,
+            "cpu",
+        )
+    )
+    print()
+    print(
+        format_figure(
+            f"Experiment {args.experiment}: network load on aggregator (tuples/s)",
+            outcomes,
+            "net",
+        )
+    )
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    catalog = _load_script_catalog(args.script)
+    dag = QueryDag.from_catalog(catalog)
+    print("query DAG:")
+    print(dag.render())
+    hardware = None
+    if args.hardware:
+        hardware = FieldsConstraint.of(*args.hardware.split(","))
+        print(f"\nhardware constraint: {hardware.describe()}")
+    result = choose_partitioning(dag, input_rate=args.rate, hardware=hardware)
+    print()
+    print(result.summary())
+    print(f"\nrecommended partitioning: {result.partitioning}")
+    return 0
+
+
+def cmd_plan(args) -> int:
+    catalog = _load_script_catalog(args.script)
+    dag = QueryDag.from_catalog(catalog)
+    ps: Optional[PartitioningSet] = None
+    if args.partitioning:
+        ps = PartitioningSet.of(*args.partitioning.split(","))
+    placement = Placement(num_hosts=args.hosts, partitions_per_host=args.partitions)
+    optimizer = DistributedOptimizer(dag, placement, ps)
+    plan = optimizer.optimize()
+    print(f"partitioning: {ps if ps is not None else 'round-robin (none)'}")
+    print()
+    print("optimizer decisions:")
+    print(optimizer.report)
+    print()
+    print(render_plan(plan))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    if args.preset:
+        config = _PRESETS[args.preset](seed=args.seed)
+    else:
+        config = TraceConfig(duration=args.duration, rate=args.rate, seed=args.seed)
+    trace = four_tap_trace(config)
+    print(trace_statistics(trace).describe())
+    if args.out:
+        save_trace(trace, args.out)
+        print(f"\nwritten to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Query-aware stream partitioning toolkit (Johnson et al., 2008)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    figures = commands.add_parser(
+        "figures", help="regenerate one paper experiment's figures"
+    )
+    figures.add_argument("--experiment", type=int, choices=(1, 2, 3), required=True)
+    figures.add_argument("--hosts", default="1,2,3,4", help="comma-separated sizes")
+    figures.add_argument("--seed", type=int, default=7)
+    figures.set_defaults(func=cmd_figures)
+
+    analyze = commands.add_parser(
+        "analyze", help="choose a partitioning for a GSQL script"
+    )
+    analyze.add_argument("--script", required=True, help="GSQL DEFINE-script path")
+    analyze.add_argument("--rate", type=float, default=100_000.0)
+    analyze.add_argument(
+        "--hardware", default=None, help="comma-separated splittable fields"
+    )
+    analyze.set_defaults(func=cmd_analyze)
+
+    plan = commands.add_parser("plan", help="print the distributed plan")
+    plan.add_argument("--script", required=True)
+    plan.add_argument("--hosts", type=int, default=4)
+    plan.add_argument("--partitions", type=int, default=2, help="per host")
+    plan.add_argument(
+        "--partitioning", default=None, help="comma-separated expressions"
+    )
+    plan.set_defaults(func=cmd_plan)
+
+    trace = commands.add_parser("trace", help="generate a synthetic trace")
+    trace.add_argument("--out", default=None, help="CSV output path")
+    trace.add_argument("--duration", type=int, default=20)
+    trace.add_argument("--rate", type=int, default=2000)
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--preset", choices=sorted(_PRESETS), default=None)
+    trace.set_defaults(func=cmd_trace)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Cluster substrate: hosts, network, splitters, and the simulator."""
+
+from .balance import BalanceReport, compare_balance, partition_balance
+from .costs import CAPACITY_PER_TUPLE_BUDGET, DEFAULT_COSTS, CostTable, default_capacity
+from .host import Host
+from .network import NetworkMeter
+from .simulator import ClusterSimulator, SimulationResult
+from .splitter import HashSplitter, RoundRobinSplitter, Splitter, partition_histogram
+
+__all__ = [
+    "BalanceReport",
+    "CAPACITY_PER_TUPLE_BUDGET",
+    "compare_balance",
+    "partition_balance",
+    "ClusterSimulator",
+    "CostTable",
+    "DEFAULT_COSTS",
+    "HashSplitter",
+    "Host",
+    "NetworkMeter",
+    "RoundRobinSplitter",
+    "SimulationResult",
+    "Splitter",
+    "default_capacity",
+    "partition_histogram",
+]

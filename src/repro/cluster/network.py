@@ -1,0 +1,47 @@
+"""Network metering: per-host counts of tuples and bytes received remotely.
+
+The paper's network-load figures report packets/second arriving at the
+aggregator node over the LAN; :class:`NetworkMeter` accumulates the same
+quantity per receiving host (plus bytes, using schema tuple widths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass
+class NetworkMeter:
+    """Counts traffic crossing host boundaries."""
+
+    tuples_received: Dict[int, int] = field(default_factory=dict)
+    bytes_received: Dict[int, float] = field(default_factory=dict)
+    link_tuples: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    def record(self, src_host: int, dst_host: int, tuples: int, width: float) -> None:
+        """Record ``tuples`` rows of ``width`` bytes shipped src -> dst."""
+        if src_host == dst_host:
+            return
+        self.tuples_received[dst_host] = (
+            self.tuples_received.get(dst_host, 0) + tuples
+        )
+        self.bytes_received[dst_host] = (
+            self.bytes_received.get(dst_host, 0.0) + tuples * width
+        )
+        link = (src_host, dst_host)
+        self.link_tuples[link] = self.link_tuples.get(link, 0) + tuples
+
+    def tuples_per_sec(self, host: int, duration_sec: float) -> float:
+        """The paper's network-load metric for one host."""
+        if duration_sec <= 0:
+            raise ValueError("duration must be positive")
+        return self.tuples_received.get(host, 0) / duration_sec
+
+    def total_tuples(self) -> int:
+        return sum(self.tuples_received.values())
+
+    def reset(self) -> None:
+        self.tuples_received.clear()
+        self.bytes_received.clear()
+        self.link_tuples.clear()

@@ -1,0 +1,249 @@
+"""The cluster simulator: runs a distributed plan over a packet trace.
+
+Replaces the paper's live 4-host Gigascope cluster.  The simulator is
+deterministic: it executes every physical operator of a
+:class:`~repro.distopt.plan_ir.DistributedPlan` with real row semantics,
+while charging CPU cost units to hosts and counting tuples that cross host
+boundaries — the two quantities the paper's evaluation figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..distopt.plan_ir import DistKind, DistNode, DistributedPlan, Variant
+from ..engine.aggregates import states_width
+from ..engine.operators import Batch, MergeOp, NullPadOp, build_operator
+from ..gsql.analyzer import NodeKind
+from ..plan.dag import QueryDag
+from .costs import DEFAULT_COSTS, CostTable, default_capacity
+from .host import Host
+from .network import NetworkMeter
+from .splitter import Splitter
+
+
+@dataclass
+class SimulationResult:
+    """Everything one run produces: loads, traffic, and query outputs."""
+
+    hosts: List[Host]
+    network: NetworkMeter
+    outputs: Dict[str, Batch]
+    duration_sec: float
+    aggregator: int
+    splitter_description: str = ""
+    node_output_counts: Dict[str, int] = field(default_factory=dict)
+
+    # -- the paper's metrics -------------------------------------------------
+
+    def cpu_load(self, host: int) -> float:
+        return self.hosts[host].load_percent(self.duration_sec)
+
+    def aggregator_cpu_load(self) -> float:
+        """Figure 8/10/13 metric: CPU load on the aggregator node (%)."""
+        return self.cpu_load(self.aggregator)
+
+    def aggregator_network_load(self) -> float:
+        """Figure 9/11/14 metric: packets/sec received by the aggregator."""
+        return self.network.tuples_per_sec(self.aggregator, self.duration_sec)
+
+    def leaf_cpu_loads(self) -> List[float]:
+        """Per-host loads for the non-aggregator hosts."""
+        return [
+            self.cpu_load(host.index)
+            for host in self.hosts
+            if host.index != self.aggregator
+        ]
+
+    def mean_host_cpu_load(self) -> float:
+        """Average load across all hosts (the §6.1 leaf-load series)."""
+        loads = [self.cpu_load(host.index) for host in self.hosts]
+        return sum(loads) / len(loads)
+
+    def summary(self) -> str:
+        lines = [f"duration {self.duration_sec:.0f}s, splitter: {self.splitter_description}"]
+        for host in self.hosts:
+            role = "aggregator" if host.index == self.aggregator else "leaf"
+            net = self.network.tuples_per_sec(host.index, self.duration_sec)
+            lines.append(
+                f"host {host.index} ({role}): CPU {self.cpu_load(host.index):6.1f}%  "
+                f"net {net:10.1f} tuples/s"
+            )
+        return "\n".join(lines)
+
+
+class ClusterSimulator:
+    """Executes distributed plans over traces with cost accounting."""
+
+    def __init__(
+        self,
+        dag: QueryDag,
+        plan: DistributedPlan,
+        stream_rate: float,
+        costs: CostTable = DEFAULT_COSTS,
+        host_capacity: Optional[float] = None,
+    ):
+        """``stream_rate`` is the total input rate in tuples/second; the
+        default host capacity derives from it (see costs.py) so loads are
+        expressed relative to the monitored link, as in the paper."""
+        self._dag = dag
+        self._plan = plan
+        self._costs = costs
+        capacity = host_capacity if host_capacity is not None else default_capacity(
+            stream_rate
+        )
+        self._hosts = [Host(i, capacity) for i in range(plan.num_hosts)]
+        self._width_cache: Dict[str, float] = {}
+
+    @property
+    def hosts(self) -> List[Host]:
+        return self._hosts
+
+    def run(
+        self,
+        source_rows: Mapping[str, Sequence[dict]],
+        splitter: Splitter,
+        duration_sec: float,
+    ) -> SimulationResult:
+        """Split the trace, execute the plan, and collect metrics."""
+        for host in self._hosts:
+            host.reset()
+        network = NetworkMeter()
+        partitions = self._split_sources(source_rows, splitter)
+        outputs: Dict[str, Batch] = {}
+        counts: Dict[str, int] = {}
+        for node in self._plan.topological():
+            batch = self._execute_node(node, outputs, partitions, network)
+            outputs[node.node_id] = batch
+            counts[node.node_id] = len(batch)
+        delivered = {
+            name: outputs[node_id] for name, node_id in self._plan.delivery.items()
+        }
+        return SimulationResult(
+            hosts=self._hosts,
+            network=network,
+            outputs=delivered,
+            duration_sec=duration_sec,
+            aggregator=self._plan.aggregator,
+            splitter_description=splitter.describe(),
+            node_output_counts=counts,
+        )
+
+    # -- internals --------------------------------------------------------------
+
+    def _split_sources(
+        self, source_rows: Mapping[str, Sequence[dict]], splitter: Splitter
+    ) -> Dict[str, List[Batch]]:
+        if splitter.num_partitions != self._plan.num_partitions:
+            raise ValueError(
+                f"splitter produces {splitter.num_partitions} partitions but the "
+                f"plan expects {self._plan.num_partitions}"
+            )
+        partitions: Dict[str, List[Batch]] = {}
+        for stream, rows in source_rows.items():
+            partitions[stream] = splitter.split(rows)
+        return partitions
+
+    def _execute_node(
+        self,
+        node: DistNode,
+        outputs: Dict[str, Batch],
+        partitions: Dict[str, List[Batch]],
+        network: NetworkMeter,
+    ) -> Batch:
+        costs = self._costs
+        host = self._hosts[node.host]
+        if node.kind is DistKind.SOURCE:
+            (partition,) = node.partitions
+            batch = partitions[node.stream][partition]
+            # NIC delivery of the partition to its host.
+            host.charge(len(batch) * costs.receive_local, "ingest")
+            return batch
+        # Ingest inputs, charging by origin and metering the network.
+        input_batches: List[Batch] = []
+        for child_id in node.inputs:
+            child = self._plan.node(child_id)
+            batch = outputs[child_id]
+            count = len(batch)
+            if child.host != node.host:
+                width = self._output_width(child)
+                network.record(child.host, node.host, count, width)
+                self._hosts[child.host].charge(count * costs.send_remote, "send")
+                host.charge(count * costs.receive_remote, "ingest-remote")
+            else:
+                host.charge(count * costs.receive_local, "ingest")
+            input_batches.append(batch)
+        result = self._apply(node, input_batches)
+        self._charge_processing(node, input_batches, result, host)
+        return result
+
+    def _apply(self, node: DistNode, inputs: List[Batch]) -> Batch:
+        if node.kind is DistKind.MERGE:
+            return MergeOp().process(*inputs)
+        if node.kind is DistKind.NULLPAD:
+            analyzed = self._dag.node(node.query)
+            return NullPadOp(analyzed, node.pad_side).process(*inputs)
+        analyzed = self._dag.node(node.query)
+        operator = build_operator(analyzed, node.variant.value)
+        return operator.process(*inputs)
+
+    def _charge_processing(
+        self, node: DistNode, inputs: List[Batch], result: Batch, host: Host
+    ) -> None:
+        costs = self._costs
+        n_in = sum(len(batch) for batch in inputs)
+        n_out = len(result)
+        if node.kind is DistKind.MERGE:
+            host.charge(n_in * costs.merge, "merge")
+            return
+        if node.kind is DistKind.NULLPAD:
+            host.charge(n_in * costs.selection + n_out * costs.emit, "nullpad")
+            return
+        analyzed = self._dag.node(node.query)
+        if analyzed.kind is NodeKind.SELECTION:
+            host.charge(n_in * costs.selection + n_out * costs.emit, "selection")
+        elif analyzed.kind is NodeKind.AGGREGATION:
+            if node.variant is Variant.SUPER:
+                host.charge(
+                    n_in * costs.super_merge + n_out * costs.emit, "super-aggregate"
+                )
+            else:
+                category = (
+                    "sub-aggregate" if node.variant is Variant.SUB else "aggregate"
+                )
+                host.charge(
+                    n_in * costs.aggregate_update + n_out * costs.emit, category
+                )
+        elif analyzed.kind is NodeKind.JOIN:
+            host.charge(n_in * costs.join_probe + n_out * costs.emit, "join")
+        elif analyzed.kind is NodeKind.UNION:
+            host.charge(n_in * costs.merge, "union")
+        else:
+            raise ValueError(f"unexpected node kind {analyzed.kind!r}")
+
+    def _output_width(self, node: DistNode) -> float:
+        """Approximate bytes per tuple of a dist node's output stream."""
+        cached = self._width_cache.get(node.node_id)
+        if cached is not None:
+            return cached
+        width = self._compute_width(node)
+        self._width_cache[node.node_id] = width
+        return width
+
+    def _compute_width(self, node: DistNode) -> float:
+        if node.kind is DistKind.SOURCE:
+            return float(self._source_width(node.stream))
+        if node.kind is DistKind.MERGE:
+            widths = [self._output_width(self._plan.node(c)) for c in node.inputs]
+            return max(widths) if widths else 0.0
+        analyzed = self._dag.node(node.query)
+        if node.kind is DistKind.NULLPAD:
+            return float(analyzed.schema.tuple_width())
+        if node.variant is Variant.SUB:
+            gb_width = sum(g.ctype.width for g in analyzed.group_by)
+            return float(gb_width + states_width(analyzed.aggregates))
+        return float(analyzed.schema.tuple_width())
+
+    def _source_width(self, stream: str) -> int:
+        return self._dag.node(stream).schema.tuple_width()

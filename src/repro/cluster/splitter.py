@@ -1,0 +1,87 @@
+"""The splitter "hardware": distributes raw stream tuples to partitions.
+
+Models the specialized monitoring NICs of the paper (§1, §3.2): the
+splitter runs at line speed in hardware, so its work is *not* charged to
+any host's CPU.  Two concrete splitters:
+
+* :class:`RoundRobinSplitter` — the query-independent baseline partitioning
+  used by existing DSMSs (the paper's Naive/Optimized configurations);
+* :class:`HashSplitter` — hash partitioning on a
+  :class:`~repro.partitioning.partition_set.PartitioningSet`, the paper's
+  query-aware scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping
+
+from ..partitioning.partition_set import PartitioningSet
+
+Row = Mapping[str, object]
+
+
+class Splitter:
+    """Base interface: assign each tuple a partition index."""
+
+    def __init__(self, num_partitions: int):
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        self.num_partitions = num_partitions
+
+    def split(self, rows: Iterable[Row]) -> List[List[Row]]:
+        """Partition ``rows`` into ``num_partitions`` batches."""
+        batches: List[List[Row]] = [[] for _ in range(self.num_partitions)]
+        assign = self.assigner()
+        for row in rows:
+            batches[assign(row)].append(row)
+        return batches
+
+    def assigner(self) -> Callable[[Row], int]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+class RoundRobinSplitter(Splitter):
+    """Query-independent even spreading, one tuple at a time."""
+
+    def assigner(self) -> Callable[[Row], int]:
+        state = {"next": 0}
+        count = self.num_partitions
+
+        def assign(_row: Row) -> int:
+            index = state["next"]
+            state["next"] = (index + 1) % count
+            return index
+
+        return assign
+
+    def describe(self) -> str:
+        return f"round-robin over {self.num_partitions} partitions"
+
+
+class HashSplitter(Splitter):
+    """Hash partitioning on a partitioning set (paper §3.3)."""
+
+    def __init__(self, num_partitions: int, ps: PartitioningSet):
+        super().__init__(num_partitions)
+        if ps.is_empty:
+            raise ValueError("hash splitter needs a non-empty partitioning set")
+        self.partitioning_set = ps
+
+    def assigner(self) -> Callable[[Row], int]:
+        return self.partitioning_set.partitioner(self.num_partitions)
+
+    def describe(self) -> str:
+        return f"hash on {self.partitioning_set} over {self.num_partitions} partitions"
+
+
+def partition_histogram(splitter: Splitter, rows: Iterable[Row]) -> Dict[int, int]:
+    """Tuples per partition — used to check load balance in tests."""
+    assign = splitter.assigner()
+    histogram: Dict[int, int] = {}
+    for row in rows:
+        index = assign(row)
+        histogram[index] = histogram.get(index, 0) + 1
+    return histogram

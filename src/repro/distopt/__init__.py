@@ -1,0 +1,17 @@
+"""Partition-aware distributed query optimizer."""
+
+from .placement import Placement
+from .plan_ir import DistKind, DistNode, DistributedPlan, Variant
+from .render import render_plan
+from .transform import DistributedOptimizer, OptimizerReport
+
+__all__ = [
+    "DistKind",
+    "DistNode",
+    "DistributedOptimizer",
+    "DistributedPlan",
+    "OptimizerReport",
+    "Placement",
+    "Variant",
+    "render_plan",
+]

@@ -1,0 +1,232 @@
+"""Distributed plan intermediate representation.
+
+A :class:`DistributedPlan` is a DAG of physical operators, each placed on a
+host of the cluster:
+
+* ``SOURCE`` — one partition of the raw stream, delivered by the splitter
+  hardware to its host;
+* ``MERGE`` — stream union of its inputs (paper's merge nodes);
+* ``OP`` — one analyzed query node executed in a given *variant*: FULL
+  (ordinary evaluation), SUB (sub-aggregate of a partial-aggregation
+  split), SUPER (the matching super-aggregate);
+* ``NULLPAD`` — the outer-join projection that pads unmatched partitions
+  with NULLs (paper §5.3).
+
+The IR deliberately materializes one merge per consumer edge rather than
+sharing merges: the paper's ``Opt_Eligible`` tests include "Q is the only
+parent of M" exactly to keep shared merges intact, and per-consumer merges
+make that invariant structural.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional
+
+
+class DistKind(enum.Enum):
+    SOURCE = "source"
+    MERGE = "merge"
+    OP = "op"
+    NULLPAD = "nullpad"
+
+
+class Variant(enum.Enum):
+    FULL = "full"
+    SUB = "sub"
+    SUPER = "super"
+
+
+@dataclass
+class DistNode:
+    """One physical operator instance placed on a host."""
+
+    node_id: str
+    kind: DistKind
+    host: int
+    inputs: List[str] = field(default_factory=list)
+    query: Optional[str] = None  # analyzed node name, for OP
+    variant: Variant = Variant.FULL
+    partitions: FrozenSet[int] = frozenset()  # which stream partitions feed it
+    stream: Optional[str] = None  # source stream name, for SOURCE
+    pad_side: Optional[str] = None  # "left"/"right", for NULLPAD
+
+    def label(self) -> str:
+        if self.kind is DistKind.SOURCE:
+            parts = ",".join(str(p) for p in sorted(self.partitions))
+            return f"source[{self.stream}:{parts}]"
+        if self.kind is DistKind.MERGE:
+            return "merge"
+        if self.kind is DistKind.NULLPAD:
+            return f"nullpad[{self.pad_side}]"
+        suffix = "" if self.variant is Variant.FULL else f".{self.variant.value}"
+        return f"{self.query}{suffix}"
+
+
+class DistributedPlan:
+    """The physical plan: placed operators plus per-query output producers.
+
+    ``producers[name]`` lists the dist nodes that jointly produce query
+    ``name``'s output stream (one per host after push-down, a single
+    central node otherwise).  ``delivery[name]`` is the node whose output
+    is the query's final, centrally-delivered result stream.
+    """
+
+    def __init__(self, num_hosts: int, partitions_per_host: int, aggregator: int = 0):
+        if num_hosts <= 0:
+            raise ValueError("num_hosts must be positive")
+        if not 0 <= aggregator < num_hosts:
+            raise ValueError("aggregator must be a valid host index")
+        self.num_hosts = num_hosts
+        self.partitions_per_host = partitions_per_host
+        self.num_partitions = num_hosts * partitions_per_host
+        self.aggregator = aggregator
+        self.nodes: Dict[str, DistNode] = {}
+        self.producers: Dict[str, List[str]] = {}
+        self.delivery: Dict[str, str] = {}
+        self._counter = itertools.count()
+
+    # -- construction -------------------------------------------------------
+
+    def host_of_partition(self, partition: int) -> int:
+        """Partitions are dealt contiguously: host i holds partitions
+        [i*k, (i+1)*k) for k partitions per host, as in the paper's
+        2-partitions-per-host experiments."""
+        return partition // self.partitions_per_host
+
+    def new_id(self, prefix: str) -> str:
+        return f"{prefix}#{next(self._counter)}"
+
+    def add(self, node: DistNode) -> DistNode:
+        if node.node_id in self.nodes:
+            raise ValueError(f"duplicate dist node id {node.node_id!r}")
+        for child in node.inputs:
+            if child not in self.nodes:
+                raise ValueError(
+                    f"node {node.node_id!r} references unknown input {child!r}"
+                )
+        self.nodes[node.node_id] = node
+        return node
+
+    def add_source(self, stream: str, partition: int) -> DistNode:
+        return self.add(
+            DistNode(
+                node_id=self.new_id(f"src_{stream}_{partition}"),
+                kind=DistKind.SOURCE,
+                host=self.host_of_partition(partition),
+                partitions=frozenset({partition}),
+                stream=stream,
+            )
+        )
+
+    def add_merge(self, inputs: List[str], host: int) -> DistNode:
+        coverage = frozenset().union(*(self.nodes[i].partitions for i in inputs))
+        return self.add(
+            DistNode(
+                node_id=self.new_id("merge"),
+                kind=DistKind.MERGE,
+                host=host,
+                inputs=list(inputs),
+                partitions=coverage,
+            )
+        )
+
+    def add_op(
+        self,
+        query: str,
+        inputs: List[str],
+        host: int,
+        variant: Variant = Variant.FULL,
+    ) -> DistNode:
+        coverage = frozenset().union(
+            *(self.nodes[i].partitions for i in inputs)
+        ) if inputs else frozenset()
+        return self.add(
+            DistNode(
+                node_id=self.new_id(f"op_{query}_{variant.value}"),
+                kind=DistKind.OP,
+                host=host,
+                inputs=list(inputs),
+                query=query,
+                variant=variant,
+                partitions=coverage,
+            )
+        )
+
+    def add_nullpad(self, child: str, side: str, host: int, query: str) -> DistNode:
+        return self.add(
+            DistNode(
+                node_id=self.new_id("nullpad"),
+                kind=DistKind.NULLPAD,
+                host=host,
+                inputs=[child],
+                query=query,
+                partitions=self.nodes[child].partitions,
+                pad_side=side,
+            )
+        )
+
+    # -- navigation --------------------------------------------------------------
+
+    def node(self, node_id: str) -> DistNode:
+        return self.nodes[node_id]
+
+    def topological(self) -> List[DistNode]:
+        """Children-first order over the *live* plan (nodes reachable from
+        delivery points); dead nodes left over from rewrites are skipped."""
+        live = self._live_ids()
+        order: List[DistNode] = []
+        visited: Dict[str, int] = {}
+
+        def visit(node_id: str) -> None:
+            state = visited.get(node_id, 0)
+            if state == 2:
+                return
+            if state == 1:
+                raise ValueError("distributed plan has a cycle")
+            visited[node_id] = 1
+            for child in self.nodes[node_id].inputs:
+                visit(child)
+            visited[node_id] = 2
+            order.append(self.nodes[node_id])
+
+        for node_id in sorted(live):
+            visit(node_id)
+        return order
+
+    def _live_ids(self) -> FrozenSet[str]:
+        live = set()
+        stack = list(self.delivery.values())
+        while stack:
+            node_id = stack.pop()
+            if node_id in live:
+                continue
+            live.add(node_id)
+            stack.extend(self.nodes[node_id].inputs)
+        return frozenset(live)
+
+    def parents_of(self, node_id: str) -> List[DistNode]:
+        return [n for n in self.nodes.values() if node_id in n.inputs]
+
+    def hosts_used(self) -> List[int]:
+        return sorted({node.host for node in self.topological()})
+
+    def ops_for(self, query: str) -> List[DistNode]:
+        """All live OP instances of an analyzed query node."""
+        return [
+            node
+            for node in self.topological()
+            if node.kind is DistKind.OP and node.query == query
+        ]
+
+    # -- statistics ----------------------------------------------------------------
+
+    def network_edges(self) -> Iterable:
+        """(child, parent) pairs whose data crosses the network."""
+        for node in self.topological():
+            for child_id in node.inputs:
+                child = self.nodes[child_id]
+                if child.host != node.host:
+                    yield child, node

@@ -1,0 +1,50 @@
+"""ASCII rendering of distributed plans (cf. paper Figures 2-7, 12)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .plan_ir import DistKind, DistributedPlan
+
+
+def render_plan(plan: DistributedPlan) -> str:
+    """Render the live plan grouped by host, children-first within hosts.
+
+    Example output::
+
+        == host 0 (aggregator) ==
+          merge#12 <- op_flows_full#8@h0, op_flows_full#9@h1
+          op_heavy_flows_full#13 <- merge#12
+        == host 1 ==
+          op_flows_full#9 <- merge#3
+    """
+    by_host: Dict[int, List[str]] = {h: [] for h in range(plan.num_hosts)}
+    for node in plan.topological():
+        inputs = ", ".join(
+            f"{child}@h{plan.node(child).host}" for child in node.inputs
+        )
+        arrow = f" <- {inputs}" if inputs else ""
+        by_host[node.host].append(f"  {node.label()} [{node.node_id}]{arrow}")
+    lines: List[str] = []
+    for host in range(plan.num_hosts):
+        role = " (aggregator)" if host == plan.aggregator else ""
+        lines.append(f"== host {host}{role} ==")
+        lines.extend(by_host[host] or ["  (idle)"])
+    deliveries = ", ".join(
+        f"{name} <- {node_id}" for name, node_id in sorted(plan.delivery.items())
+    )
+    if deliveries:
+        lines.append(f"deliver: {deliveries}")
+    return "\n".join(lines)
+
+
+def render_summary(plan: DistributedPlan) -> str:
+    """One line per operator class with instance counts."""
+    counts: Dict[str, int] = {}
+    for node in plan.topological():
+        if node.kind is DistKind.OP:
+            key = node.label()
+        else:
+            key = node.kind.value
+        counts[key] = counts.get(key, 0) + 1
+    return ", ".join(f"{key} x{count}" for key, count in sorted(counts.items()))

@@ -1,0 +1,386 @@
+"""The partition-aware distributed query optimizer (paper §5).
+
+Two phases, exactly as the paper describes:
+
+1. **Partition-agnostic plan** (§5.1, Fig. 3): the splitter delivers each
+   stream partition to its host; per-consumer merge nodes union all
+   partitions on the aggregator host; every query node initially runs on
+   the aggregator over its merged inputs.
+
+2. **Bottom-up transformation**: walk the query DAG leaves-first and apply
+   the rule matching each node:
+
+   * *compatible aggregation* (§5.2.1, Fig. 4) — push a FULL copy of the
+     aggregate below the merge onto each producing host;
+   * *incompatible aggregation* (§5.2.2, Fig. 5) — split into SUB
+     aggregates on the producing hosts and one SUPER aggregate on the
+     aggregator (WHERE pushed into the SUB, HAVING kept in the SUPER);
+   * *compatible join* (§5.3, Figs. 6-7) — pair-wise per-partition joins
+     pushed onto the hosts, unmatched partitions NULL-padded for outer
+     joins, dropped for inner joins;
+   * *selection/projection* (§5.4) — always pushed below the merge;
+   * anything else — evaluated centrally over merged inputs.
+
+Because the IR materializes one merge per consumer edge, the paper's
+``Opt_Eligible`` conditions ("Q has a single merge child", "each child of
+the merge operates on one partition consistent with PS", "Q is the only
+parent of M") hold structurally whenever the producers of a child are
+per-host operators; compatibility with the *actual* splitter partitioning
+(which may differ from the recommended one — §5's central point) is the
+only semantic test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..engine.aggregates import is_splittable
+from ..gsql.analyzer import AnalyzedNode, NodeKind
+from ..gsql.ast_nodes import JoinType
+from ..partitioning.compatibility import is_compatible
+from ..partitioning.partition_set import PartitioningSet
+from ..plan.dag import QueryDag
+from .placement import Placement
+from .plan_ir import DistributedPlan, Variant
+
+
+@dataclass
+class OptimizerReport:
+    """What the optimizer decided for each query node (for docs/tests)."""
+
+    decisions: Dict[str, str] = field(default_factory=dict)
+
+    def record(self, query: str, decision: str) -> None:
+        self.decisions[query] = decision
+
+    def __str__(self) -> str:
+        return "\n".join(f"{name}: {why}" for name, why in sorted(self.decisions.items()))
+
+
+class DistributedOptimizer:
+    """Builds and transforms distributed plans for a query DAG."""
+
+    def __init__(
+        self,
+        dag: QueryDag,
+        placement: Placement,
+        actual_partitioning: Optional[PartitioningSet] = None,
+        exclude_temporal: bool = True,
+        deliver: Optional[List[str]] = None,
+    ):
+        """``actual_partitioning`` is what the splitter hardware really
+        computes; None (or the empty set) models query-independent
+        round-robin splitting, with which nothing is compatible.
+
+        ``deliver`` names the queries whose results the monitoring
+        application reads on the aggregator host; it defaults to the DAG's
+        roots.  Naming an intermediate view (e.g. a flow table that both
+        feeds a join and is recorded) adds a central delivery for it —
+        shared with any central consumer, so its stream crosses each link
+        once.
+        """
+        self._dag = dag
+        self._placement = placement
+        self._ps = actual_partitioning or PartitioningSet.empty()
+        self._exclude_temporal = exclude_temporal
+        self._deliver = deliver
+        self.report = OptimizerReport()
+        # Central merges are shared across consumers: a producer's output
+        # crosses the network once per receiving host, however many plan
+        # branches read it there (the self-join reads one merge twice).
+        self._merge_cache: Dict[tuple, str] = {}
+
+    # -- public API --------------------------------------------------------------
+
+    def optimize(self) -> DistributedPlan:
+        """Run both phases and return the final plan."""
+        plan = self.build_partition_agnostic()
+        return self.transform(plan)
+
+    def build_partition_agnostic(self) -> DistributedPlan:
+        """Phase 1: sources per partition, (optional) per-host local merges.
+
+        ``producers`` of each source stream are the per-host local merges
+        (or the bare partitions when ``merge_local_partitions`` is off);
+        query nodes are added by phase 2.
+        """
+        place = self._placement
+        plan = DistributedPlan(place.num_hosts, place.partitions_per_host, place.aggregator)
+        for source in self._dag.sources():
+            partition_nodes = [
+                plan.add_source(source.name, p) for p in range(place.num_partitions)
+            ]
+            if place.merge_local_partitions and place.partitions_per_host > 1:
+                producers = []
+                for host in range(place.num_hosts):
+                    local = [n for n in partition_nodes if n.host == host]
+                    merge = plan.add_merge([n.node_id for n in local], host)
+                    producers.append(merge.node_id)
+                plan.producers[source.name] = producers
+            else:
+                plan.producers[source.name] = [n.node_id for n in partition_nodes]
+        return plan
+
+    def transform(self, plan: DistributedPlan) -> DistributedPlan:
+        """Phase 2: bottom-up rule application over the query DAG."""
+        for node in self._dag.query_nodes():
+            self._place_node(plan, node)
+        self._deliver_roots(plan)
+        return plan
+
+    # -- per-node rules --------------------------------------------------------------
+
+    def _place_node(self, plan: DistributedPlan, node: AnalyzedNode) -> None:
+        if node.kind is NodeKind.SELECTION:
+            self._place_selection(plan, node)
+        elif node.kind is NodeKind.AGGREGATION:
+            self._place_aggregation(plan, node)
+        elif node.kind is NodeKind.JOIN:
+            self._place_join(plan, node)
+        elif node.kind is NodeKind.UNION:
+            self._place_union(plan, node)
+        else:
+            raise ValueError(f"cannot place node kind {node.kind!r}")
+
+    def _place_selection(self, plan: DistributedPlan, node: AnalyzedNode) -> None:
+        """§5.4: selections/projections push below merges unconditionally."""
+        producers = plan.producers[node.inputs[0]]
+        ops = [
+            plan.add_op(node.name, [pid], plan.node(pid).host).node_id
+            for pid in producers
+        ]
+        plan.producers[node.name] = ops
+        self.report.record(
+            node.name,
+            "selection pushed to producers" if len(ops) > 1 else "selection local",
+        )
+
+    def _place_aggregation(self, plan: DistributedPlan, node: AnalyzedNode) -> None:
+        producers = plan.producers[node.inputs[0]]
+        distributed_input = self._is_distributed(plan, producers)
+        if distributed_input and self._compatible(node):
+            # §5.2.1 / Fig 4: push the full aggregate below the merge.
+            # Producers sharing partitions (e.g. union branches over the
+            # same partition) must feed a single pushed copy, or groups
+            # spanning them would be emitted twice — cluster by coverage.
+            ops = []
+            for cluster in _coverage_clusters(plan, producers):
+                pid = self._cluster_stream(plan, cluster)
+                ops.append(
+                    plan.add_op(node.name, [pid], plan.node(pid).host).node_id
+                )
+            plan.producers[node.name] = ops
+            self.report.record(node.name, f"compatible with {self._ps}; pushed FULL")
+            return
+        if distributed_input and is_splittable(node.aggregates):
+            # §5.2.2 / Fig 5: sub-aggregates per producer + central super.
+            subs = [
+                plan.add_op(
+                    node.name, [pid], plan.node(pid).host, Variant.SUB
+                ).node_id
+                for pid in producers
+            ]
+            merge = plan.add_merge(subs, plan.aggregator)
+            super_op = plan.add_op(
+                node.name, [merge.node_id], plan.aggregator, Variant.SUPER
+            )
+            plan.producers[node.name] = [super_op.node_id]
+            self.report.record(
+                node.name, f"incompatible with {self._ps}; split SUB/SUPER"
+            )
+            return
+        # Central evaluation over a merge of whatever the child offers.
+        central_input = self._central_input(plan, producers)
+        op = plan.add_op(node.name, [central_input], plan.aggregator)
+        plan.producers[node.name] = [op.node_id]
+        self.report.record(node.name, "evaluated centrally")
+
+    def _place_join(self, plan: DistributedPlan, node: AnalyzedNode) -> None:
+        left_name, right_name = node.inputs
+        left_producers = plan.producers[left_name]
+        right_producers = plan.producers[right_name]
+        distributed = self._is_distributed(plan, left_producers) or (
+            self._is_distributed(plan, right_producers)
+        )
+        if distributed and self._compatible(node):
+            # Cluster producers with overlapping coverage first (see
+            # _coverage_clusters): after clustering, coverages within a
+            # side are disjoint, so the pair-wise matching is unambiguous.
+            left_ids = [
+                self._cluster_stream(plan, cluster)
+                for cluster in _coverage_clusters(plan, left_producers)
+            ]
+            if right_producers == left_producers:
+                right_ids = left_ids
+            else:
+                right_ids = [
+                    self._cluster_stream(plan, cluster)
+                    for cluster in _coverage_clusters(plan, right_producers)
+                ]
+            pairs, left_only, right_only = _match_producers(
+                plan, left_ids, right_ids
+            )
+            if pairs:
+                ops = [
+                    plan.add_op(
+                        node.name, [lid, rid], plan.node(lid).host
+                    ).node_id
+                    for lid, rid in pairs
+                ]
+                ops.extend(self._pad_unmatched(plan, node, left_only, "left"))
+                ops.extend(self._pad_unmatched(plan, node, right_only, "right"))
+                plan.producers[node.name] = ops
+                self.report.record(
+                    node.name,
+                    f"compatible with {self._ps}; pair-wise join on "
+                    f"{len(pairs)} producer pairs",
+                )
+                return
+        left_central = self._central_input(plan, left_producers)
+        right_central = self._central_input(plan, right_producers)
+        op = plan.add_op(node.name, [left_central, right_central], plan.aggregator)
+        plan.producers[node.name] = [op.node_id]
+        self.report.record(node.name, "join evaluated centrally")
+
+    def _place_union(self, plan: DistributedPlan, node: AnalyzedNode) -> None:
+        """A union's output is just the concatenation of its children's
+        producers — the merge happens wherever a consumer needs it."""
+        producers: List[str] = []
+        for child in node.inputs:
+            producers.extend(plan.producers[child])
+        plan.producers[node.name] = producers
+        self.report.record(node.name, "union flattened into producers")
+
+    def _pad_unmatched(
+        self,
+        plan: DistributedPlan,
+        node: AnalyzedNode,
+        unmatched: List[str],
+        side: str,
+    ) -> List[str]:
+        """§5.3: unmatched partitions are dropped for inner joins and
+        NULL-padded through a projection for the relevant outer joins."""
+        if not unmatched:
+            return []
+        keep = (
+            node.join_type in (JoinType.LEFT_OUTER, JoinType.FULL_OUTER)
+            if side == "left"
+            else node.join_type in (JoinType.RIGHT_OUTER, JoinType.FULL_OUTER)
+        )
+        if not keep:
+            return []
+        return [
+            plan.add_nullpad(pid, side, plan.node(pid).host, node.name).node_id
+            for pid in unmatched
+        ]
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _compatible(self, node: AnalyzedNode) -> bool:
+        return not self._ps.is_empty and is_compatible(
+            self._ps, node, self._dag, self._exclude_temporal
+        )
+
+    def _cluster_stream(self, plan: DistributedPlan, cluster: List[str]) -> str:
+        """A single stream for one coverage cluster: the lone producer, or
+        a local merge of the cluster's producers."""
+        if len(cluster) == 1:
+            return cluster[0]
+        host = plan.node(cluster[0]).host
+        return plan.add_merge(cluster, host).node_id
+
+    def _is_distributed(self, plan: DistributedPlan, producers: List[str]) -> bool:
+        """Whether a child's output still needs gathering: multiple
+        producers, or a single producer off the aggregator host."""
+        if len(producers) > 1:
+            return True
+        return plan.node(producers[0]).host != plan.aggregator
+
+    def _central_input(self, plan: DistributedPlan, producers: List[str]) -> str:
+        """A single central stream for a node evaluated on the aggregator."""
+        if len(producers) == 1 and plan.node(producers[0]).host == plan.aggregator:
+            return producers[0]
+        key = (tuple(producers), plan.aggregator)
+        cached = self._merge_cache.get(key)
+        if cached is not None:
+            return cached
+        merge_id = plan.add_merge(producers, plan.aggregator).node_id
+        self._merge_cache[key] = merge_id
+        return merge_id
+
+    def _deliver_roots(self, plan: DistributedPlan) -> None:
+        """Deliver requested query outputs to the aggregator host (the
+        monitoring application reads results there).  Defaults to the
+        DAG's root queries."""
+        names = (
+            self._deliver
+            if self._deliver is not None
+            else [root.name for root in self._dag.roots()]
+        )
+        for name in names:
+            producers = plan.producers[name]
+            plan.delivery[name] = self._central_input(plan, producers)
+
+
+def _coverage_clusters(plan: DistributedPlan, producers: List[str]) -> List[List[str]]:
+    """Group producers whose partition coverages overlap (union-find).
+
+    Tuples of one partition may flow through several producers (union
+    branches); stateful per-group operators must see all of them together.
+    """
+    clusters: List[List[str]] = []
+    covers: List[set] = []
+    for pid in producers:
+        coverage = set(plan.node(pid).partitions)
+        merged_into = None
+        for index in range(len(clusters)):
+            if covers[index] & coverage:
+                if merged_into is None:
+                    clusters[index].append(pid)
+                    covers[index] |= coverage
+                    merged_into = index
+                else:
+                    clusters[merged_into].extend(clusters[index])
+                    covers[merged_into] |= covers[index]
+                    clusters[index] = []
+                    covers[index] = set()
+        if merged_into is None:
+            clusters.append([pid])
+            covers.append(coverage)
+    return [cluster for cluster in clusters if cluster]
+
+
+def _match_producers(
+    plan: DistributedPlan, left: List[str], right: List[str]
+):
+    """Pair left/right producers covering identical partition sets.
+
+    For the common single-source (and self-join) case this is an exact
+    1:1 host-wise pairing; producers without a counterpart are returned
+    separately for outer-join NULL padding.
+    """
+    right_by_cover: Dict[frozenset, List[str]] = {}
+    for pid in right:
+        right_by_cover.setdefault(plan.node(pid).partitions, []).append(pid)
+    pairs = []
+    left_only = []
+    for pid in left:
+        cover = plan.node(pid).partitions
+        bucket = right_by_cover.get(cover)
+        if bucket:
+            # Self-joins pair a producer with itself, so do not pop when
+            # the same node id is on both sides.
+            if pid in bucket:
+                pairs.append((pid, pid))
+            else:
+                pairs.append((pid, bucket.pop(0)))
+                if not bucket:
+                    del right_by_cover[cover]
+        else:
+            left_only.append(pid)
+    right_only = [pid for bucket in right_by_cover.values() for pid in bucket]
+    # Self-join: every right producer also appeared on the left.
+    if left == right:
+        right_only = []
+    return pairs, left_only, right_only

@@ -1,0 +1,45 @@
+"""Runtime engine: aggregates, streaming operators, reference executor."""
+
+from .aggregates import (
+    AggregateFunction,
+    GroupAccumulator,
+    aggregate_impl,
+    is_splittable,
+    register_aggregate,
+    state_columns,
+    states_width,
+)
+from .executor import batches_equal, canonical, run_centralized
+from .operators import (
+    AggregateOp,
+    JoinOp,
+    MergeOp,
+    NullPadOp,
+    Operator,
+    SelectionOp,
+    SubAggregateOp,
+    SuperAggregateOp,
+    build_operator,
+)
+
+__all__ = [
+    "AggregateFunction",
+    "AggregateOp",
+    "GroupAccumulator",
+    "JoinOp",
+    "MergeOp",
+    "NullPadOp",
+    "Operator",
+    "SelectionOp",
+    "SubAggregateOp",
+    "SuperAggregateOp",
+    "aggregate_impl",
+    "batches_equal",
+    "build_operator",
+    "canonical",
+    "is_splittable",
+    "register_aggregate",
+    "run_centralized",
+    "state_columns",
+    "states_width",
+]

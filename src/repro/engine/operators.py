@@ -1,0 +1,344 @@
+"""Runtime operators over batches of rows.
+
+Rows are plain dicts keyed by column name.  Operators are pure: they take
+input batches and return output batches; CPU and network accounting happen
+in the cluster simulator based on tuple counts, so operator logic stays
+testable in isolation.
+
+Tumbling-window note: the engine processes a whole trace as one batch with
+temporal keys included in group/join keys.  For finite traces this yields
+exactly the union of all per-epoch tumbling-window results (each epoch's
+groups are disjoint by the temporal key), while keeping the operators
+simple; rates are recovered by dividing totals by the trace duration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..expr.evaluator import compile_expr, compile_key
+from ..expr.expressions import Attr
+from ..gsql.analyzer import AnalyzedNode, NodeKind
+from ..gsql.ast_nodes import JoinType
+from .aggregates import GroupAccumulator, aggregate_impl, state_columns
+
+Row = Dict[str, object]
+Batch = List[Row]
+
+
+class Operator:
+    """Base class: ``process`` consumes input batches, returns one batch."""
+
+    def process(self, *batches: Batch) -> Batch:
+        raise NotImplementedError
+
+
+class MergeOp(Operator):
+    """Stream union: concatenate all input batches (paper's merge node)."""
+
+    def process(self, *batches: Batch) -> Batch:
+        if len(batches) == 1:
+            return batches[0]
+        merged: Batch = []
+        for batch in batches:
+            merged.extend(batch)
+        return merged
+
+
+class SelectionOp(Operator):
+    """Selection/projection: WHERE filter plus computed output columns."""
+
+    def __init__(self, node: AnalyzedNode):
+        if node.kind is not NodeKind.SELECTION:
+            raise ValueError(f"{node.name} is not a selection node")
+        self._predicate = compile_expr(node.where) if node.where is not None else None
+        self._outputs = [
+            (column.name, compile_expr(expr))
+            for column, expr in zip(node.columns, node.select_exprs)
+        ]
+
+    def process(self, *batches: Batch) -> Batch:
+        (rows,) = batches
+        predicate = self._predicate
+        outputs = self._outputs
+        result: Batch = []
+        for row in rows:
+            if predicate is not None and not predicate(row):
+                continue
+            result.append({name: fn(row) for name, fn in outputs})
+        return result
+
+
+class AggregateOp(Operator):
+    """Tumbling-window group-by aggregation — FULL variant.
+
+    Groups on the (temporal + non-temporal) group-by expressions, folds
+    the aggregate calls, applies HAVING on the finished groups, and
+    projects the SELECT list.
+    """
+
+    def __init__(self, node: AnalyzedNode):
+        if node.kind is not NodeKind.AGGREGATION:
+            raise ValueError(f"{node.name} is not an aggregation node")
+        self._node = node
+        self._where = compile_expr(node.where) if node.where is not None else None
+        self._key = compile_key([g.expr for g in node.group_by])
+        self._gb_names = [g.name for g in node.group_by]
+        self._impls = [aggregate_impl(call.func) for call in node.aggregates]
+        self._args = [
+            compile_expr(call.arg) if call.arg is not None else None
+            for call in node.aggregates
+        ]
+        self._slots = [call.slot for call in node.aggregates]
+        self._having = compile_expr(node.having) if node.having is not None else None
+        self._outputs = [
+            (column.name, compile_expr(expr))
+            for column, expr in zip(node.columns, node.select_exprs)
+        ]
+
+    def process(self, *batches: Batch) -> Batch:
+        (rows,) = batches
+        groups = self._accumulate(rows)
+        return self._emit(groups)
+
+    def _accumulate(self, rows: Batch) -> Dict[tuple, GroupAccumulator]:
+        where = self._where
+        key_of = self._key
+        args = self._args
+        groups: Dict[tuple, GroupAccumulator] = {}
+        for row in rows:
+            if where is not None and not where(row):
+                continue
+            key = key_of(row)
+            accumulator = groups.get(key)
+            if accumulator is None:
+                accumulator = GroupAccumulator(self._impls)
+                groups[key] = accumulator
+            accumulator.update([arg(row) if arg is not None else None for arg in args])
+        return groups
+
+    def _emit(self, groups: Dict[tuple, GroupAccumulator]) -> Batch:
+        having = self._having
+        outputs = self._outputs
+        gb_names = self._gb_names
+        slots = self._slots
+        result: Batch = []
+        for key, accumulator in groups.items():
+            group_row: Row = dict(zip(gb_names, key))
+            group_row.update(zip(slots, accumulator.finals()))
+            if having is not None and not having(group_row):
+                continue
+            result.append({name: fn(group_row) for name, fn in outputs})
+        return result
+
+
+class SubAggregateOp(AggregateOp):
+    """SUB variant of partial aggregation (paper §5.2.2, Fig. 5).
+
+    Same grouping and WHERE as the full aggregate, but emits raw aggregate
+    *states* and never evaluates HAVING or the SELECT projection — those
+    need complete aggregate values and belong to the SUPER operator.
+    """
+
+    def __init__(self, node: AnalyzedNode):
+        super().__init__(node)
+        self._state_names = state_columns(node.aggregates)
+
+    def _emit(self, groups: Dict[tuple, GroupAccumulator]) -> Batch:
+        gb_names = self._gb_names
+        state_names = self._state_names
+        result: Batch = []
+        for key, accumulator in groups.items():
+            row: Row = dict(zip(gb_names, key))
+            row.update(zip(state_names, accumulator.states))
+            result.append(row)
+        return result
+
+
+class SuperAggregateOp(Operator):
+    """SUPER variant: merge partial states, finalize, HAVING, project."""
+
+    def __init__(self, node: AnalyzedNode):
+        if node.kind is not NodeKind.AGGREGATION:
+            raise ValueError(f"{node.name} is not an aggregation node")
+        self._gb_names = [g.name for g in node.group_by]
+        self._key = compile_key([Attr(name) for name in self._gb_names])
+        self._impls = [aggregate_impl(call.func) for call in node.aggregates]
+        self._slots = [call.slot for call in node.aggregates]
+        self._state_names = state_columns(node.aggregates)
+        self._having = compile_expr(node.having) if node.having is not None else None
+        self._outputs = [
+            (column.name, compile_expr(expr))
+            for column, expr in zip(node.columns, node.select_exprs)
+        ]
+
+    def process(self, *batches: Batch) -> Batch:
+        (rows,) = batches
+        key_of = self._key
+        state_names = self._state_names
+        groups: Dict[tuple, GroupAccumulator] = {}
+        for row in rows:
+            key = key_of(row)
+            accumulator = groups.get(key)
+            if accumulator is None:
+                accumulator = GroupAccumulator(self._impls)
+                groups[key] = accumulator
+            accumulator.merge_states([row[name] for name in state_names])
+        having = self._having
+        outputs = self._outputs
+        result: Batch = []
+        for key, accumulator in groups.items():
+            group_row: Row = dict(zip(self._gb_names, key))
+            group_row.update(zip(self._slots, accumulator.finals()))
+            if having is not None and not having(group_row):
+                continue
+            result.append({name: fn(group_row) for name, fn in outputs})
+        return result
+
+
+class JoinOp(Operator):
+    """Two-way equi-join with tumbling-window semantics (inner and outer).
+
+    Builds a hash table on the right input keyed by the right-side join
+    expressions, probes with the left input, applies the residual
+    predicate, and projects the SELECT list over the merged, qualified row
+    (columns named ``alias.column``).
+    """
+
+    def __init__(self, node: AnalyzedNode):
+        if node.kind is not NodeKind.JOIN:
+            raise ValueError(f"{node.name} is not a join node")
+        self._node = node
+        left_alias, right_alias = node.input_aliases
+        self._left_alias = left_alias
+        self._right_alias = right_alias
+        self._left_key = compile_key([eq.left for eq in node.equalities])
+        self._right_key = compile_key([eq.right for eq in node.equalities])
+        self._residual = (
+            compile_expr(node.residual) if node.residual is not None else None
+        )
+        self._outputs = [
+            (column.name, compile_expr(expr))
+            for column, expr in zip(node.columns, node.select_exprs)
+        ]
+        self._join_type = node.join_type
+        self._left_columns = _input_columns(node, 0)
+        self._right_columns = _input_columns(node, 1)
+
+    def process(self, *batches: Batch) -> Batch:
+        left_rows, right_rows = batches
+        right_index: Dict[tuple, List[Row]] = {}
+        for row in right_rows:
+            right_index.setdefault(self._right_key(row), []).append(row)
+        result: Batch = []
+        matched_right = set()
+        for left_row in left_rows:
+            key = self._left_key(left_row)
+            matches = right_index.get(key)
+            found = False
+            if matches:
+                for right_row in matches:
+                    merged = self._merge(left_row, right_row)
+                    if self._residual is not None and not self._residual(merged):
+                        continue
+                    found = True
+                    matched_right.add(id(right_row))
+                    result.append(self._project(merged))
+            if not found and self._join_type in (
+                JoinType.LEFT_OUTER,
+                JoinType.FULL_OUTER,
+            ):
+                result.append(self._project(self._merge(left_row, None)))
+        if self._join_type in (JoinType.RIGHT_OUTER, JoinType.FULL_OUTER):
+            for row in right_rows:
+                if id(row) not in matched_right:
+                    result.append(self._project(self._merge(None, row)))
+        return result
+
+    def _merge(self, left_row: Optional[Row], right_row: Optional[Row]) -> Row:
+        merged: Row = {}
+        left_schema = self._left_columns
+        right_schema = self._right_columns
+        if left_row is not None:
+            for name in left_row:
+                merged[f"{self._left_alias}.{name}"] = left_row[name]
+        else:
+            for name in left_schema:
+                merged[f"{self._left_alias}.{name}"] = None
+        if right_row is not None:
+            for name in right_row:
+                merged[f"{self._right_alias}.{name}"] = right_row[name]
+        else:
+            for name in right_schema:
+                merged[f"{self._right_alias}.{name}"] = None
+        return merged
+
+    def _project(self, merged: Row) -> Row:
+        out: Row = {}
+        for name, fn in self._outputs:
+            try:
+                out[name] = fn(merged)
+            except TypeError:
+                out[name] = None  # NULL arithmetic from outer-join padding
+        return out
+
+
+class NullPadOp(Operator):
+    """Outer-join padding for an unmatched partition (paper §5.3).
+
+    Wraps one side's rows as if joined against an all-NULL opposite side
+    and applies the join's projection, so the padded rows can be merged
+    with the pair-wise join results.
+    """
+
+    def __init__(self, node: AnalyzedNode, side: str):
+        if side not in ("left", "right"):
+            raise ValueError("side must be 'left' or 'right'")
+        self._join = JoinOp(node)
+        self._side = side
+
+    def process(self, *batches: Batch) -> Batch:
+        (rows,) = batches
+        join = self._join
+        if self._side == "left":
+            return [join._project(join._merge(row, None)) for row in rows]
+        return [join._project(join._merge(None, row)) for row in rows]
+
+
+def _input_columns(node: AnalyzedNode, index: int) -> List[str]:
+    """Column names of a join input, for NULL padding.
+
+    Derived from the equalities and outputs actually referenced, which is
+    sufficient because padding only needs keys present in the merged row.
+    """
+    alias = node.input_aliases[index]
+    prefix = alias + "."
+    names = set()
+    for expr_list in ([c for c in node.select_exprs], [e.left for e in node.equalities]):
+        for expr in expr_list:
+            for attr in expr.attrs():
+                if attr.startswith(prefix):
+                    names.add(attr[len(prefix):])
+    for eq in node.equalities:
+        for attr in (eq.left if index == 0 else eq.right).attrs():
+            names.add(attr)
+    return sorted(names)
+
+
+def build_operator(node: AnalyzedNode, variant: str = "full") -> Operator:
+    """Factory: the right operator for an analyzed node and variant."""
+    if node.kind is NodeKind.SELECTION:
+        return SelectionOp(node)
+    if node.kind is NodeKind.AGGREGATION:
+        if variant == "full":
+            return AggregateOp(node)
+        if variant == "sub":
+            return SubAggregateOp(node)
+        if variant == "super":
+            return SuperAggregateOp(node)
+        raise ValueError(f"unknown aggregation variant {variant!r}")
+    if node.kind is NodeKind.JOIN:
+        return JoinOp(node)
+    if node.kind is NodeKind.UNION:
+        return MergeOp()
+    raise ValueError(f"no operator for node kind {node.kind!r}")

@@ -1,0 +1,51 @@
+"""Canonical scalar expressions, refinement analysis, and evaluation."""
+
+from .analysis import (
+    equivalent,
+    is_function_of,
+    is_function_of_any,
+    reconcile,
+    single_attr,
+)
+from .evaluator import compile_expr, compile_key, evaluate
+from .expressions import (
+    Attr,
+    Binary,
+    Const,
+    Func,
+    ScalarExpr,
+    Unary,
+    attr,
+    binary,
+    const,
+    div,
+    from_ast,
+    mask,
+    parse_scalar,
+    unary,
+)
+
+__all__ = [
+    "Attr",
+    "Binary",
+    "Const",
+    "Func",
+    "ScalarExpr",
+    "Unary",
+    "attr",
+    "binary",
+    "const",
+    "div",
+    "equivalent",
+    "from_ast",
+    "is_function_of",
+    "is_function_of_any",
+    "mask",
+    "parse_scalar",
+    "reconcile",
+    "single_attr",
+    "unary",
+    "compile_expr",
+    "compile_key",
+    "evaluate",
+]

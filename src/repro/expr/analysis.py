@@ -1,0 +1,189 @@
+"""Refinement analysis over canonical scalar expressions.
+
+Two relations drive the whole partitioning framework:
+
+``is_function_of(e, g)``
+    Does there exist a function ``f`` with ``e(x) == f(g(x))`` for all
+    tuples ``x``?  If so, partitioning by ``e`` never separates two tuples
+    that agree on ``g`` — i.e. ``e`` is a legal partitioning expression for
+    a query grouping by ``g``.  (Paper section 3.5: a compatible
+    partitioning set is ``{se(gb_var_1), ..., se(gb_var_n)}``.)
+
+``reconcile(e1, e2)``
+    The "least common denominator" of section 4.1: the *finest* expression
+    that is simultaneously a function of ``e1`` and of ``e2`` — e.g.
+    ``reconcile(time/60, time/90) == time/180`` and
+    ``reconcile(srcIP, srcIP & 0xFFF0) == srcIP & 0xFFF0``.  Returns
+    ``None`` when only the degenerate constant expression qualifies.
+
+The decision procedure is sound but (necessarily) incomplete: it may answer
+"no" for exotic expression pairs that are in fact related.  Soundness is
+what correctness of the distributed plans depends on; completeness only
+affects how often the optimizer falls back to centralized evaluation, which
+matches the paper's expectation that "simple analyses ... suffice for most
+cases".
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import Iterable, Optional, Tuple
+
+from .expressions import Attr, Binary, Const, Func, ScalarExpr, Unary, binary
+
+
+def is_function_of(expr: ScalarExpr, basis: ScalarExpr) -> bool:
+    """True when ``expr`` is computable from the value of ``basis`` alone."""
+    # A constant is a function of anything.
+    if isinstance(expr, Const):
+        return True
+    # Identity.
+    if expr == basis:
+        return True
+    # Anything built only from the raw attribute `a` is a function of `a`.
+    if isinstance(basis, Attr):
+        return expr.attrs() <= basis.attrs()
+    # Mask refinement: (a & m_e) is a function of (a & m_g) iff the bits of
+    # m_e are a subset of the bits of m_g.
+    mask_e = _as_mask(expr)
+    mask_g = _as_mask(basis)
+    if mask_e is not None and mask_g is not None:
+        attr_e, bits_e = mask_e
+        attr_g, bits_g = mask_g
+        if attr_e == attr_g and bits_e & ~bits_g == 0:
+            return True
+    # Division refinement: (a / d_e) is a function of (a / d_g) iff d_g
+    # divides d_e: a//d_e == (a//d_g) // (d_e//d_g) for unsigned a.
+    div_e = _as_div(expr)
+    div_g = _as_div(basis)
+    if div_e is not None and div_g is not None:
+        attr_e, d_e = div_e
+        attr_g, d_g = div_g
+        if attr_e == attr_g and d_e % d_g == 0:
+            return True
+    # Modulo refinement: (a % k_e) is a function of (a % k_g) iff k_e
+    # divides k_g: (a mod k_g) mod k_e == a mod k_e when k_e | k_g.
+    mod_e = _as_mod(expr)
+    mod_g = _as_mod(basis)
+    if mod_e is not None and mod_g is not None:
+        attr_e, k_e = mod_e
+        attr_g, k_g = mod_g
+        if attr_e == attr_g and k_g % k_e == 0:
+            return True
+    # Composition with constants: if e = (e' op const) or (const op e') and
+    # e' is a function of basis, then e is too.
+    if isinstance(expr, Binary):
+        if isinstance(expr.right, Const) and is_function_of(expr.left, basis):
+            return True
+        if isinstance(expr.left, Const) and is_function_of(expr.right, basis):
+            return True
+    if isinstance(expr, Unary):
+        return is_function_of(expr.operand, basis)
+    if isinstance(expr, Func):
+        return all(is_function_of(arg, basis) for arg in expr.args)
+    return False
+
+
+def is_function_of_any(expr: ScalarExpr, bases: Iterable[ScalarExpr]) -> bool:
+    """True when ``expr`` is a function of at least one of ``bases``.
+
+    This is the per-expression compatibility test: each member of a
+    partitioning set must be derivable from *some* group-by (or join-key)
+    expression of the query.
+    """
+    return any(is_function_of(expr, basis) for basis in bases)
+
+
+def reconcile(e1: ScalarExpr, e2: ScalarExpr) -> Optional[ScalarExpr]:
+    """Finest expression that is a function of both ``e1`` and ``e2``.
+
+    Returns ``None`` when no useful (non-constant) common coarsening is
+    found.  The relation is symmetric.
+    """
+    if e1.attrs() != e2.attrs() or not e1.attrs():
+        return None
+    if is_function_of(e1, e2):
+        return e1
+    if is_function_of(e2, e1):
+        return e2
+    mask1, mask2 = _as_mask(e1), _as_mask(e2)
+    if mask1 is not None and mask2 is not None and mask1[0] == mask2[0]:
+        bits = mask1[1] & mask2[1]
+        if bits == 0:
+            return None
+        return binary("&", Attr(mask1[0]), Const(bits))
+    div1, div2 = _as_div(e1), _as_div(e2)
+    if div1 is not None and div2 is not None and div1[0] == div2[0]:
+        lcm = div1[1] * div2[1] // gcd(div1[1], div2[1])
+        return binary("/", Attr(div1[0]), Const(lcm))
+    mod1, mod2 = _as_mod(e1), _as_mod(e2)
+    if mod1 is not None and mod2 is not None and mod1[0] == mod2[0]:
+        common = gcd(mod1[1], mod2[1])
+        if common <= 1:
+            return None  # a % 1 is constant — useless for partitioning
+        return binary("%", Attr(mod1[0]), Const(common))
+    return None
+
+
+def equivalent(e1: ScalarExpr, e2: ScalarExpr) -> bool:
+    """True when each expression is a function of the other.
+
+    Equivalent expressions induce the same partition refinement even if
+    they are not structurally identical.
+    """
+    return is_function_of(e1, e2) and is_function_of(e2, e1)
+
+
+def single_attr(expr: ScalarExpr) -> Optional[str]:
+    """The sole base attribute of ``expr``, or None if it has 0 or >1."""
+    attrs = expr.attrs()
+    if len(attrs) == 1:
+        return next(iter(attrs))
+    return None
+
+
+def _as_mask(expr: ScalarExpr) -> Optional[Tuple[str, int]]:
+    """Match ``Attr & const-int`` and return (attribute, mask bits)."""
+    if (
+        isinstance(expr, Binary)
+        and expr.op == "&"
+        and isinstance(expr.left, Attr)
+        and isinstance(expr.right, Const)
+        and isinstance(expr.right.value, int)
+    ):
+        return expr.left.name, expr.right.value
+    return None
+
+
+def _as_mod(expr: ScalarExpr) -> Optional[Tuple[str, int]]:
+    """Match ``Attr % const-int`` (modulus > 0) and return (attribute, k)."""
+    if (
+        isinstance(expr, Binary)
+        and expr.op == "%"
+        and isinstance(expr.left, Attr)
+        and isinstance(expr.right, Const)
+        and isinstance(expr.right.value, int)
+        and expr.right.value > 0
+    ):
+        return expr.left.name, expr.right.value
+    return None
+
+
+def _as_div(expr: ScalarExpr) -> Optional[Tuple[str, int]]:
+    """Match ``Attr / const-int`` (divisor > 0) and return (attribute, d).
+
+    A bare ``Attr`` matches as divisor 1, which lets the divisor rules
+    treat ``time`` and ``time/60`` uniformly.
+    """
+    if isinstance(expr, Attr):
+        return expr.name, 1
+    if (
+        isinstance(expr, Binary)
+        and expr.op == "/"
+        and isinstance(expr.left, Attr)
+        and isinstance(expr.right, Const)
+        and isinstance(expr.right.value, int)
+        and expr.right.value > 0
+    ):
+        return expr.left.name, expr.right.value
+    return None

@@ -1,0 +1,106 @@
+"""Compile canonical scalar expressions to Python callables over rows.
+
+Rows are plain dicts mapping attribute names to values.  Compilation
+returns a closure rather than interpreting the tree per tuple, which keeps
+per-tuple overhead low in the simulator's hot loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping
+
+from .expressions import Attr, Binary, Const, Func, ScalarExpr, Unary
+
+Row = Mapping[str, object]
+Evaluator = Callable[[Row], object]
+
+
+def _int_div(left, right):
+    """GSQL division: floor division for ints, true division for floats."""
+    if isinstance(left, float) or isinstance(right, float):
+        return left / right
+    return left // right
+
+
+_BINARY_OPS: Dict[str, Callable] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": _int_div,
+    "%": lambda a, b: a % b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+}
+
+_SCALAR_FUNCS: Dict[str, Callable] = {
+    "ABS": abs,
+    "MIN2": min,
+    "MAX2": max,
+    # Predicate functions produced by the analyzer when converting WHERE /
+    # HAVING clauses: comparisons and boolean connectives become ordinary
+    # (truth-valued) scalar functions.
+    "EQ": lambda a, b: a == b,
+    "NE": lambda a, b: a != b,
+    "LT": lambda a, b: a < b,
+    "LE": lambda a, b: a <= b,
+    "GT": lambda a, b: a > b,
+    "GE": lambda a, b: a >= b,
+    "AND": lambda a, b: bool(a) and bool(b),
+    "OR": lambda a, b: bool(a) or bool(b),
+    "NOT": lambda a: not a,
+    # Membership test produced by GSQL's IN lists.
+    "IN": lambda x, *values: x in values,
+    # Opaque string literal marker (hashed by the analyzer).
+    "LITERAL": lambda h: h,
+}
+
+
+def compile_expr(expr: ScalarExpr) -> Evaluator:
+    """Compile ``expr`` into a function ``row -> value``."""
+    if isinstance(expr, Const):
+        value = expr.value
+        return lambda row: value
+    if isinstance(expr, Attr):
+        name = expr.name
+        return lambda row: row[name]
+    if isinstance(expr, Binary):
+        op = _BINARY_OPS[expr.op]
+        left = compile_expr(expr.left)
+        right = compile_expr(expr.right)
+        return lambda row: op(left(row), right(row))
+    if isinstance(expr, Unary):
+        operand = compile_expr(expr.operand)
+        if expr.op == "-":
+            return lambda row: -operand(row)
+        if expr.op == "~":
+            return lambda row: ~operand(row)
+        raise ValueError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, Func):
+        try:
+            func = _SCALAR_FUNCS[expr.name]
+        except KeyError:
+            raise ValueError(f"unknown scalar function {expr.name!r}") from None
+        args = [compile_expr(arg) for arg in expr.args]
+        return lambda row: func(*(arg(row) for arg in args))
+    raise TypeError(f"cannot compile {expr!r}")
+
+
+def compile_key(exprs) -> Callable[[Row], tuple]:
+    """Compile a sequence of expressions into a tuple-valued key function.
+
+    Used both by the hash splitter (partition key) and by the aggregation
+    operator (group key).
+    """
+    evaluators = [compile_expr(expr) for expr in exprs]
+    if len(evaluators) == 1:
+        single = evaluators[0]
+        return lambda row: (single(row),)
+    return lambda row: tuple(evaluator(row) for evaluator in evaluators)
+
+
+def evaluate(expr: ScalarExpr, row: Row):
+    """One-shot evaluation (convenience for tests)."""
+    return compile_expr(expr)(row)

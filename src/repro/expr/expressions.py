@@ -1,0 +1,283 @@
+"""Canonical scalar expressions over source-stream attributes.
+
+Partitioning sets (paper section 3.3) are tuples of scalar expressions such
+as ``srcIP & 0xFFF0`` or ``time/60``.  The analysis framework needs to
+compare and combine such expressions structurally, so this module defines a
+small canonical expression language with aggressive normalization:
+
+* constants fold (``2*30`` becomes ``60``);
+* nested masks collapse (``(a & m1) & m2`` becomes ``a & (m1 & m2)``);
+* nested integer divisions compose (``(a/60)/3`` becomes ``a/180``);
+* right-shifts rewrite to divisions by powers of two;
+* commutative operators put the constant on the right.
+
+Normalization makes the refinement test in :mod:`repro.expr.analysis`
+mostly a matter of structural pattern matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple, Union
+
+Number = Union[int, float]
+
+
+class ScalarExpr:
+    """Base class for canonical scalar expressions.
+
+    Instances are immutable, hashable, and compare structurally, so they
+    can be used directly as members of partitioning sets.
+    """
+
+    def attrs(self) -> FrozenSet[str]:
+        """The set of base stream attributes this expression reads."""
+        raise NotImplementedError
+
+    def children(self) -> Tuple["ScalarExpr", ...]:
+        return ()
+
+    def walk(self):
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass(frozen=True)
+class Attr(ScalarExpr):
+    """A reference to a base attribute of the source stream."""
+
+    name: str
+
+    def attrs(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(ScalarExpr):
+    """A numeric constant."""
+
+    value: Number
+
+    def attrs(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        if isinstance(self.value, int) and self.value > 255:
+            return hex(self.value)
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Binary(ScalarExpr):
+    """A binary operation; ``op`` is one of + - * / % & | ^ << >>.
+
+    ``/`` denotes integer (floor) division when both operands are ints,
+    matching GSQL's ``time/60`` epoch arithmetic.
+    """
+
+    op: str
+    left: ScalarExpr
+    right: ScalarExpr
+
+    def attrs(self) -> FrozenSet[str]:
+        return self.left.attrs() | self.right.attrs()
+
+    def children(self) -> Tuple[ScalarExpr, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Unary(ScalarExpr):
+    """A unary operation: ``-`` or ``~``."""
+
+    op: str
+    operand: ScalarExpr
+
+    def attrs(self) -> FrozenSet[str]:
+        return self.operand.attrs()
+
+    def children(self) -> Tuple[ScalarExpr, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"{self.op}{self.operand}"
+
+
+@dataclass(frozen=True)
+class Func(ScalarExpr):
+    """An opaque scalar function application (treated atomically)."""
+
+    name: str
+    args: Tuple[ScalarExpr, ...]
+
+    def attrs(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for arg in self.args:
+            result |= arg.attrs()
+        return result
+
+    def children(self) -> Tuple[ScalarExpr, ...]:
+        return self.args
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+
+_COMMUTATIVE = frozenset({"+", "*", "&", "|", "^"})
+
+
+def _apply(op: str, left: Number, right: Number) -> Number:
+    """Evaluate a binary operator on two constants (GSQL semantics)."""
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if isinstance(left, float) or isinstance(right, float):
+            return left / right
+        return left // right
+    if op == "%":
+        return left % right
+    if op == "&":
+        return left & right
+    if op == "|":
+        return left | right
+    if op == "^":
+        return left ^ right
+    if op == "<<":
+        return left << right
+    if op == ">>":
+        return left >> right
+    raise ValueError(f"unknown operator {op!r}")
+
+
+def binary(op: str, left: ScalarExpr, right: ScalarExpr) -> ScalarExpr:
+    """Smart constructor: build ``left op right`` in normal form."""
+    # Constant folding.
+    if isinstance(left, Const) and isinstance(right, Const):
+        return Const(_apply(op, left.value, right.value))
+    # Keep constants on the right of commutative operators.
+    if op in _COMMUTATIVE and isinstance(left, Const):
+        left, right = right, left
+    # Right shift by a constant is division by a power of two (for the
+    # unsigned network fields GSQL works with).
+    if op == ">>" and isinstance(right, Const) and isinstance(right.value, int):
+        return binary("/", left, Const(1 << right.value))
+    if isinstance(right, Const):
+        folded = _fold_with_constant(op, left, right)
+        if folded is not None:
+            return folded
+    return Binary(op, left, right)
+
+
+def _fold_with_constant(op: str, left: ScalarExpr, right: Const) -> ScalarExpr:
+    """Normalizations applicable when the right operand is a constant."""
+    value = right.value
+    # Identity elements.
+    if op in ("+", "-") and value == 0:
+        return left
+    if op in ("*", "/") and value == 1:
+        return left
+    if op == "&" and value == 0:
+        return Const(0)
+    if op == "|" and value == 0:
+        return left
+    # Collapse nested masks: (x & m1) & m2 == x & (m1 & m2).
+    if op == "&" and isinstance(left, Binary) and left.op == "&":
+        if isinstance(left.right, Const):
+            return binary("&", left.left, Const(left.right.value & value))
+    # Compose nested integer divisions: (x / d1) / d2 == x / (d1 * d2)
+    # (exact for non-negative x and positive divisors — GSQL time and
+    # network fields are unsigned).
+    if op == "/" and isinstance(left, Binary) and left.op == "/":
+        if (
+            isinstance(left.right, Const)
+            and isinstance(left.right.value, int)
+            and isinstance(value, int)
+            and left.right.value > 0
+            and value > 0
+        ):
+            return binary("/", left.left, Const(left.right.value * value))
+    return None
+
+
+def unary(op: str, operand: ScalarExpr) -> ScalarExpr:
+    """Smart constructor for unary operators with constant folding."""
+    if isinstance(operand, Const):
+        if op == "-":
+            return Const(-operand.value)
+        if op == "~":
+            return Const(~operand.value)
+    return Unary(op, operand)
+
+
+def attr(name: str) -> Attr:
+    return Attr(name)
+
+
+def const(value: Number) -> Const:
+    return Const(value)
+
+
+def mask(attribute: Union[str, ScalarExpr], bits: int) -> ScalarExpr:
+    """Shorthand for ``attribute & bits`` (the subnet-mask idiom)."""
+    base = Attr(attribute) if isinstance(attribute, str) else attribute
+    return binary("&", base, Const(bits))
+
+
+def div(attribute: Union[str, ScalarExpr], divisor: int) -> ScalarExpr:
+    """Shorthand for ``attribute / divisor`` (the epoch idiom, time/60)."""
+    base = Attr(attribute) if isinstance(attribute, str) else attribute
+    return binary("/", base, Const(divisor))
+
+
+def from_ast(node, resolve_attr=None) -> ScalarExpr:
+    """Convert a parse-level AST expression into a canonical ScalarExpr.
+
+    ``resolve_attr`` maps a parse-level :class:`~repro.gsql.ast_nodes.ColumnRef`
+    to an attribute name (or to a full ScalarExpr, enabling lineage
+    substitution); by default the unqualified column name is used.
+    """
+    from ..gsql import ast_nodes as ast
+
+    if isinstance(node, ast.ColumnRef):
+        if resolve_attr is None:
+            return Attr(node.name)
+        resolved = resolve_attr(node)
+        if isinstance(resolved, ScalarExpr):
+            return resolved
+        return Attr(resolved)
+    if isinstance(node, ast.NumberLit):
+        return Const(node.value)
+    if isinstance(node, ast.BoolLit):
+        return Const(1 if node.value else 0)
+    if isinstance(node, ast.BinaryOp):
+        left = from_ast(node.left, resolve_attr)
+        right = from_ast(node.right, resolve_attr)
+        return binary(node.op, left, right)
+    if isinstance(node, ast.UnaryOp):
+        return unary(node.op, from_ast(node.operand, resolve_attr))
+    if isinstance(node, ast.FuncCall):
+        args = tuple(from_ast(arg, resolve_attr) for arg in node.args)
+        return Func(node.name, args)
+    raise TypeError(f"cannot canonicalize AST node {node!r}")
+
+
+def parse_scalar(text: str) -> ScalarExpr:
+    """Parse GSQL expression text straight into a canonical ScalarExpr.
+
+    Convenient for writing partitioning sets in tests and examples:
+    ``parse_scalar("srcIP & 0xFFF0")``.
+    """
+    from ..gsql.parser import parse_expression
+
+    return from_ast(parse_expression(text))

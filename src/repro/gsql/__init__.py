@@ -1,0 +1,36 @@
+"""GSQL front end: lexer, parser, schemas, catalog, semantic analyzer."""
+
+from .ast_nodes import DefineStmt, JoinType, SelectStmt, UnionStmt
+from .errors import (
+    DuplicateDefinitionError,
+    GsqlError,
+    LexError,
+    ParseError,
+    SemanticError,
+    UnknownColumnError,
+    UnknownStreamError,
+)
+from .parser import parse_expression, parse_query, parse_script
+from .schema import Column, Ordering, StreamSchema, packet_schema, tcp_schema
+
+__all__ = [
+    "Column",
+    "DefineStmt",
+    "DuplicateDefinitionError",
+    "GsqlError",
+    "JoinType",
+    "LexError",
+    "Ordering",
+    "ParseError",
+    "SelectStmt",
+    "SemanticError",
+    "StreamSchema",
+    "UnionStmt",
+    "UnknownColumnError",
+    "UnknownStreamError",
+    "packet_schema",
+    "parse_expression",
+    "parse_query",
+    "parse_script",
+    "tcp_schema",
+]

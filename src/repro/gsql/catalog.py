@@ -1,0 +1,188 @@
+"""The catalog: registered streams and named queries forming a DAG.
+
+Queries reference either base streams or previously-defined queries by
+name, exactly as in the paper's flows / heavy_flows / flow_pairs example
+(section 3.2).  Analysis happens eagerly at definition time, so a script's
+definition order must respect dependencies — which any readable script does
+anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..expr import expressions as xp
+from . import ast_nodes as ast
+from .analyzer import AnalyzedNode, Analyzer, NodeKind, OutputColumn
+from .errors import DuplicateDefinitionError, SemanticError, UnknownStreamError
+from .parser import parse_query, parse_script
+from .schema import StreamSchema
+
+Params = Dict[str, Union[int, float]]
+
+
+class Catalog:
+    """Holds stream schemas and analyzed query nodes."""
+
+    def __init__(self):
+        self._streams: Dict[str, StreamSchema] = {}
+        self._nodes: Dict[str, AnalyzedNode] = {}
+        self._order: List[str] = []
+        self._analyzer = Analyzer(self._resolve_input)
+
+    # -- registration ---------------------------------------------------------
+
+    def add_stream(self, schema: StreamSchema) -> None:
+        """Register a base input stream."""
+        if schema.name in self._streams or schema.name in self._nodes:
+            raise DuplicateDefinitionError(schema.name)
+        self._streams[schema.name] = schema
+
+    def define_query(
+        self, name: str, sql: str, params: Optional[Params] = None
+    ) -> AnalyzedNode:
+        """Parse, substitute parameters, analyze and register one query.
+
+        ``params`` maps ``#MACRO#`` placeholders (as in the paper's
+        ``HAVING OR_AGGR(flags) = #PATTERN#``) to literal values.
+        """
+        statement = parse_query(sql)
+        return self.define_parsed(name, statement, params)
+
+    def define_parsed(
+        self, name: str, statement, params: Optional[Params] = None
+    ) -> AnalyzedNode:
+        """Register an already-parsed statement under ``name``."""
+        if name in self._nodes or name in self._streams:
+            raise DuplicateDefinitionError(name)
+        if params:
+            statement = substitute_params(statement, params)
+        produced = self._analyzer.analyze(name, statement)
+        for node in produced:
+            if node.name in self._nodes:
+                raise DuplicateDefinitionError(node.name)
+            self._nodes[node.name] = node
+            self._order.append(node.name)
+        return produced[-1]
+
+    def load_script(self, text: str, params: Optional[Params] = None) -> List[AnalyzedNode]:
+        """Load a semicolon-separated script of DEFINE QUERY statements.
+
+        Bare (un-named) queries receive generated names ``query_0`` ...
+        Returns the root node of each statement, in script order.
+        """
+        roots: List[AnalyzedNode] = []
+        anonymous = 0
+        for statement in parse_script(text):
+            if isinstance(statement, ast.DefineStmt):
+                roots.append(self.define_parsed(statement.name, statement.body, params))
+            else:
+                roots.append(
+                    self.define_parsed(f"query_{anonymous}", statement, params)
+                )
+                anonymous += 1
+        return roots
+
+    # -- lookup ---------------------------------------------------------------
+
+    def node(self, name: str) -> AnalyzedNode:
+        """The analyzed node (query or synthesized source) called ``name``."""
+        if name in self._nodes:
+            return self._nodes[name]
+        if name in self._streams:
+            return self._source_node(name)
+        raise UnknownStreamError(name, self.known_names())
+
+    def nodes(self) -> List[AnalyzedNode]:
+        """All analyzed query nodes, in definition order."""
+        return [self._nodes[name] for name in self._order]
+
+    def streams(self) -> List[StreamSchema]:
+        return list(self._streams.values())
+
+    def stream(self, name: str) -> StreamSchema:
+        try:
+            return self._streams[name]
+        except KeyError:
+            raise UnknownStreamError(name, list(self._streams)) from None
+
+    def known_names(self) -> List[str]:
+        return list(self._streams) + list(self._nodes)
+
+    def roots(self) -> List[AnalyzedNode]:
+        """Query nodes no other query consumes — the user-facing outputs."""
+        consumed = set()
+        for node in self._nodes.values():
+            consumed.update(node.inputs)
+        return [node for node in self.nodes() if node.name not in consumed]
+
+    # -- internals ------------------------------------------------------------
+
+    def _resolve_input(self, name: str) -> AnalyzedNode:
+        if name in self._nodes:
+            return self._nodes[name]
+        if name in self._streams:
+            return self._source_node(name)
+        raise UnknownStreamError(name, self.known_names())
+
+    def _source_node(self, name: str) -> AnalyzedNode:
+        schema = self._streams[name]
+        columns = [
+            OutputColumn(col.name, col.ctype, xp.Attr(col.name), col.is_temporal)
+            for col in schema
+        ]
+        return AnalyzedNode(
+            name=name,
+            kind=NodeKind.SOURCE,
+            inputs=[],
+            schema=schema,
+            columns=columns,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Parameter (#MACRO#) substitution over parse ASTs
+# ---------------------------------------------------------------------------
+
+
+def substitute_params(statement, params: Params):
+    """Replace ``#MACRO#`` column references with literal values."""
+
+    def sub_expr(node: ast.Expr) -> ast.Expr:
+        if isinstance(node, ast.ColumnRef) and node.qualifier is None:
+            if node.name.startswith("#") and node.name.endswith("#"):
+                try:
+                    value = params[node.name]
+                except KeyError:
+                    raise SemanticError(
+                        f"no value supplied for macro {node.name}"
+                    ) from None
+                return ast.NumberLit(value)
+            return node
+        if isinstance(node, ast.BinaryOp):
+            return ast.BinaryOp(node.op, sub_expr(node.left), sub_expr(node.right))
+        if isinstance(node, ast.UnaryOp):
+            return ast.UnaryOp(node.op, sub_expr(node.operand))
+        if isinstance(node, ast.FuncCall):
+            return ast.FuncCall(node.name, tuple(sub_expr(a) for a in node.args))
+        return node
+
+    def sub_select(stmt: ast.SelectStmt) -> ast.SelectStmt:
+        return ast.SelectStmt(
+            items=[ast.SelectItem(sub_expr(i.expr), i.alias) for i in stmt.items],
+            tables=stmt.tables,
+            where=sub_expr(stmt.where) if stmt.where is not None else None,
+            group_by=[
+                ast.GroupByItem(sub_expr(g.expr), g.alias) for g in stmt.group_by
+            ],
+            having=sub_expr(stmt.having) if stmt.having is not None else None,
+            join_type=stmt.join_type,
+        )
+
+    if isinstance(statement, ast.SelectStmt):
+        return sub_select(statement)
+    if isinstance(statement, ast.UnionStmt):
+        return ast.UnionStmt([sub_select(s) for s in statement.selects])
+    if isinstance(statement, ast.DefineStmt):
+        return ast.DefineStmt(statement.name, substitute_params(statement.body, params))
+    raise SemanticError(f"cannot substitute parameters in {type(statement)!r}")

@@ -1,0 +1,67 @@
+"""Error hierarchy for the GSQL front end.
+
+All errors raised while turning GSQL text into an analyzed query DAG derive
+from :class:`GsqlError`, so callers can catch a single exception type at the
+API boundary while tests can assert on the precise failure class.
+"""
+
+from __future__ import annotations
+
+
+class GsqlError(Exception):
+    """Base class for every error produced by the GSQL front end."""
+
+
+class LexError(GsqlError):
+    """Raised when the tokenizer encounters an unrecognized character."""
+
+    def __init__(self, message: str, position: int, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+class ParseError(GsqlError):
+    """Raised when the token stream does not form a valid GSQL statement."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SemanticError(GsqlError):
+    """Raised when a syntactically valid query violates schema or typing rules.
+
+    Examples: referencing an unknown stream or column, grouping by an
+    aggregate, a join without a temporal equality predicate, or a HAVING
+    clause on a non-aggregation query.
+    """
+
+
+class UnknownStreamError(SemanticError):
+    """Raised when a FROM clause references a stream or view never defined."""
+
+    def __init__(self, name: str, known: list):
+        known_names = ", ".join(sorted(known)) or "<none>"
+        super().__init__(f"unknown stream or query {name!r}; known: {known_names}")
+        self.name = name
+
+
+class UnknownColumnError(SemanticError):
+    """Raised when an expression references a column absent from its scope."""
+
+    def __init__(self, name: str, scope: list):
+        visible = ", ".join(sorted(scope)) or "<none>"
+        super().__init__(f"unknown column {name!r}; visible columns: {visible}")
+        self.name = name
+
+
+class DuplicateDefinitionError(SemanticError):
+    """Raised when a stream or named query is registered twice."""
+
+    def __init__(self, name: str):
+        super().__init__(f"duplicate definition of {name!r}")
+        self.name = name

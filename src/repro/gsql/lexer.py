@@ -1,0 +1,229 @@
+"""Tokenizer for GSQL query text.
+
+Supports the subset of SQL the paper uses: SELECT / FROM / WHERE / GROUP BY
+/ HAVING / JOIN (incl. OUTER variants) / UNION, arithmetic and bitwise
+operators (``&`` masks and ``/`` epoch division appear in partitioning
+expressions), hexadecimal literals (``0xFFF0``), and ``--`` comments.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from .errors import LexError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    OP = "op"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "BY",
+        "HAVING",
+        "AS",
+        "AND",
+        "OR",
+        "NOT",
+        "JOIN",
+        "INNER",
+        "LEFT",
+        "RIGHT",
+        "FULL",
+        "OUTER",
+        "ON",
+        "UNION",
+        "ALL",
+        "TRUE",
+        "FALSE",
+        "NULL",
+        "DEFINE",
+        "QUERY",
+        "IN",
+        "BETWEEN",
+    }
+)
+
+# Multi-character operators must be matched before their prefixes.
+_OPERATORS = (
+    "<<",
+    ">>",
+    "<>",
+    "!=",
+    "<=",
+    ">=",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "~",
+    "(",
+    ")",
+    ",",
+    ".",
+    ";",
+    ":",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based line/column)."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    @property
+    def upper(self) -> str:
+        return self.text.upper()
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.upper == word
+
+    def is_op(self, op: str) -> bool:
+        return self.kind is TokenKind.OP and self.text == op
+
+    def __str__(self) -> str:
+        if self.kind is TokenKind.EOF:
+            return "<end of input>"
+        return repr(self.text)
+
+
+class Lexer:
+    """A hand-written scanner producing :class:`Token` objects."""
+
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokens(self) -> List[Token]:
+        """Tokenize the whole input, ending with a single EOF token."""
+        return list(self._iter_tokens())
+
+    def _iter_tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_whitespace_and_comments()
+            if self._pos >= len(self._text):
+                yield Token(TokenKind.EOF, "", self._line, self._column)
+                return
+            yield self._next_token()
+
+    def _skip_whitespace_and_comments(self) -> None:
+        text = self._text
+        while self._pos < len(text):
+            char = text[self._pos]
+            if char in " \t\r":
+                self._advance(1)
+            elif char == "\n":
+                self._pos += 1
+                self._line += 1
+                self._column = 1
+            elif text.startswith("--", self._pos):
+                end = text.find("\n", self._pos)
+                if end == -1:
+                    end = len(text)
+                self._advance(end - self._pos)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        char = self._text[self._pos]
+        if char.isalpha() or char == "_":
+            return self._lex_word()
+        if char.isdigit():
+            return self._lex_number()
+        if char == "#":
+            return self._lex_hash_macro()
+        if char in ("'", '"'):
+            return self._lex_string(char)
+        for op in _OPERATORS:
+            if self._text.startswith(op, self._pos):
+                token = Token(TokenKind.OP, op, self._line, self._column)
+                self._advance(len(op))
+                return token
+        raise LexError(
+            f"unexpected character {char!r}", self._pos, self._line, self._column
+        )
+
+    def _lex_word(self) -> Token:
+        start, line, column = self._pos, self._line, self._column
+        text = self._text
+        pos = start
+        while pos < len(text) and (text[pos].isalnum() or text[pos] == "_"):
+            pos += 1
+        word = text[start:pos]
+        self._advance(pos - start)
+        kind = TokenKind.KEYWORD if word.upper() in KEYWORDS else TokenKind.IDENT
+        return Token(kind, word, line, column)
+
+    def _lex_number(self) -> Token:
+        start, line, column = self._pos, self._line, self._column
+        text = self._text
+        pos = start
+        if text.startswith(("0x", "0X"), start):
+            pos = start + 2
+            while pos < len(text) and text[pos] in "0123456789abcdefABCDEF":
+                pos += 1
+            if pos == start + 2:
+                raise LexError("malformed hex literal", start, line, column)
+        else:
+            while pos < len(text) and text[pos].isdigit():
+                pos += 1
+            if pos < len(text) and text[pos] == ".":
+                pos += 1
+                while pos < len(text) and text[pos].isdigit():
+                    pos += 1
+        literal = text[start:pos]
+        self._advance(pos - start)
+        return Token(TokenKind.NUMBER, literal, line, column)
+
+    def _lex_hash_macro(self) -> Token:
+        """Lex ``#PATTERN#``-style macros (the paper's HAVING placeholder)
+        as identifiers so query templates parse before substitution."""
+        start, line, column = self._pos, self._line, self._column
+        end = self._text.find("#", start + 1)
+        if end == -1:
+            raise LexError("unterminated # macro", start, line, column)
+        word = self._text[start : end + 1]
+        self._advance(len(word))
+        return Token(TokenKind.IDENT, word, line, column)
+
+    def _lex_string(self, quote: str) -> Token:
+        start, line, column = self._pos, self._line, self._column
+        end = self._text.find(quote, start + 1)
+        if end == -1:
+            raise LexError("unterminated string literal", start, line, column)
+        literal = self._text[start + 1 : end]
+        self._advance(end + 1 - start)
+        return Token(TokenKind.STRING, literal, line, column)
+
+    def _advance(self, count: int) -> None:
+        self._pos += count
+        self._column += count
+
+
+def tokenize(text: str) -> List[Token]:
+    """Convenience wrapper: tokenize ``text`` into a list ending in EOF."""
+    return Lexer(text).tokens()

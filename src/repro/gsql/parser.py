@@ -1,0 +1,434 @@
+"""Recursive-descent parser for GSQL.
+
+Grammar (informal):
+
+    script      := statement (";" statement)* [";"]
+    statement   := define | query
+    define      := "DEFINE" "QUERY" ident [":" | "AS"] query
+    query       := select ("UNION" ["ALL"] select)*
+    select      := "SELECT" items "FROM" from_clause
+                   ["WHERE" expr] ["GROUP" "BY" gb_items] ["HAVING" expr]
+    from_clause := table [("," table) | (join_kind table ["ON" expr])]
+    table       := ident ["AS"] [ident]
+    items       := item ("," item)*           item := expr [["AS"] ident]
+    gb_items    := gb ("," gb)*               gb   := expr [["AS"] ident]
+
+Expression precedence, loosest first:
+    OR < AND < NOT < comparison < "|"/"^" < "&" < shifts < "+/-" < "* / %"
+    < unary -/~ < primary
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .ast_nodes import (
+    BinaryOp,
+    BoolLit,
+    ColumnRef,
+    DefineStmt,
+    Expr,
+    FuncCall,
+    GroupByItem,
+    JoinType,
+    NullLit,
+    NumberLit,
+    SelectItem,
+    SelectStmt,
+    Star,
+    StringLit,
+    TableRef,
+    UnaryOp,
+    UnionStmt,
+)
+from .errors import ParseError
+from .lexer import Token, TokenKind, tokenize
+
+_COMPARISON_OPS = ("=", "<>", "!=", "<", "<=", ">", ">=")
+_JOIN_KINDS = {
+    "JOIN": JoinType.INNER,
+    "INNER": JoinType.INNER,
+    "LEFT": JoinType.LEFT_OUTER,
+    "RIGHT": JoinType.RIGHT_OUTER,
+    "FULL": JoinType.FULL_OUTER,
+}
+
+
+class Parser:
+    """Parses a token stream into statements."""
+
+    def __init__(self, text: str):
+        self._tokens = tokenize(text)
+        self._pos = 0
+
+    # -- public entry points ------------------------------------------------
+
+    def parse_script(self) -> List[object]:
+        """Parse a whole script: a mix of DEFINE and bare query statements."""
+        statements: List[object] = []
+        while not self._peek().kind is TokenKind.EOF:
+            statements.append(self.parse_statement())
+            while self._peek().is_op(";"):
+                self._advance()
+        return statements
+
+    def parse_statement(self):
+        """Parse a single DEFINE or query statement."""
+        if self._peek().is_keyword("DEFINE"):
+            return self._parse_define()
+        return self.parse_query()
+
+    def parse_query(self):
+        """Parse a query: one SELECT or a UNION chain."""
+        first = self._parse_select()
+        selects = [first]
+        while self._peek().is_keyword("UNION"):
+            self._advance()
+            if self._peek().is_keyword("ALL"):
+                self._advance()
+            selects.append(self._parse_select())
+        if len(selects) == 1:
+            return first
+        return UnionStmt(selects)
+
+    def parse_expression(self) -> Expr:
+        """Parse a standalone scalar expression (used for partition specs)."""
+        expr = self._parse_expr()
+        self._expect_eof()
+        return expr
+
+    # -- statements ---------------------------------------------------------
+
+    def _parse_define(self) -> DefineStmt:
+        self._expect_keyword("DEFINE")
+        self._expect_keyword("QUERY")
+        name = self._expect_ident("query name")
+        token = self._peek()
+        if token.is_op(":") or token.is_keyword("AS"):
+            self._advance()
+        body = self.parse_query()
+        return DefineStmt(name, body)
+
+    def _parse_select(self) -> SelectStmt:
+        self._expect_keyword("SELECT")
+        items = self._parse_select_items()
+        self._expect_keyword("FROM")
+        tables, join_type, on_expr = self._parse_from_clause()
+        where = None
+        if self._peek().is_keyword("WHERE"):
+            self._advance()
+            where = self._parse_expr()
+        if on_expr is not None:
+            where = on_expr if where is None else BinaryOp("AND", where, on_expr)
+        group_by: List[GroupByItem] = []
+        if self._peek().is_keyword("GROUP"):
+            self._advance()
+            self._expect_keyword("BY")
+            group_by = self._parse_group_by_items()
+        having = None
+        if self._peek().is_keyword("HAVING"):
+            self._advance()
+            having = self._parse_expr()
+        return SelectStmt(
+            items=items,
+            tables=tables,
+            where=where,
+            group_by=group_by,
+            having=having,
+            join_type=join_type,
+        )
+
+    def _parse_select_items(self) -> List[SelectItem]:
+        items = [self._parse_select_item()]
+        while self._peek().is_op(","):
+            self._advance()
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> SelectItem:
+        expr = self._parse_expr()
+        alias = self._parse_optional_alias()
+        return SelectItem(expr, alias)
+
+    def _parse_group_by_items(self) -> List[GroupByItem]:
+        items = [self._parse_group_by_item()]
+        while self._peek().is_op(","):
+            self._advance()
+            items.append(self._parse_group_by_item())
+        return items
+
+    def _parse_group_by_item(self) -> GroupByItem:
+        expr = self._parse_expr()
+        alias = self._parse_optional_alias()
+        return GroupByItem(expr, alias)
+
+    def _parse_optional_alias(self) -> Optional[str]:
+        token = self._peek()
+        if token.is_keyword("AS"):
+            self._advance()
+            return self._expect_ident("alias")
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            return token.text
+        return None
+
+    def _parse_from_clause(self):
+        """Returns (tables, join_type, on_expr)."""
+        first = self._parse_table_ref()
+        token = self._peek()
+        if token.is_op(","):
+            self._advance()
+            second = self._parse_table_ref()
+            return [first, second], JoinType.INNER, None
+        if token.kind is TokenKind.KEYWORD and token.upper in _JOIN_KINDS:
+            join_type = _JOIN_KINDS[token.upper]
+            self._advance()
+            if token.upper in ("LEFT", "RIGHT", "FULL"):
+                if self._peek().is_keyword("OUTER"):
+                    self._advance()
+                self._expect_keyword("JOIN")
+            elif token.upper == "INNER":
+                self._expect_keyword("JOIN")
+            second = self._parse_table_ref()
+            on_expr = None
+            if self._peek().is_keyword("ON"):
+                self._advance()
+                on_expr = self._parse_expr()
+            return [first, second], join_type, on_expr
+        return [first], JoinType.INNER, None
+
+    def _parse_table_ref(self) -> TableRef:
+        name = self._expect_ident("stream name")
+        alias = None
+        token = self._peek()
+        if token.is_keyword("AS"):
+            self._advance()
+            alias = self._expect_ident("table alias")
+        elif token.kind is TokenKind.IDENT:
+            self._advance()
+            alias = token.text
+        return TableRef(name, alias)
+
+    # -- expressions ----------------------------------------------------------
+
+    def _parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._peek().is_keyword("OR"):
+            self._advance()
+            left = BinaryOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self._peek().is_keyword("AND"):
+            self._advance()
+            left = BinaryOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self._peek().is_keyword("NOT"):
+            self._advance()
+            return UnaryOp("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_bitor()
+        token = self._peek()
+        if token.kind is TokenKind.OP and token.text in _COMPARISON_OPS:
+            self._advance()
+            op = "<>" if token.text == "!=" else token.text
+            return BinaryOp(op, left, self._parse_bitor())
+        negated = False
+        if token.is_keyword("NOT"):
+            following = self._tokens[self._pos + 1]
+            if not (following.is_keyword("IN") or following.is_keyword("BETWEEN")):
+                return left
+            self._advance()
+            negated = True
+            token = self._peek()
+        if token.is_keyword("IN"):
+            self._advance()
+            membership = self._parse_in_list(left)
+            return UnaryOp("NOT", membership) if negated else membership
+        if token.is_keyword("BETWEEN"):
+            self._advance()
+            ranged = self._parse_between(left)
+            return UnaryOp("NOT", ranged) if negated else ranged
+        return left
+
+    def _parse_in_list(self, subject: Expr) -> Expr:
+        """``expr IN (v1, v2, ...)`` becomes ``IN(expr, v1, v2, ...)``."""
+        self._expect_op("(")
+        values = [self._parse_bitor()]
+        while self._peek().is_op(","):
+            self._advance()
+            values.append(self._parse_bitor())
+        self._expect_op(")")
+        return FuncCall("IN", tuple([subject] + values))
+
+    def _parse_between(self, subject: Expr) -> Expr:
+        """``expr BETWEEN lo AND hi`` desugars to two comparisons."""
+        low = self._parse_bitor()
+        self._expect_keyword("AND")
+        high = self._parse_bitor()
+        return BinaryOp(
+            "AND",
+            BinaryOp(">=", subject, low),
+            BinaryOp("<=", subject, high),
+        )
+
+    def _parse_bitor(self) -> Expr:
+        left = self._parse_bitand()
+        while self._peek().kind is TokenKind.OP and self._peek().text in ("|", "^"):
+            op = self._advance().text
+            left = BinaryOp(op, left, self._parse_bitand())
+        return left
+
+    def _parse_bitand(self) -> Expr:
+        left = self._parse_shift()
+        while self._peek().is_op("&"):
+            self._advance()
+            left = BinaryOp("&", left, self._parse_shift())
+        return left
+
+    def _parse_shift(self) -> Expr:
+        left = self._parse_additive()
+        while self._peek().kind is TokenKind.OP and self._peek().text in ("<<", ">>"):
+            op = self._advance().text
+            left = BinaryOp(op, left, self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while self._peek().kind is TokenKind.OP and self._peek().text in ("+", "-"):
+            op = self._advance().text
+            left = BinaryOp(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while self._peek().kind is TokenKind.OP and self._peek().text in ("*", "/", "%"):
+            op = self._advance().text
+            left = BinaryOp(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> Expr:
+        token = self._peek()
+        if token.kind is TokenKind.OP and token.text in ("-", "~"):
+            self._advance()
+            return UnaryOp(token.text, self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self._advance()
+        if token.kind is TokenKind.NUMBER:
+            return NumberLit(_parse_number(token.text))
+        if token.kind is TokenKind.STRING:
+            return StringLit(token.text)
+        if token.is_keyword("TRUE"):
+            return BoolLit(True)
+        if token.is_keyword("FALSE"):
+            return BoolLit(False)
+        if token.is_keyword("NULL"):
+            return NullLit()
+        if token.is_op("*"):
+            return Star()
+        if token.is_op("("):
+            expr = self._parse_expr()
+            self._expect_op(")")
+            return expr
+        if token.kind is TokenKind.IDENT:
+            return self._parse_ident_expr(token)
+        raise ParseError(
+            f"unexpected token {token} in expression", token.line, token.column
+        )
+
+    def _parse_ident_expr(self, token: Token) -> Expr:
+        if self._peek().is_op("("):
+            self._advance()
+            args: List[Expr] = []
+            if not self._peek().is_op(")"):
+                args.append(self._parse_func_arg())
+                while self._peek().is_op(","):
+                    self._advance()
+                    args.append(self._parse_func_arg())
+            self._expect_op(")")
+            return FuncCall(token.text.upper(), tuple(args))
+        if self._peek().is_op("."):
+            self._advance()
+            column = self._expect_ident("column name")
+            return ColumnRef(column, qualifier=token.text)
+        return ColumnRef(token.text)
+
+    def _parse_func_arg(self) -> Expr:
+        if self._peek().is_op("*"):
+            self._advance()
+            return Star()
+        return self._parse_expr()
+
+    # -- token helpers --------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._advance()
+        if not token.is_keyword(word):
+            raise ParseError(f"expected {word}, found {token}", token.line, token.column)
+        return token
+
+    def _expect_op(self, op: str) -> Token:
+        token = self._advance()
+        if not token.is_op(op):
+            raise ParseError(f"expected {op!r}, found {token}", token.line, token.column)
+        return token
+
+    def _expect_ident(self, what: str) -> str:
+        token = self._advance()
+        if token.kind is not TokenKind.IDENT:
+            raise ParseError(
+                f"expected {what}, found {token}", token.line, token.column
+            )
+        return token.text
+
+    def _expect_eof(self) -> None:
+        token = self._peek()
+        if token.kind is not TokenKind.EOF:
+            raise ParseError(
+                f"trailing input starting at {token}", token.line, token.column
+            )
+
+
+def _parse_number(text: str):
+    if text.lower().startswith("0x"):
+        return int(text, 16)
+    if "." in text:
+        return float(text)
+    return int(text)
+
+
+def parse_query(text: str):
+    """Parse one SELECT/UNION query from ``text``."""
+    parser = Parser(text)
+    statement = parser.parse_query()
+    parser._expect_eof()
+    return statement
+
+
+def parse_script(text: str) -> List[object]:
+    """Parse a semicolon-separated script of DEFINE and query statements."""
+    return Parser(text).parse_script()
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a standalone scalar expression, e.g. ``srcIP & 0xFFF0``."""
+    return Parser(text).parse_expression()

@@ -1,0 +1,140 @@
+"""Stream schemas with ordered (temporal) attributes.
+
+Tumbling-window semantics (paper section 3.1) hinge on one or more stream
+attributes being declared *ordered* — typically ``time increasing``.  The
+analyzer uses the ordering declaration to recognise temporal group-by
+expressions and temporal join predicates, and the partitioning framework
+uses it to exclude temporal attributes from partitioning sets (section
+3.5.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from .errors import SemanticError
+from .types import IP, TIME, UINT, UINT8, UINT16, ColumnType
+
+
+class Ordering(enum.Enum):
+    """Ordering declaration for a stream attribute."""
+
+    NONE = "none"
+    INCREASING = "increasing"
+    DECREASING = "decreasing"
+
+    @property
+    def is_ordered(self) -> bool:
+        return self is not Ordering.NONE
+
+
+@dataclass(frozen=True)
+class Column:
+    """One attribute of a stream schema."""
+
+    name: str
+    ctype: ColumnType
+    ordering: Ordering = Ordering.NONE
+
+    @property
+    def is_temporal(self) -> bool:
+        """Temporal attributes are the ordered ones (paper section 3.1)."""
+        return self.ordering.is_ordered
+
+    def __str__(self) -> str:
+        suffix = f" {self.ordering.value}" if self.is_temporal else ""
+        return f"{self.name} {self.ctype}{suffix}"
+
+
+@dataclass
+class StreamSchema:
+    """A named stream schema: ordered list of columns plus name lookup."""
+
+    name: str
+    columns: List[Column] = field(default_factory=list)
+    _by_name: Dict[str, Column] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        for column in self.columns:
+            if column.name in self._by_name:
+                raise SemanticError(
+                    f"schema {self.name!r} declares column {column.name!r} twice"
+                )
+            self._by_name[column.name] = column
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def column(self, name: str) -> Column:
+        """Return the column called ``name`` or raise :class:`SemanticError`."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SemanticError(
+                f"schema {self.name!r} has no column {name!r}; "
+                f"columns: {', '.join(self.column_names())}"
+            ) from None
+
+    def get(self, name: str) -> Optional[Column]:
+        """Return the column called ``name`` or None."""
+        return self._by_name.get(name)
+
+    def column_names(self) -> List[str]:
+        return [column.name for column in self.columns]
+
+    def temporal_columns(self) -> List[Column]:
+        """All ordered attributes of this schema."""
+        return [column for column in self.columns if column.is_temporal]
+
+    def tuple_width(self) -> int:
+        """Width of one tuple of this schema, in bytes (cost-model input)."""
+        return sum(column.ctype.width for column in self.columns)
+
+    def describe(self) -> str:
+        """Human-readable one-line schema description."""
+        body = ", ".join(str(column) for column in self.columns)
+        return f"{self.name}({body})"
+
+
+def packet_schema(name: str = "PKT") -> StreamSchema:
+    """The paper's minimal packet schema: PKT(time increasing, srcIP, destIP, len)."""
+    return StreamSchema(
+        name,
+        [
+            Column("time", TIME, Ordering.INCREASING),
+            Column("srcIP", IP),
+            Column("destIP", IP),
+            Column("len", UINT),
+        ],
+    )
+
+
+def tcp_schema(name: str = "TCP") -> StreamSchema:
+    """The TCP packet schema used throughout the paper's examples.
+
+    Includes the 5-tuple (source/destination address and port, protocol),
+    packet length, the TCP flags byte (for the OR_AGGR suspicious-flow
+    query of section 6.1) and a fine-grained timestamp.
+    """
+    return StreamSchema(
+        name,
+        [
+            Column("time", TIME, Ordering.INCREASING),
+            Column("timestamp", TIME, Ordering.INCREASING),
+            Column("srcIP", IP),
+            Column("destIP", IP),
+            Column("srcPort", UINT16),
+            Column("destPort", UINT16),
+            Column("protocol", UINT8),
+            Column("flags", UINT8),
+            Column("len", UINT),
+        ],
+    )

@@ -1,0 +1,166 @@
+"""Partition-compatibility inference per query node class (paper §3.4-3.5).
+
+A partitioning set ``PS`` is *compatible* with a query ``Q`` when, for
+every time window, Q's output equals the stream union of Q run on each
+partition.  Structurally (paper §3.5):
+
+* selection / projection / union: compatible with **any** PS;
+* aggregation: every PS expression must be a function of some non-temporal
+  group-by expression (traced to base-stream attributes via lineage);
+* join: every PS expression must be a function of some *synchronized*
+  equi-join key (an equality predicate whose two sides have the same
+  base-stream lineage).
+
+A node's *basis* is the list of base-stream expressions PS members may be
+derived from; ``ALWAYS`` marks the unconstrained node classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from ..expr import analysis as xanalysis
+from ..expr.expressions import ScalarExpr
+from ..gsql.analyzer import AnalyzedNode, NodeKind
+from ..plan.dag import QueryDag
+from .partition_set import PartitioningSet, dedupe_exprs
+
+
+@dataclass(frozen=True)
+class CompatibilityBasis:
+    """What a node requires of partitioning expressions.
+
+    ``always`` means any partitioning set is compatible (sel/proj/union/
+    source).  Otherwise each PS expression must be derivable from some
+    ``exprs`` member: for aggregations *any scalar function* of a group-by
+    expression qualifies (§3.5.2: ``{se(gb_var_1), ..., se(gb_var_n)}``),
+    while for joins the paper only admits the join predicates' own
+    expressions and subsets thereof (§3.5.3: "join query is compatible
+    with any non-empty subset of its partitioning set") — captured by
+    ``strict``, which demands equivalence instead of mere derivability.
+
+    Strictness matters: coarsening a join key (e.g. partitioning on
+    ``srcIP & 0xFFF0`` for a join on ``srcIP``) is only sound when the
+    same coarsening can be applied to *both* streams' keys, which the
+    single-partitioning-set assumption cannot guarantee in general; the
+    paper's experiment 2 relies on the strict rule ("(srcIP & 0xFFF0,
+    destIP) ... is compatible only with the aggregation query").
+
+    An empty, non-always basis means no non-empty partitioning set is
+    compatible (e.g. an aggregation whose group-by columns all lack
+    lineage to base-stream attributes).
+    """
+
+    always: bool
+    exprs: tuple
+    strict: bool = False
+
+    @classmethod
+    def any(cls) -> "CompatibilityBasis":
+        return cls(True, ())
+
+    @classmethod
+    def over(cls, exprs, strict: bool = False) -> "CompatibilityBasis":
+        return cls(False, dedupe_exprs(list(exprs)), strict)
+
+    def admits(self, ps: PartitioningSet) -> bool:
+        """Whether a partitioning by ``ps`` is compatible with this basis."""
+        if ps.is_empty:
+            return False
+        if self.always:
+            return True
+        if self.strict:
+            return all(
+                any(xanalysis.equivalent(expr, basis) for basis in self.exprs)
+                for expr in ps.exprs
+            )
+        return all(
+            xanalysis.is_function_of_any(expr, self.exprs) for expr in ps.exprs
+        )
+
+
+def temporal_attributes(dag: QueryDag) -> Set[str]:
+    """Names of ordered attributes across the DAG's source streams."""
+    names: Set[str] = set()
+    for source in dag.sources():
+        for column in source.schema.temporal_columns():
+            names.add(column.name)
+    return names
+
+
+def _is_temporal_expr(expr: ScalarExpr, temporal: Set[str]) -> bool:
+    return bool(expr.attrs() & temporal)
+
+
+def node_basis(
+    node: AnalyzedNode,
+    dag: QueryDag,
+    exclude_temporal: bool = True,
+    join_coarsening: bool = False,
+) -> CompatibilityBasis:
+    """Compute the compatibility basis for one node.
+
+    ``exclude_temporal`` drops temporal expressions from the basis (paper
+    §3.5.1: temporal attributes are poor partitioning keys and break
+    pane-based sliding windows — "we will exclude the temporal attributes
+    from further consideration").
+
+    ``join_coarsening`` relaxes the paper's strict join rule to allow any
+    function of a synchronized key — sound for self-joins over a single
+    partitioned stream, offered as a documented extension.
+    """
+    temporal = temporal_attributes(dag) if exclude_temporal else set()
+    if node.kind in (NodeKind.SOURCE, NodeKind.SELECTION, NodeKind.UNION):
+        return CompatibilityBasis.any()
+    if node.kind is NodeKind.AGGREGATION:
+        exprs = [
+            g.lineage
+            for g in node.group_by
+            if g.lineage is not None and not _is_temporal_expr(g.lineage, temporal)
+        ]
+        return CompatibilityBasis.over(exprs)
+    if node.kind is NodeKind.JOIN:
+        exprs = [
+            expr
+            for expr in node.join_synchronized
+            if not _is_temporal_expr(expr, temporal)
+        ]
+        return CompatibilityBasis.over(exprs, strict=not join_coarsening)
+    raise ValueError(f"unknown node kind {node.kind!r}")
+
+
+def is_compatible(
+    ps: PartitioningSet,
+    node: AnalyzedNode,
+    dag: QueryDag,
+    exclude_temporal: bool = True,
+) -> bool:
+    """The paper's compatibility test for one node."""
+    return node_basis(node, dag, exclude_temporal).admits(ps)
+
+
+def compatible_set(
+    node: AnalyzedNode, dag: QueryDag, exclude_temporal: bool = True
+) -> Optional[PartitioningSet]:
+    """The node's *maximal* compatible partitioning set.
+
+    Returns None for always-compatible nodes (they impose no requirement —
+    any set works, so they contribute no candidate of their own), and the
+    empty set for constrained nodes with an empty basis.
+    """
+    basis = node_basis(node, dag, exclude_temporal)
+    if basis.always:
+        return None
+    return PartitioningSet(basis.exprs)
+
+
+def compatible_nodes(
+    ps: PartitioningSet, dag: QueryDag, exclude_temporal: bool = True
+) -> List[str]:
+    """Names of all query nodes compatible with ``ps``."""
+    return [
+        node.name
+        for node in dag.query_nodes()
+        if is_compatible(ps, node, dag, exclude_temporal)
+    ]

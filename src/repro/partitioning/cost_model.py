@@ -1,0 +1,207 @@
+"""The streaming cost model of paper §4.2.1.
+
+The cost of a query execution plan under a candidate partitioning set PS is
+the **maximum amount of data any single node receives over the network
+during one time epoch**.  The model needs, per query node:
+
+* ``selectivity_factor`` — expected output tuples per input tuple per epoch;
+* ``out_tuple_size`` — bytes per output tuple (taken from the schema);
+* recursively, ``input_rate`` (= stream rate R at the leaves, else the sum
+  of children's output rates) and ``output_rate``.
+
+Given PS, nodes split into *leaf-resident* (compatible with PS, all inputs
+leaf-resident — they run partitioned on the leaf hosts) and *central*
+(everything else).  Network cost:
+
+* a central node pays the output rate of each leaf-resident child (those
+  results cross the network) — for a child that is a raw source this is the
+  full stream rate, the paper's ``input_rate(Qi) if Qi incompatible``;
+* a leaf-resident node whose parent is central (or which is a root) has its
+  unioned output received centrally — the paper's ``output_rate(Qi) if Qi
+  compatible``;
+* everything else is local: cost 0.
+
+``cost(Qplan, PS) = max_i cost(Q_i)`` — minimize the worst single node, not
+the average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from ..gsql.analyzer import AnalyzedNode, NodeKind
+from ..plan.dag import QueryDag
+from .compatibility import is_compatible
+from .partition_set import PartitioningSet
+
+# Fallback selectivity factors by node kind, used when neither the workload
+# nor the node supplies a measurement.  Aggregations over packet streams
+# compress heavily (many packets per flow); selections and joins default to
+# mild reduction.  These are deliberately coarse: the paper's point is that
+# the model only needs to rank candidate partitionings, not predict load.
+DEFAULT_SELECTIVITY = {
+    NodeKind.SELECTION: 1.0,
+    NodeKind.AGGREGATION: 0.1,
+    NodeKind.JOIN: 0.5,
+    NodeKind.UNION: 1.0,
+}
+
+
+@dataclass
+class NodeCost:
+    """Per-node rates and the network cost under one partitioning set."""
+
+    name: str
+    input_tuples: float
+    output_tuples: float
+    input_bytes: float
+    output_bytes: float
+    leaf_resident: bool
+    network_bytes: float
+
+
+@dataclass
+class PlanCost:
+    """Result of costing a whole plan under one partitioning set."""
+
+    partitioning: PartitioningSet
+    max_network_bytes: float
+    per_node: Dict[str, NodeCost] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return (
+            f"cost(PS={self.partitioning}) = {self.max_network_bytes:,.0f} "
+            f"bytes/epoch"
+        )
+
+
+class CostModel:
+    """Costs candidate partitioning sets for a query DAG.
+
+    Parameters
+    ----------
+    dag:
+        The query DAG being partitioned.
+    input_rate:
+        Tuples per epoch arriving on each source stream, the paper's R.
+    selectivity:
+        Optional per-node-name overrides of the selectivity factor —
+        typically measured from a trace sample (see
+        ``repro.workloads.experiments.measure_selectivities``).
+    """
+
+    def __init__(
+        self,
+        dag: QueryDag,
+        input_rate: float,
+        selectivity: Optional[Mapping[str, float]] = None,
+    ):
+        if input_rate <= 0:
+            raise ValueError("input_rate must be positive")
+        self._dag = dag
+        self._input_rate = input_rate
+        self._selectivity = dict(selectivity or {})
+        self._tuples: Dict[str, float] = {}
+        self._compute_rates()
+
+    # -- rates -----------------------------------------------------------------
+
+    def selectivity_factor(self, node: AnalyzedNode) -> float:
+        """The node's output-tuples / input-tuples ratio per epoch."""
+        if node.name in self._selectivity:
+            return self._selectivity[node.name]
+        if node.selectivity_hint is not None:
+            return node.selectivity_hint
+        return DEFAULT_SELECTIVITY.get(node.kind, 1.0)
+
+    def input_tuples(self, name: str) -> float:
+        """Tuples per epoch entering node ``name``."""
+        node = self._dag.node(name)
+        if node.kind is NodeKind.SOURCE:
+            return self._input_rate
+        return sum(self.output_tuples(child) for child in node.inputs)
+
+    def output_tuples(self, name: str) -> float:
+        """Tuples per epoch leaving node ``name``."""
+        return self._tuples[name]
+
+    def out_tuple_size(self, name: str) -> int:
+        return self._dag.node(name).schema.tuple_width()
+
+    def output_bytes(self, name: str) -> float:
+        return self.output_tuples(name) * self.out_tuple_size(name)
+
+    def input_bytes(self, name: str) -> float:
+        node = self._dag.node(name)
+        if node.kind is NodeKind.SOURCE:
+            return self._input_rate * node.schema.tuple_width()
+        return sum(self.output_bytes(child) for child in node.inputs)
+
+    def _compute_rates(self) -> None:
+        for node in self._dag.nodes():
+            if node.kind is NodeKind.SOURCE:
+                self._tuples[node.name] = self._input_rate
+            else:
+                incoming = sum(self._tuples[child] for child in node.inputs)
+                self._tuples[node.name] = incoming * self.selectivity_factor(node)
+
+    # -- plan cost ----------------------------------------------------------------
+
+    def plan_cost(
+        self, ps: PartitioningSet, exclude_temporal: bool = True
+    ) -> PlanCost:
+        """Cost the DAG under partitioning set ``ps`` (§4.2.1)."""
+        leaf_resident = self._leaf_residency(ps, exclude_temporal)
+        per_node: Dict[str, NodeCost] = {}
+        worst = 0.0
+        for node in self._dag.query_nodes():
+            network = self._network_bytes(node, leaf_resident)
+            cost = NodeCost(
+                name=node.name,
+                input_tuples=self.input_tuples(node.name),
+                output_tuples=self.output_tuples(node.name),
+                input_bytes=self.input_bytes(node.name),
+                output_bytes=self.output_bytes(node.name),
+                leaf_resident=leaf_resident[node.name],
+                network_bytes=network,
+            )
+            per_node[node.name] = cost
+            worst = max(worst, network)
+        return PlanCost(ps, worst, per_node)
+
+    def _leaf_residency(
+        self, ps: PartitioningSet, exclude_temporal: bool
+    ) -> Dict[str, bool]:
+        """A node runs on the leaf hosts iff it is compatible with PS and
+        every child does too; sources always do (the splitter feeds them)."""
+        residency: Dict[str, bool] = {}
+        for node in self._dag.nodes():
+            if node.kind is NodeKind.SOURCE:
+                residency[node.name] = True
+                continue
+            children_resident = all(residency[child] for child in node.inputs)
+            residency[node.name] = children_resident and is_compatible(
+                ps, node, self._dag, exclude_temporal
+            )
+        return residency
+
+    def _network_bytes(
+        self, node: AnalyzedNode, leaf_resident: Dict[str, bool]
+    ) -> float:
+        if leaf_resident[node.name]:
+            # Output crosses the network iff it feeds a central consumer or
+            # is a root delivered to the aggregator host.
+            parents = self._dag.parents(node.name)
+            if not parents or any(not leaf_resident[p.name] for p in parents):
+                return self.output_bytes(node.name)
+            return 0.0
+        # Central node: pays for every child whose data must be shipped in.
+        total = 0.0
+        for child in self._dag.children(node.name):
+            if leaf_resident[child.name]:
+                if child.kind is NodeKind.SOURCE:
+                    total += self._input_rate * child.schema.tuple_width()
+                else:
+                    total += self.output_bytes(child.name)
+        return total

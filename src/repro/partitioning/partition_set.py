@@ -1,0 +1,131 @@
+"""Partitioning sets and the hash-based stream partitioner (paper §3.3).
+
+A partitioning set is a tuple of scalar expressions over source-stream
+attributes, e.g. ``(srcIP & 0xFFF0, destIP)``.  A tuple falls into
+partition ``i`` when ``i*R/M <= H(A) < (i+1)*R/M`` for a hash function
+``H`` with range ``R`` and ``M`` desired partitions — exactly the paper's
+bucketed-hash scheme.
+
+The hash is a deterministic FNV-1a over a canonical byte encoding of the
+key tuple, so simulations are reproducible across processes regardless of
+``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Mapping, Sequence, Tuple, Union
+
+from ..expr import compile_key
+from ..expr.expressions import ScalarExpr, parse_scalar
+
+HASH_RANGE = 1 << 32
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv1a_hash(key: tuple) -> int:
+    """Deterministic 32-bit hash of a key tuple (FNV-1a, folded)."""
+    value = _FNV_OFFSET
+    for element in key:
+        if isinstance(element, int):
+            data = element.to_bytes(16, "little", signed=True)
+        else:
+            data = str(element).encode()
+        for byte in data:
+            value ^= byte
+            value = (value * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return (value ^ (value >> 32)) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class PartitioningSet:
+    """An immutable tuple of partitioning expressions."""
+
+    exprs: Tuple[ScalarExpr, ...]
+
+    @classmethod
+    def of(cls, *specs: Union[str, ScalarExpr]) -> "PartitioningSet":
+        """Build from expression objects and/or GSQL text specs.
+
+        >>> PartitioningSet.of("srcIP & 0xFFF0", "destIP")
+        """
+        exprs = tuple(
+            spec if isinstance(spec, ScalarExpr) else parse_scalar(spec)
+            for spec in specs
+        )
+        return cls(exprs)
+
+    @classmethod
+    def empty(cls) -> "PartitioningSet":
+        """The empty set — "no compatible partitioning exists" (§4.1)."""
+        return cls(())
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.exprs
+
+    def __len__(self) -> int:
+        return len(self.exprs)
+
+    def __iter__(self) -> Iterator[ScalarExpr]:
+        return iter(self.exprs)
+
+    def __str__(self) -> str:
+        if self.is_empty:
+            return "{}"
+        return "{" + ", ".join(str(expr) for expr in self.exprs) + "}"
+
+    def attrs(self) -> frozenset:
+        """All base attributes any member expression reads."""
+        result = frozenset()
+        for expr in self.exprs:
+            result |= expr.attrs()
+        return result
+
+    def key_function(self) -> Callable[[Mapping], tuple]:
+        """Compile the partition-key extractor for this set."""
+        if self.is_empty:
+            raise ValueError("the empty partitioning set has no key function")
+        return compile_key(self.exprs)
+
+    def partitioner(self, num_partitions: int) -> Callable[[Mapping], int]:
+        """Compile ``row -> partition index`` for ``num_partitions`` buckets.
+
+        Implements the paper's bucketed hash: partition ``i`` receives rows
+        with ``H(A)`` in ``[i*R/M, (i+1)*R/M)``.
+        """
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        key_of = self.key_function()
+        bucket = HASH_RANGE // num_partitions + (HASH_RANGE % num_partitions > 0)
+
+        def partition(row: Mapping) -> int:
+            index = fnv1a_hash(key_of(row)) // bucket
+            # Guard against the final, slightly-short bucket.
+            return min(index, num_partitions - 1)
+
+        return partition
+
+
+def subset_sets(ps: PartitioningSet) -> Iterable[PartitioningSet]:
+    """All non-empty subsets of ``ps`` (every subset of a compatible set is
+    compatible, §3.5.2); exponential, intended for small sets in tests."""
+    exprs = ps.exprs
+    count = len(exprs)
+    for bits in range(1, 1 << count):
+        yield PartitioningSet(
+            tuple(exprs[i] for i in range(count) if bits & (1 << i))
+        )
+
+
+def dedupe_exprs(exprs: Sequence[ScalarExpr]) -> Tuple[ScalarExpr, ...]:
+    """Drop structural duplicates, preserving order."""
+    seen = set()
+    result = []
+    for expr in exprs:
+        if expr not in seen:
+            seen.add(expr)
+            result.append(expr)
+    return tuple(result)

@@ -1,0 +1,84 @@
+"""Reconciling partitioning sets (paper §4.1, Reconcile_Partn_Sets).
+
+Given partitioning sets PS1 (compatible with Q1) and PS2 (compatible with
+Q2), return the **largest** partitioning set compatible with both, or the
+empty set when none exists.  Per expression the "least common denominator"
+is computed by :func:`repro.expr.analysis.reconcile`:
+
+* plain attributes intersect: ``{srcIP, destIP} x {srcIP, destIP, srcPort,
+  destPort} = {srcIP, destIP}``;
+* scalar expressions coarsen: ``{time/60, srcIP, destIP} x {time/90,
+  srcIP & 0xFFF0} = {time/180, srcIP & 0xFFF0}``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..expr import analysis as xanalysis
+from ..expr.expressions import ScalarExpr
+from .partition_set import PartitioningSet, dedupe_exprs
+
+
+def reconcile_partition_sets(
+    ps1: PartitioningSet, ps2: PartitioningSet
+) -> PartitioningSet:
+    """The largest partitioning set compatible with both inputs.
+
+    For each expression of ``ps1``, find the best reconciliation against
+    any expression of ``ps2``; expressions with no counterpart are dropped
+    (a set's subsets remain compatible with its query, so dropping is
+    always sound).  Returns the empty set when nothing survives.
+    """
+    if ps1.is_empty or ps2.is_empty:
+        return PartitioningSet.empty()
+    reconciled: List[ScalarExpr] = []
+    for expr1 in ps1:
+        best = _best_reconciliation(expr1, list(ps2))
+        if best is not None:
+            reconciled.append(best)
+    return PartitioningSet(dedupe_exprs(reconciled))
+
+
+def _best_reconciliation(
+    expr: ScalarExpr, candidates: List[ScalarExpr]
+) -> Optional[ScalarExpr]:
+    """Finest common coarsening of ``expr`` with any candidate.
+
+    When several candidates reconcile, prefer the finest result (the one
+    every other result is a function of), which maximizes the number of
+    distinct partition keys and hence load spreading.
+    """
+    results = []
+    for candidate in candidates:
+        reconciled = xanalysis.reconcile(expr, candidate)
+        if reconciled is not None:
+            results.append(reconciled)
+    if not results:
+        return None
+    best = results[0]
+    for other in results[1:]:
+        # `other` finer than `best` when best is derivable from other.
+        if xanalysis.is_function_of(best, other) and not xanalysis.is_function_of(
+            other, best
+        ):
+            best = other
+    return best
+
+
+def reconcile_all(sets: List[PartitioningSet]) -> PartitioningSet:
+    """Fold :func:`reconcile_partition_sets` over a list of sets.
+
+    This is the "simplified implementation" of paper §4.2: useful when the
+    query set is known to be conflict-free, but often empty for realistic
+    workloads — which is why the cost-based search in
+    :mod:`repro.partitioning.search` exists.
+    """
+    if not sets:
+        return PartitioningSet.empty()
+    result = sets[0]
+    for ps in sets[1:]:
+        result = reconcile_partition_sets(result, ps)
+        if result.is_empty:
+            return result
+    return result

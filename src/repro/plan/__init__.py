@@ -1,0 +1,5 @@
+"""Logical query DAG construction and navigation."""
+
+from .dag import QueryDag
+
+__all__ = ["QueryDag"]

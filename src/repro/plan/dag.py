@@ -1,0 +1,166 @@
+"""The logical query DAG over analyzed nodes.
+
+The paper represents a query set as a Directed Acyclic Graph of basic
+streaming query nodes (section 4.2).  :class:`QueryDag` wraps the catalog's
+analyzed nodes with the graph structure the partitioning search and the
+distributed optimizer need: parent/child navigation, topological order
+(leaves first, as required by the bottom-up transformation of section 5.1),
+and per-node reachability to the source streams.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..gsql.analyzer import AnalyzedNode, NodeKind
+from ..gsql.catalog import Catalog
+from ..gsql.errors import SemanticError
+
+
+class QueryDag:
+    """A query set as a DAG of :class:`AnalyzedNode` objects.
+
+    Sources (base streams) are included as nodes of kind ``SOURCE`` so every
+    edge of the paper's query graphs is represented explicitly.
+    """
+
+    def __init__(self, nodes: Iterable[AnalyzedNode]):
+        self._nodes: Dict[str, AnalyzedNode] = {}
+        for node in nodes:
+            if node.name in self._nodes:
+                raise SemanticError(f"duplicate node {node.name!r} in query DAG")
+            self._nodes[node.name] = node
+        self._parents: Dict[str, List[str]] = {name: [] for name in self._nodes}
+        for node in self._nodes.values():
+            for child in node.inputs:
+                if child not in self._nodes:
+                    raise SemanticError(
+                        f"node {node.name!r} references unknown input {child!r}"
+                    )
+                self._parents[child].append(node.name)
+        self._topo = self._topological_sort()
+
+    @classmethod
+    def from_catalog(
+        cls, catalog: Catalog, roots: Optional[List[str]] = None
+    ) -> "QueryDag":
+        """Build the DAG of ``roots`` (default: every registered query).
+
+        Source stream nodes are synthesized from the catalog's schemas.
+        """
+        wanted = roots if roots is not None else [n.name for n in catalog.nodes()]
+        nodes: Dict[str, AnalyzedNode] = {}
+        stack = list(wanted)
+        while stack:
+            name = stack.pop()
+            if name in nodes:
+                continue
+            node = catalog.node(name)
+            nodes[name] = node
+            stack.extend(node.inputs)
+        return cls(nodes.values())
+
+    # -- structure --------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, name: str) -> AnalyzedNode:
+        return self._nodes[name]
+
+    def nodes(self) -> List[AnalyzedNode]:
+        """All nodes in topological (leaves-first) order."""
+        return [self._nodes[name] for name in self._topo]
+
+    def query_nodes(self) -> List[AnalyzedNode]:
+        """Non-source nodes in topological order."""
+        return [node for node in self.nodes() if node.kind is not NodeKind.SOURCE]
+
+    def sources(self) -> List[AnalyzedNode]:
+        """The base stream nodes."""
+        return [node for node in self.nodes() if node.kind is NodeKind.SOURCE]
+
+    def children(self, name: str) -> List[AnalyzedNode]:
+        return [self._nodes[child] for child in self._nodes[name].inputs]
+
+    def parents(self, name: str) -> List[AnalyzedNode]:
+        return [self._nodes[parent] for parent in self._parents[name]]
+
+    def roots(self) -> List[AnalyzedNode]:
+        """Nodes with no parents — the query set's outputs."""
+        return [
+            self._nodes[name]
+            for name in self._topo
+            if not self._parents[name] and self._nodes[name].kind is not NodeKind.SOURCE
+        ]
+
+    def leaf_queries(self) -> List[AnalyzedNode]:
+        """Query nodes all of whose inputs are source streams.
+
+        These are the candidates seeding the partitioning search (paper
+        section 4.2.2's heuristic: "only consider leaf nodes for a set of
+        initial candidates").
+        """
+        result = []
+        for node in self.query_nodes():
+            if all(self._nodes[i].kind is NodeKind.SOURCE for i in node.inputs):
+                result.append(node)
+        return result
+
+    def descends_to_source_only_via(self, name: str) -> Set[str]:
+        """Names of all transitive inputs of ``name`` (excluding itself)."""
+        seen: Set[str] = set()
+        stack = list(self._nodes[name].inputs)
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._nodes[current].inputs)
+        return seen
+
+    def _topological_sort(self) -> List[str]:
+        in_degree = {name: len(node.inputs) for name, node in self._nodes.items()}
+        ready = sorted(name for name, degree in in_degree.items() if degree == 0)
+        order: List[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            for parent in sorted(self._parents[name]):
+                in_degree[parent] -= 1
+                if in_degree[parent] == 0:
+                    ready.append(parent)
+        if len(order) != len(self._nodes):
+            unresolved = sorted(set(self._nodes) - set(order))
+            raise SemanticError(f"query graph has a cycle through {unresolved}")
+        return order
+
+    # -- presentation ------------------------------------------------------------
+
+    def render(self) -> str:
+        """ASCII rendering of the DAG, roots at the top (cf. paper Fig. 1)."""
+        lines: List[str] = []
+        visited: Set[str] = set()
+
+        def visit(name: str, depth: int) -> None:
+            node = self._nodes[name]
+            marker = {
+                NodeKind.SOURCE: "src",
+                NodeKind.SELECTION: "sigma",
+                NodeKind.AGGREGATION: "gamma",
+                NodeKind.JOIN: "join",
+                NodeKind.UNION: "union",
+            }
+            lines.append("  " * depth + f"{marker[node.kind]} {name}")
+            if name in visited:
+                return
+            visited.add(name)
+            for child in node.inputs:
+                visit(child, depth + 1)
+
+        for root in self.roots():
+            visit(root.name, 0)
+        return "\n".join(lines)

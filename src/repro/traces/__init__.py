@@ -1,0 +1,42 @@
+"""Synthetic packet traces replacing the paper's proprietary capture."""
+
+from .generator import Trace, TraceConfig, four_tap_trace, generate_trace, merge_taps
+from .io import load_trace, save_trace
+from .stats import TraceStatistics, packet_statistics, trace_statistics
+from .packet import (
+    ACK,
+    ATTACK_PATTERN,
+    FIN,
+    PSH,
+    RST,
+    SYN,
+    URG,
+    format_ip,
+    ip,
+    make_packet,
+    sort_by_time,
+)
+
+__all__ = [
+    "ACK",
+    "ATTACK_PATTERN",
+    "FIN",
+    "PSH",
+    "RST",
+    "SYN",
+    "Trace",
+    "TraceConfig",
+    "TraceStatistics",
+    "URG",
+    "format_ip",
+    "four_tap_trace",
+    "generate_trace",
+    "ip",
+    "load_trace",
+    "make_packet",
+    "merge_taps",
+    "packet_statistics",
+    "save_trace",
+    "sort_by_time",
+    "trace_statistics",
+]

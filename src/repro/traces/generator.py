@@ -1,0 +1,213 @@
+"""Synthetic packet-trace generation.
+
+The paper replays a one-hour, ~400 Mbit/s trace combined from four data
+center taps.  That trace is proprietary, so this module synthesizes the
+flow-level structure the experiments actually depend on:
+
+* traffic is organized into 5-tuple *flows* with heavy-tailed packet
+  counts (a few heavy flows, many mice) — this drives the aggregation
+  queries' group cardinalities and the heavy_flows/flow_pairs results;
+* flows persist across consecutive time epochs, so epoch-correlation
+  self-joins (flow_pairs, jitter) find matches;
+* about 5 % of flows are *suspicious*: their packets' TCP-flag OR-fold
+  equals :data:`~repro.traces.packet.ATTACK_PATTERN` and never includes
+  ACK, matching the paper's §6.1 observation that "suspicious flows
+  accounted for about 5 % of the total number of flows";
+* source addresses spread over many /28 subnets and destinations over a
+  configurable host pool, controlling the cardinality ratios between
+  flow-level and subnet-level aggregations (experiment 2's crossover);
+* the trace can be produced as several *taps* merged together, like the
+  paper's four concurrent capture points.
+
+Generation is NumPy-vectorized and fully determined by the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List
+
+import numpy as np
+
+from .packet import ACK, ATTACK_PATTERN, FIN, PSH, SYN, URG, Packet
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Knobs for the synthetic trace.
+
+    The defaults produce roughly 2 000 packets/second for 30 seconds —
+    minutes-equivalent of the paper's workload at a scale a Python
+    simulator sweeps comfortably (see DESIGN.md's scale substitution).
+    """
+
+    duration: int = 20  # seconds of trace
+    rate: int = 2000  # total packets per second (all taps)
+    mean_flow_packets: float = 64.0  # average packets per flow
+    heavy_tail_alpha: float = 1.2  # Pareto shape: smaller = heavier tail
+    suspicious_fraction: float = 0.05  # share of flows that are attacks
+    num_src_hosts: int = 192  # distinct client addresses (12 /28 subnets)
+    num_dst_hosts: int = 64  # distinct server addresses
+    src_base: int = 0x0A000000  # 10.0.0.0
+    dst_base: int = 0xC0A80000  # 192.168.0.0
+    num_taps: int = 4  # capture points merged into the feed
+    mean_flow_lifetime: float = 4.0  # seconds a flow stays active
+    # Data-center traffic is session-structured: a client opens several
+    # *concurrent* connections (distinct source ports) to one server — a
+    # browser's parallel fetches, a benchmark's connection pool.  One
+    # session therefore spans one (srcIP, destIP) pair, one (srcIP & mask,
+    # destIP) subnet group, and several distinct 5-tuple flows active at
+    # the same time.  This concurrency is what makes coarser-grained
+    # aggregation groups straddle many partitions under flow-level
+    # hashing — the effect behind the paper's experiments 2 and 3.
+    flows_per_session: float = 4.0
+    session_spread: float = 1.0  # stagger (s) of a session's flow starts
+    seed: int = 7
+
+    def total_packets(self) -> int:
+        return self.duration * self.rate
+
+    def expected_flows(self) -> int:
+        return max(1, int(self.total_packets() / self.mean_flow_packets))
+
+
+@dataclass
+class Trace:
+    """A generated trace plus the metadata experiments need."""
+
+    packets: List[Packet]
+    config: TraceConfig
+    duration_sec: float
+    flow_count: int
+    suspicious_flow_count: int
+    notes: dict = field(default_factory=dict)
+
+    @property
+    def rate(self) -> float:
+        """Measured packets per second."""
+        return len(self.packets) / self.duration_sec
+
+
+def generate_trace(config: TraceConfig = TraceConfig()) -> Trace:
+    """Generate one deterministic synthetic trace."""
+    rng = np.random.default_rng(config.seed)
+    num_flows = config.expected_flows()
+
+    # Heavy-tailed packets-per-flow: shifted Pareto, clipped so one flow
+    # cannot swallow the whole trace.
+    raw = rng.pareto(config.heavy_tail_alpha, num_flows) + 1.0
+    weights = raw / raw.sum()
+    packets_per_flow = np.maximum(
+        1, np.round(weights * config.total_packets()).astype(np.int64)
+    )
+
+    # 5-tuples, session-structured.  A *session* is one (client, server)
+    # pair carrying flows_per_session concurrent connections that differ
+    # only in source port; clients sit in /28 subnets (16 per subnet)
+    # under the paper's srcIP & 0xFFF0 mask.
+    num_sessions = max(1, int(round(num_flows / config.flows_per_session)))
+    session_client = rng.integers(0, config.num_src_hosts, num_sessions)
+    session_dst = config.dst_base + rng.integers(0, config.num_dst_hosts, num_sessions)
+    session_of_flow = rng.integers(0, num_sessions, num_flows)
+    src_ips = config.src_base + session_client[session_of_flow]
+    dst_ips = session_dst[session_of_flow]
+    src_ports = rng.integers(1024, 65536, num_flows)
+    dst_ports = rng.choice(
+        np.array([80, 443, 22, 25, 53, 8080]), num_flows
+    )
+    protocols = np.full(num_flows, 6)  # TCP
+
+    suspicious = rng.random(num_flows) < config.suspicious_fraction
+
+    # Flow activity windows.  A session starts at a random point of the
+    # trace; its flows start within session_spread of it (parallel
+    # connections) and live an exponential lifetime.
+    session_start = rng.uniform(0, config.duration, num_sessions)
+    starts = np.minimum(
+        session_start[session_of_flow]
+        + rng.uniform(0, config.session_spread, num_flows),
+        config.duration - 0.5,
+    )
+    lifetimes = np.minimum(
+        rng.exponential(config.mean_flow_lifetime, num_flows) + 0.5,
+        config.duration - starts,
+    )
+
+    packets: List[Packet] = []
+    normal_flag_menu = np.array([ACK, ACK | PSH, SYN | ACK, FIN | ACK])
+    attack_flag_menu = np.array([FIN, PSH, URG, FIN | PSH, PSH | URG])
+    for index in range(num_flows):
+        count = int(packets_per_flow[index])
+        offsets = np.sort(rng.uniform(0.0, float(lifetimes[index]), count))
+        times = (starts[index] + offsets).astype(np.int64)
+        timestamps = ((starts[index] + offsets) * 1_000_000).astype(np.int64)
+        lengths = rng.integers(40, 1500, count)
+        if suspicious[index]:
+            flags = rng.choice(attack_flag_menu, count)
+            # Guarantee the OR-fold reaches the full attack pattern.
+            flags[0] = ATTACK_PATTERN
+        else:
+            flags = rng.choice(normal_flag_menu, count)
+            flags[0] = SYN  # connection setup
+            flags = flags | np.where(np.arange(count) > 0, ACK, 0)
+        base = {
+            "srcIP": int(src_ips[index]),
+            "destIP": int(dst_ips[index]),
+            "srcPort": int(src_ports[index]),
+            "destPort": int(dst_ports[index]),
+            "protocol": int(protocols[index]),
+        }
+        for position in range(count):
+            row = dict(base)
+            row["time"] = int(times[position])
+            row["timestamp"] = int(timestamps[position])
+            row["flags"] = int(flags[position])
+            row["len"] = int(lengths[position])
+            packets.append(row)
+
+    packets.sort(key=lambda p: (p["time"], p["timestamp"]))
+    return Trace(
+        packets=packets,
+        config=config,
+        duration_sec=float(config.duration),
+        flow_count=num_flows,
+        suspicious_flow_count=int(suspicious.sum()),
+    )
+
+
+def merge_taps(traces: List[Trace]) -> Trace:
+    """Combine concurrently captured taps into one feed (paper §6: "the
+    trace was obtained by combining four different one-hour traces
+    captured concurrently using four data center taps")."""
+    if not traces:
+        raise ValueError("need at least one tap")
+    packets: List[Packet] = []
+    for trace in traces:
+        packets.extend(trace.packets)
+    packets.sort(key=lambda p: (p["time"], p["timestamp"]))
+    return Trace(
+        packets=packets,
+        config=traces[0].config,
+        duration_sec=max(trace.duration_sec for trace in traces),
+        flow_count=sum(trace.flow_count for trace in traces),
+        suspicious_flow_count=sum(t.suspicious_flow_count for t in traces),
+        notes={"taps": len(traces)},
+    )
+
+
+def four_tap_trace(config: TraceConfig = TraceConfig()) -> Trace:
+    """The paper's setup: ``num_taps`` concurrent captures merged.
+
+    Each tap gets a distinct seed and 1/num_taps of the total rate.
+    """
+    per_tap_rate = max(1, config.rate // config.num_taps)
+    taps = []
+    for tap in range(config.num_taps):
+        tap_config = replace(
+            config,
+            rate=per_tap_rate,
+            num_taps=1,
+            seed=config.seed * 1000 + tap,
+        )
+        taps.append(generate_trace(tap_config))
+    return merge_taps(taps)

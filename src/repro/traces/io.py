@@ -1,0 +1,88 @@
+"""Trace persistence: CSV save/load for reproducible experiment inputs.
+
+The paper's experiments replay one captured trace many times; persisting
+generated traces lets every configuration (and every re-run) consume
+byte-identical input without re-generating, and lets users feed their own
+flow exports into the harness.  The format is a plain CSV with a header
+naming the columns of the TCP schema, plus ``#``-prefixed metadata lines.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import List, Optional
+
+from .generator import Trace, TraceConfig
+from .packet import Packet
+
+_COLUMNS = [
+    "time",
+    "timestamp",
+    "srcIP",
+    "destIP",
+    "srcPort",
+    "destPort",
+    "protocol",
+    "flags",
+    "len",
+]
+
+_META_PREFIX = "#meta:"
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    """Write a trace to ``path`` as CSV (with metadata comment lines)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        handle.write(f"{_META_PREFIX}duration_sec={trace.duration_sec}\n")
+        handle.write(f"{_META_PREFIX}flow_count={trace.flow_count}\n")
+        handle.write(
+            f"{_META_PREFIX}suspicious_flow_count={trace.suspicious_flow_count}\n"
+        )
+        writer = csv.writer(handle)
+        writer.writerow(_COLUMNS)
+        for packet in trace.packets:
+            writer.writerow([packet[column] for column in _COLUMNS])
+
+
+def load_trace(path: str, config: Optional[TraceConfig] = None) -> Trace:
+    """Read a trace written by :func:`save_trace`.
+
+    ``config`` is attached for provenance only; the packets and metadata
+    come entirely from the file.
+    """
+    metadata = {}
+    packets: List[Packet] = []
+    with open(path, newline="") as handle:
+        header: Optional[List[str]] = None
+        for line in handle:
+            if line.startswith(_META_PREFIX):
+                key, _, value = line[len(_META_PREFIX):].strip().partition("=")
+                metadata[key] = value
+                continue
+            row = next(csv.reader([line]))
+            if header is None:
+                header = row
+                if header != _COLUMNS:
+                    raise ValueError(
+                        f"unexpected trace columns {header!r}; "
+                        f"expected {_COLUMNS!r}"
+                    )
+                continue
+            if not row:
+                continue
+            packets.append(
+                {column: int(value) for column, value in zip(header, row)}
+            )
+    if "duration_sec" not in metadata:
+        raise ValueError(f"{path!r} is missing trace metadata")
+    return Trace(
+        packets=packets,
+        config=config if config is not None else TraceConfig(),
+        duration_sec=float(metadata["duration_sec"]),
+        flow_count=int(metadata.get("flow_count", 0)),
+        suspicious_flow_count=int(metadata.get("suspicious_flow_count", 0)),
+        notes={"loaded_from": path},
+    )

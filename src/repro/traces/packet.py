@@ -1,0 +1,64 @@
+"""Packet records and TCP-flag constants for synthetic traces."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+# TCP flag bits.
+FIN = 0x01
+SYN = 0x02
+RST = 0x04
+PSH = 0x08
+ACK = 0x10
+URG = 0x20
+
+# The OR-fold a suspicious (non-TCP-conformant) flow accumulates: FIN+PSH+URG
+# with no ACK ever seen — the kind of flag pattern the paper's §6.1 HAVING
+# clause matches ("attack flows that do not follow TCP protocols and can
+# frequently be differentiated by OR of the flags of the packets").
+ATTACK_PATTERN = FIN | PSH | URG  # 0x29
+
+Packet = Dict[str, int]
+
+
+def make_packet(
+    time: int,
+    timestamp: int,
+    src_ip: int,
+    dest_ip: int,
+    src_port: int,
+    dest_port: int,
+    protocol: int,
+    flags: int,
+    length: int,
+) -> Packet:
+    """One packet row matching the TCP schema of repro.gsql.schema."""
+    return {
+        "time": time,
+        "timestamp": timestamp,
+        "srcIP": src_ip,
+        "destIP": dest_ip,
+        "srcPort": src_port,
+        "destPort": dest_port,
+        "protocol": protocol,
+        "flags": flags,
+        "len": length,
+    }
+
+
+def ip(a: int, b: int, c: int, d: int) -> int:
+    """Dotted-quad to integer, for readable tests and examples."""
+    for octet in (a, b, c, d):
+        if not 0 <= octet <= 255:
+            raise ValueError("IP octets must be in [0, 255]")
+    return (a << 24) | (b << 16) | (c << 8) | d
+
+
+def format_ip(value: int) -> str:
+    """Integer to dotted-quad."""
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def sort_by_time(packets: List[Packet]) -> List[Packet]:
+    """Order a trace by (time, timestamp) — streams arrive time-ordered."""
+    return sorted(packets, key=lambda p: (p["time"], p["timestamp"]))

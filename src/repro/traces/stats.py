@@ -1,0 +1,110 @@
+"""Trace statistics: the flow-level quantities the experiments depend on.
+
+The evaluation's behaviour is driven by a handful of cardinalities — how
+many flows are active per epoch, how many packets each contributes, how
+many flows share a subnet-level group.  :func:`trace_statistics` computes
+them so experiments can sanity-check their trace presets (and users can
+characterize their own traces before choosing a partitioning).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from .generator import Trace
+from .packet import ATTACK_PATTERN
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Summary statistics of one trace."""
+
+    packets: int
+    duration_sec: float
+    flows: int  # distinct 5-tuples
+    flow_seconds: int  # distinct (5-tuple, second) pairs
+    host_pairs: int  # distinct (srcIP, destIP)
+    subnet_groups: int  # distinct (srcIP & 0xFFFFFFF0, destIP)
+    src_hosts: int
+    dst_hosts: int
+    suspicious_flows: int  # 5-tuples whose flag OR-fold == ATTACK_PATTERN
+    mean_packets_per_flow: float
+    mean_flows_per_subnet_group: float
+    max_flow_packets: int
+
+    @property
+    def rate(self) -> float:
+        return self.packets / self.duration_sec if self.duration_sec else 0.0
+
+    @property
+    def suspicious_fraction(self) -> float:
+        return self.suspicious_flows / self.flows if self.flows else 0.0
+
+    def describe(self) -> str:
+        return "\n".join(
+            [
+                f"packets:            {self.packets} ({self.rate:,.0f}/s)",
+                f"flows (5-tuples):   {self.flows} "
+                f"(mean {self.mean_packets_per_flow:.1f} pkts, "
+                f"max {self.max_flow_packets})",
+                f"flow-seconds:       {self.flow_seconds}",
+                f"host pairs:         {self.host_pairs}",
+                f"subnet groups:      {self.subnet_groups} "
+                f"({self.mean_flows_per_subnet_group:.1f} flows each)",
+                f"sources/targets:    {self.src_hosts} / {self.dst_hosts}",
+                f"suspicious flows:   {self.suspicious_flows} "
+                f"({self.suspicious_fraction:.1%})",
+            ]
+        )
+
+
+def trace_statistics(trace: Trace) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` in one pass over the packets."""
+    return packet_statistics(trace.packets, trace.duration_sec)
+
+
+def packet_statistics(packets: Sequence[dict], duration_sec: float) -> TraceStatistics:
+    flow_packets: Dict[tuple, int] = defaultdict(int)
+    flow_or: Dict[tuple, int] = defaultdict(int)
+    flow_seconds = set()
+    host_pairs = set()
+    subnet_groups: Dict[tuple, set] = defaultdict(set)
+    src_hosts = set()
+    dst_hosts = set()
+    for packet in packets:
+        flow = (
+            packet["srcIP"],
+            packet["destIP"],
+            packet["srcPort"],
+            packet["destPort"],
+        )
+        flow_packets[flow] += 1
+        flow_or[flow] |= packet["flags"]
+        flow_seconds.add((flow, packet["time"]))
+        host_pairs.add((packet["srcIP"], packet["destIP"]))
+        subnet_groups[(packet["srcIP"] & 0xFFFFFFF0, packet["destIP"])].add(flow)
+        src_hosts.add(packet["srcIP"])
+        dst_hosts.add(packet["destIP"])
+    flows = len(flow_packets)
+    suspicious = sum(1 for value in flow_or.values() if value == ATTACK_PATTERN)
+    return TraceStatistics(
+        packets=len(packets),
+        duration_sec=duration_sec,
+        flows=flows,
+        flow_seconds=len(flow_seconds),
+        host_pairs=len(host_pairs),
+        subnet_groups=len(subnet_groups),
+        src_hosts=len(src_hosts),
+        dst_hosts=len(dst_hosts),
+        suspicious_flows=suspicious,
+        mean_packets_per_flow=(len(packets) / flows) if flows else 0.0,
+        mean_flows_per_subnet_group=(
+            sum(len(members) for members in subnet_groups.values())
+            / len(subnet_groups)
+            if subnet_groups
+            else 0.0
+        ),
+        max_flow_packets=max(flow_packets.values(), default=0),
+    )

@@ -1,0 +1,37 @@
+"""Canned paper workloads and the experiment harness."""
+
+from .experiments import (
+    Configuration,
+    RunOutcome,
+    experiment1_configurations,
+    experiment2_configurations,
+    experiment3_configurations,
+    format_figure,
+    measure_selectivities,
+    run_configuration,
+    sweep_hosts,
+    trace_sources,
+)
+from .queries import (
+    COMPLEX_EPOCH_SECONDS,
+    complex_catalog,
+    subnet_jitter_catalog,
+    suspicious_flows_catalog,
+)
+
+__all__ = [
+    "COMPLEX_EPOCH_SECONDS",
+    "Configuration",
+    "RunOutcome",
+    "complex_catalog",
+    "experiment1_configurations",
+    "experiment2_configurations",
+    "experiment3_configurations",
+    "format_figure",
+    "measure_selectivities",
+    "run_configuration",
+    "subnet_jitter_catalog",
+    "suspicious_flows_catalog",
+    "sweep_hosts",
+    "trace_sources",
+]

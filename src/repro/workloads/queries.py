@@ -1,0 +1,106 @@
+"""The paper's query sets, as ready-made catalogs.
+
+Three workloads matching the three evaluation sections:
+
+* :func:`suspicious_flows_catalog` — §6.1's single aggregation query that
+  keeps only flows whose TCP-flag OR-fold matches an attack pattern;
+* :func:`subnet_jitter_catalog` — §6.2's query set of an independent
+  subnet aggregation plus a per-flow jitter self-join;
+* :func:`complex_catalog` — §3.2/§6.3's flows -> heavy_flows ->
+  flow_pairs DAG.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..gsql.catalog import Catalog
+from ..gsql.schema import tcp_schema
+from ..plan.dag import QueryDag
+from ..traces.packet import ATTACK_PATTERN
+
+SUSPICIOUS_FLOWS_SQL = """
+DEFINE QUERY suspicious_flows AS
+SELECT tb, srcIP, destIP, srcPort, destPort,
+       OR_AGGR(flags) as orflag, COUNT(*) as cnt, SUM(len) as bytes
+FROM TCP
+GROUP BY time as tb, srcIP, destIP, srcPort, destPort
+HAVING OR_AGGR(flags) = #PATTERN#;
+"""
+
+SUBNET_JITTER_SQL = """
+DEFINE QUERY subnet_stats AS
+SELECT tb, srcNet, destIP, COUNT(*) as cnt, SUM(len) as bytes
+FROM TCP
+GROUP BY time as tb, srcIP & 0xFFFFFFF0 as srcNet, destIP;
+
+DEFINE QUERY tcp_flows AS
+SELECT tb, srcIP, destIP, srcPort, destPort,
+       MIN(timestamp) as first_ts, MAX(timestamp) as last_ts,
+       COUNT(*) as cnt
+FROM TCP
+GROUP BY time as tb, srcIP, destIP, srcPort, destPort;
+
+DEFINE QUERY jitter AS
+SELECT S1.tb, S1.srcIP, S1.destIP, S1.srcPort, S1.destPort,
+       S2.first_ts - S1.last_ts as gap
+FROM tcp_flows S1, tcp_flows S2
+WHERE S1.srcIP = S2.srcIP and S1.destIP = S2.destIP
+  and S1.srcPort = S2.srcPort and S1.destPort = S2.destPort
+  and S2.tb = S1.tb + 1;
+"""
+
+COMPLEX_SQL = """
+DEFINE QUERY flows AS
+SELECT tb, srcIP, destIP, COUNT(*) as cnt
+FROM TCP
+GROUP BY time/60 as tb, srcIP, destIP;
+
+DEFINE QUERY heavy_flows AS
+SELECT tb, srcIP, MAX(cnt) as max_cnt
+FROM flows
+GROUP BY tb, srcIP;
+
+DEFINE QUERY flow_pairs AS
+SELECT S1.tb, S1.srcIP, S1.max_cnt as max_cnt1, S2.max_cnt as max_cnt2
+FROM heavy_flows S1, heavy_flows S2
+WHERE S1.srcIP = S2.srcIP and S1.tb = S2.tb + 1;
+"""
+
+# §6.3 runs the flows query with 60-second epochs over a one-hour trace
+# (60 windows); at simulator scale we use 2-second epochs so the default
+# 20-second trace spans ten windows.  The epoch length is substituted into
+# the script.
+COMPLEX_EPOCH_SECONDS = 2
+
+
+def _complex_sql(epoch_seconds: int) -> str:
+    return COMPLEX_SQL.replace("time/60", f"time/{epoch_seconds}")
+
+
+def suspicious_flows_catalog(
+    pattern: int = ATTACK_PATTERN,
+) -> Tuple[Catalog, QueryDag]:
+    """§6.1: network flows filtered to suspicious ones by OR_AGGR HAVING."""
+    catalog = Catalog()
+    catalog.add_stream(tcp_schema())
+    catalog.load_script(SUSPICIOUS_FLOWS_SQL, params={"#PATTERN#": pattern})
+    return catalog, QueryDag.from_catalog(catalog)
+
+
+def subnet_jitter_catalog() -> Tuple[Catalog, QueryDag]:
+    """§6.2: independent subnet aggregation + per-flow jitter self-join."""
+    catalog = Catalog()
+    catalog.add_stream(tcp_schema())
+    catalog.load_script(SUBNET_JITTER_SQL)
+    return catalog, QueryDag.from_catalog(catalog)
+
+
+def complex_catalog(
+    epoch_seconds: int = COMPLEX_EPOCH_SECONDS,
+) -> Tuple[Catalog, QueryDag]:
+    """§3.2 / §6.3: flows -> heavy_flows -> flow_pairs."""
+    catalog = Catalog()
+    catalog.add_stream(tcp_schema())
+    catalog.load_script(_complex_sql(epoch_seconds))
+    return catalog, QueryDag.from_catalog(catalog)

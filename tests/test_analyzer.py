@@ -1,0 +1,310 @@
+"""Semantic analysis: node kinds, lineage, aggregates, joins, errors."""
+
+import pytest
+
+from repro.expr import parse_scalar
+from repro.expr.expressions import Attr
+from repro.gsql.analyzer import NodeKind
+from repro.gsql.ast_nodes import JoinType
+from repro.gsql.errors import (
+    SemanticError,
+    UnknownColumnError,
+    UnknownStreamError,
+)
+
+
+class TestSelection(object):
+    def test_plain_projection(self, catalog):
+        node = catalog.define_query("q", "SELECT srcIP, destIP FROM TCP")
+        assert node.kind is NodeKind.SELECTION
+        assert node.schema.column_names() == ["srcIP", "destIP"]
+
+    def test_where_preserved(self, catalog):
+        node = catalog.define_query("q", "SELECT srcIP FROM TCP WHERE len > 100")
+        assert node.where is not None
+
+    def test_computed_column_lineage(self, catalog):
+        node = catalog.define_query(
+            "q", "SELECT srcIP & 0xFFF0 as net FROM TCP"
+        )
+        assert node.columns[0].lineage == parse_scalar("srcIP & 0xFFF0")
+
+    def test_select_star_expands(self, catalog):
+        node = catalog.define_query("q", "SELECT * FROM TCP")
+        assert node.schema.column_names() == catalog.stream("TCP").column_names()
+
+    def test_temporal_flag_propagates(self, catalog):
+        node = catalog.define_query("q", "SELECT time, srcIP FROM TCP")
+        assert node.columns[0].is_temporal
+        assert not node.columns[1].is_temporal
+
+    def test_having_without_group_by_rejected(self, catalog):
+        with pytest.raises(SemanticError):
+            catalog.define_query(
+                "q", "SELECT srcIP FROM TCP HAVING srcIP > 1"
+            )
+
+    def test_unknown_column_rejected(self, catalog):
+        with pytest.raises(UnknownColumnError):
+            catalog.define_query("q", "SELECT nonsuch FROM TCP")
+
+    def test_unknown_stream_rejected(self, catalog):
+        with pytest.raises(UnknownStreamError):
+            catalog.define_query("q", "SELECT a FROM NOPE")
+
+
+class TestAggregation:
+    def test_kind_and_group_by(self, catalog):
+        node = catalog.define_query(
+            "flows",
+            "SELECT tb, srcIP, destIP, COUNT(*) as cnt FROM TCP "
+            "GROUP BY time/60 as tb, srcIP, destIP",
+        )
+        assert node.kind is NodeKind.AGGREGATION
+        assert [g.name for g in node.group_by] == ["tb", "srcIP", "destIP"]
+
+    def test_temporal_group_by_detected(self, catalog):
+        node = catalog.define_query(
+            "flows",
+            "SELECT tb, srcIP, COUNT(*) as c FROM TCP GROUP BY time/60 as tb, srcIP",
+        )
+        temporal = {g.name: g.is_temporal for g in node.group_by}
+        assert temporal == {"tb": True, "srcIP": False}
+
+    def test_group_by_lineage(self, catalog):
+        node = catalog.define_query(
+            "q",
+            "SELECT net, COUNT(*) as c FROM TCP GROUP BY srcIP & 0xFFF0 as net",
+        )
+        assert node.group_by[0].lineage == parse_scalar("srcIP & 0xFFF0")
+
+    def test_aggregate_output_has_no_lineage(self, catalog):
+        node = catalog.define_query(
+            "q", "SELECT srcIP, COUNT(*) as c FROM TCP GROUP BY srcIP"
+        )
+        assert node.columns[1].lineage is None
+
+    def test_aggregate_deduplication(self, catalog):
+        node = catalog.define_query(
+            "q",
+            "SELECT srcIP, COUNT(*) as a, COUNT(*) as b FROM TCP GROUP BY srcIP",
+        )
+        assert len(node.aggregates) == 1
+
+    def test_having_aggregate_shares_slot(self, catalog):
+        node = catalog.define_query(
+            "q",
+            "SELECT srcIP, SUM(len) as s FROM TCP GROUP BY srcIP "
+            "HAVING SUM(len) > 1000",
+        )
+        assert len(node.aggregates) == 1
+        assert node.having is not None
+
+    def test_unaliased_aggregate_gets_generated_name(self, catalog):
+        node = catalog.define_query(
+            "q", "SELECT srcIP, SUM(len) FROM TCP GROUP BY srcIP"
+        )
+        assert node.schema.column_names() == ["srcIP", "sum_len"]
+
+    def test_non_grouped_column_rejected(self, catalog):
+        with pytest.raises(SemanticError):
+            catalog.define_query(
+                "q", "SELECT destIP, COUNT(*) FROM TCP GROUP BY srcIP"
+            )
+
+    def test_group_by_expression_reference_via_same_expression(self, catalog):
+        node = catalog.define_query(
+            "q",
+            "SELECT srcIP, COUNT(*) as c FROM TCP GROUP BY srcIP",
+        )
+        # selecting srcIP resolves to the group-by column of the same name
+        assert node.columns[0].lineage == Attr("srcIP")
+
+    def test_count_distinct_arg_types(self, catalog):
+        node = catalog.define_query(
+            "q",
+            "SELECT srcIP, MIN(len) as lo, MAX(len) as hi, AVG(len) as mean "
+            "FROM TCP GROUP BY srcIP",
+        )
+        names = {c.name: c.ctype.kind.value for c in node.columns}
+        assert names["mean"] == "float"
+
+    def test_macro_substitution(self, catalog):
+        node = catalog.define_query(
+            "q",
+            "SELECT srcIP, OR_AGGR(flags) as f FROM TCP GROUP BY srcIP "
+            "HAVING OR_AGGR(flags) = #P#",
+            params={"#P#": 0x29},
+        )
+        assert "41" in str(node.having)
+
+    def test_missing_macro_raises(self, catalog):
+        with pytest.raises(SemanticError):
+            catalog.define_query(
+                "q",
+                "SELECT srcIP, COUNT(*) as c FROM TCP GROUP BY srcIP "
+                "HAVING COUNT(*) = #P#",
+            )
+
+    def test_aggregate_in_where_rejected(self, catalog):
+        with pytest.raises(SemanticError):
+            catalog.define_query(
+                "q",
+                "SELECT srcIP, COUNT(*) as c FROM TCP "
+                "WHERE SUM(len) > 5 GROUP BY srcIP",
+            )
+
+
+class TestLineageThroughViews:
+    def test_second_level_lineage(self, catalog):
+        catalog.define_query(
+            "flows",
+            "SELECT tb, srcIP, destIP, COUNT(*) as cnt FROM TCP "
+            "GROUP BY time/60 as tb, srcIP, destIP",
+        )
+        heavy = catalog.define_query(
+            "heavy",
+            "SELECT tb, srcIP, MAX(cnt) as m FROM flows GROUP BY tb, srcIP",
+        )
+        lineages = {g.name: g.lineage for g in heavy.group_by}
+        assert lineages["tb"] == parse_scalar("time/60")
+        assert lineages["srcIP"] == Attr("srcIP")
+
+    def test_group_by_aggregate_column_has_no_lineage(self, catalog):
+        catalog.define_query(
+            "flows",
+            "SELECT srcIP, COUNT(*) as cnt FROM TCP GROUP BY srcIP",
+        )
+        by_count = catalog.define_query(
+            "dist",
+            "SELECT cnt, COUNT(*) as n FROM flows GROUP BY cnt",
+        )
+        assert by_count.group_by[0].lineage is None
+
+
+class TestJoins:
+    def _flows(self, catalog):
+        catalog.define_query(
+            "flows",
+            "SELECT tb, srcIP, destIP, COUNT(*) as cnt FROM TCP "
+            "GROUP BY time/60 as tb, srcIP, destIP",
+        )
+
+    def test_join_kind_and_aliases(self, catalog):
+        self._flows(catalog)
+        node = catalog.define_query(
+            "pairs",
+            "SELECT S1.srcIP, S1.cnt as c1, S2.cnt as c2 "
+            "FROM flows S1, flows S2 "
+            "WHERE S1.srcIP = S2.srcIP and S1.tb = S2.tb + 1",
+        )
+        assert node.kind is NodeKind.JOIN
+        assert node.input_aliases == ["S1", "S2"]
+
+    def test_equalities_split_and_oriented(self, catalog):
+        self._flows(catalog)
+        node = catalog.define_query(
+            "pairs",
+            "SELECT S1.srcIP FROM flows S1, flows S2 "
+            "WHERE S2.tb + 1 = S1.tb and S1.srcIP = S2.srcIP",
+        )
+        # the reversed predicate is re-oriented: left side over S1
+        temporal = [e for e in node.equalities if e.temporal]
+        assert len(temporal) == 1
+        assert "tb" in str(temporal[0].left)
+
+    def test_temporal_predicate_required(self, catalog):
+        self._flows(catalog)
+        with pytest.raises(SemanticError):
+            catalog.define_query(
+                "bad",
+                "SELECT S1.srcIP FROM flows S1, flows S2 "
+                "WHERE S1.srcIP = S2.srcIP",
+            )
+
+    def test_synchronized_lineage(self, catalog):
+        self._flows(catalog)
+        node = catalog.define_query(
+            "pairs",
+            "SELECT S1.srcIP FROM flows S1, flows S2 "
+            "WHERE S1.srcIP = S2.srcIP and S1.tb = S2.tb",
+        )
+        assert Attr("srcIP") in node.join_synchronized
+
+    def test_join_output_lineage_only_for_synchronized_columns(self, catalog):
+        self._flows(catalog)
+        node = catalog.define_query(
+            "pairs",
+            "SELECT S1.srcIP, S1.destIP as d1 FROM flows S1, flows S2 "
+            "WHERE S1.srcIP = S2.srcIP and S1.tb = S2.tb",
+        )
+        by_name = {c.name: c.lineage for c in node.columns}
+        assert by_name["srcIP"] == Attr("srcIP")
+        # destIP is not an equi-join key: its lineage must be dropped
+        assert by_name["d1"] is None
+
+    def test_residual_predicate_extracted(self, catalog):
+        self._flows(catalog)
+        node = catalog.define_query(
+            "pairs",
+            "SELECT S1.srcIP FROM flows S1, flows S2 "
+            "WHERE S1.srcIP = S2.srcIP and S1.tb = S2.tb and S1.cnt > S2.cnt",
+        )
+        assert node.residual is not None
+        assert len(node.equalities) == 2
+
+    def test_ambiguous_unqualified_column_rejected(self, catalog):
+        self._flows(catalog)
+        with pytest.raises(SemanticError):
+            catalog.define_query(
+                "bad",
+                "SELECT srcIP FROM flows S1, flows S2 "
+                "WHERE S1.srcIP = S2.srcIP and S1.tb = S2.tb",
+            )
+
+    def test_same_binding_rejected(self, catalog):
+        self._flows(catalog)
+        with pytest.raises(SemanticError):
+            catalog.define_query(
+                "bad",
+                "SELECT S1.srcIP FROM flows S1, flows S1 "
+                "WHERE S1.srcIP = S1.srcIP",
+            )
+
+    def test_outer_join_type_recorded(self, catalog):
+        self._flows(catalog)
+        node = catalog.define_query(
+            "pairs",
+            "SELECT S1.srcIP FROM flows S1 LEFT OUTER JOIN flows S2 "
+            "ON S1.srcIP = S2.srcIP and S1.tb = S2.tb",
+        )
+        assert node.join_type is JoinType.LEFT_OUTER
+
+    def test_aggregation_over_join_rejected(self, catalog):
+        self._flows(catalog)
+        with pytest.raises(SemanticError):
+            catalog.define_query(
+                "bad",
+                "SELECT S1.srcIP, COUNT(*) FROM flows S1, flows S2 "
+                "WHERE S1.srcIP = S2.srcIP and S1.tb = S2.tb "
+                "GROUP BY S1.srcIP",
+            )
+
+
+class TestUnion:
+    def test_union_produces_branches_and_union_node(self, catalog):
+        node = catalog.define_query(
+            "u",
+            "SELECT srcIP, len FROM TCP WHERE destPort = 80 "
+            "UNION SELECT srcIP, len FROM TCP WHERE destPort = 443",
+        )
+        assert node.kind is NodeKind.UNION
+        assert len(node.inputs) == 2
+        assert node.schema.column_names() == ["srcIP", "len"]
+
+    def test_mismatched_union_rejected(self, catalog):
+        with pytest.raises(SemanticError):
+            catalog.define_query(
+                "u",
+                "SELECT srcIP FROM TCP UNION SELECT destIP FROM TCP",
+            )

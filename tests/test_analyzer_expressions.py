@@ -1,0 +1,125 @@
+"""Analyzer + engine coverage for compound expressions in aggregations."""
+
+import pytest
+
+from repro.engine.operators import AggregateOp
+from repro.engine import batches_equal, run_centralized
+
+
+def packet(time, src, length):
+    return {
+        "time": time,
+        "timestamp": time,
+        "srcIP": src,
+        "destIP": 1,
+        "srcPort": 2,
+        "destPort": 80,
+        "protocol": 6,
+        "flags": 0x10,
+        "len": length,
+    }
+
+
+class TestAggregateArithmetic:
+    def test_ratio_of_aggregates(self, catalog):
+        node = catalog.define_query(
+            "avg_len",
+            "SELECT srcIP, SUM(len) / COUNT(*) as mean_len FROM TCP GROUP BY srcIP",
+        )
+        assert len(node.aggregates) == 2
+        out = AggregateOp(node).process(
+            [packet(0, 1, 100), packet(0, 1, 50), packet(0, 2, 10)]
+        )
+        by_src = {r["srcIP"]: r["mean_len"] for r in out}
+        assert by_src == {1: 75, 2: 10}
+
+    def test_arithmetic_over_group_alias(self, catalog):
+        node = catalog.define_query(
+            "seconds",
+            "SELECT tb * 60 as start_sec, COUNT(*) as c FROM TCP "
+            "GROUP BY time/60 as tb",
+        )
+        out = AggregateOp(node).process([packet(125, 1, 10)])
+        assert out == [{"start_sec": 120, "c": 1}]
+
+    def test_mixed_aggregate_and_alias(self, catalog):
+        node = catalog.define_query(
+            "mix",
+            "SELECT tb, SUM(len) + tb as weird FROM TCP GROUP BY time/10 as tb",
+        )
+        out = AggregateOp(node).process([packet(25, 1, 100)])
+        assert out == [{"tb": 2, "weird": 102}]
+
+    def test_having_with_connectives(self, catalog):
+        node = catalog.define_query(
+            "both",
+            "SELECT srcIP, COUNT(*) as c, SUM(len) as s FROM TCP GROUP BY srcIP "
+            "HAVING COUNT(*) > 1 AND SUM(len) < 100 OR srcIP = 9",
+        )
+        rows = (
+            [packet(0, 1, 10), packet(0, 1, 20)]  # c=2, s=30 -> pass
+            + [packet(0, 2, 500), packet(0, 2, 1)]  # s=501 -> fail
+            + [packet(0, 9, 999)]  # srcIP=9 -> pass via OR
+        )
+        out = AggregateOp(node).process(rows)
+        assert sorted(r["srcIP"] for r in out) == [1, 9]
+
+    def test_mask_group_by_with_aggregate_arithmetic(self, catalog):
+        node = catalog.define_query(
+            "subnets",
+            "SELECT net, SUM(len) * 8 as bits FROM TCP "
+            "GROUP BY srcIP & 0xFFFFFFF0 as net",
+        )
+        out = AggregateOp(node).process([packet(0, 0x0A0000A5, 10)])
+        assert out == [{"net": 0x0A0000A0, "bits": 80}]
+
+    def test_column_lineage_through_alias_arithmetic(self, catalog):
+        node = catalog.define_query(
+            "q",
+            "SELECT tb * 2 as double_tb, COUNT(*) as c FROM TCP "
+            "GROUP BY time/4 as tb",
+        )
+        from repro.expr import parse_scalar
+
+        assert node.columns[0].lineage == parse_scalar("(time/4) * 2")
+        assert node.columns[0].is_temporal
+
+
+class TestExecutorErrors:
+    def test_missing_stream_trace(self, complex_dag):
+        with pytest.raises(KeyError):
+            run_centralized(complex_dag, {})
+
+    def test_trace_sources_helper(self, complex_dag, tiny_trace):
+        from repro.workloads import trace_sources
+
+        sources = trace_sources(complex_dag, tiny_trace)
+        assert set(sources) == {"TCP"}
+        reference = run_centralized(complex_dag, sources)
+        assert "flows" in reference
+
+
+class TestDistributedCompoundExpressions:
+    def test_ratio_aggregates_distribute(self, catalog, tiny_trace):
+        """Compound aggregate expressions survive SUB/SUPER splitting:
+        both component aggregates ship states and the expression applies
+        at the SUPER."""
+        from repro.cluster import ClusterSimulator, RoundRobinSplitter
+        from repro.distopt import DistributedOptimizer, Placement
+        from repro.plan import QueryDag
+
+        catalog.define_query(
+            "avg_len",
+            "SELECT tb, srcIP, SUM(len) / COUNT(*) as mean_len FROM TCP "
+            "GROUP BY time as tb, srcIP",
+        )
+        dag = QueryDag.from_catalog(catalog)
+        plan = DistributedOptimizer(dag, Placement(3, 2), None).optimize()
+        sim = ClusterSimulator(dag, plan, stream_rate=tiny_trace.rate)
+        result = sim.run(
+            {"TCP": tiny_trace.packets},
+            RoundRobinSplitter(6),
+            tiny_trace.duration_sec,
+        )
+        reference = run_centralized(dag, {"TCP": tiny_trace.packets})
+        assert batches_equal(result.outputs["avg_len"], reference["avg_len"])

@@ -1,0 +1,101 @@
+"""Load-balance measurement for partitioning schemes."""
+
+import pytest
+
+from repro.cluster import (
+    BalanceReport,
+    HashSplitter,
+    RoundRobinSplitter,
+    compare_balance,
+    partition_balance,
+)
+from repro.distopt import Placement
+from repro.partitioning import PartitioningSet
+
+
+class TestBalanceReport:
+    def test_perfect_balance(self):
+        report = BalanceReport([10, 10, 10, 10])
+        assert report.max_over_mean == 1.0
+        assert report.coefficient_of_variation == 0.0
+
+    def test_skewed(self):
+        report = BalanceReport([30, 10, 0, 0])
+        assert report.total == 40
+        assert report.max_over_mean == 3.0
+        assert report.coefficient_of_variation > 1.0
+
+    def test_empty(self):
+        report = BalanceReport([])
+        assert report.max_over_mean == 1.0
+        assert report.mean == 0.0
+
+    def test_describe(self):
+        text = BalanceReport([1, 2], [3]).describe()
+        assert "max/mean" in text
+        assert "hosts" in text
+
+
+class TestPartitionBalance:
+    def test_round_robin_is_perfect(self, small_trace):
+        report = partition_balance(RoundRobinSplitter(8), small_trace.packets)
+        assert report.max_over_mean < 1.001
+
+    def test_flow_key_hash_is_reasonable(self, small_trace):
+        splitter = HashSplitter(
+            8, PartitioningSet.of("srcIP", "destIP", "srcPort", "destPort")
+        )
+        report = partition_balance(splitter, small_trace.packets)
+        assert report.max_over_mean < 2.5
+
+    def test_coarse_key_is_worse_than_fine_key(self, small_trace):
+        """Fewer distinct key values -> worse balance (the reason the
+        paper prefers the largest compatible set)."""
+        fine = partition_balance(
+            HashSplitter(
+                8, PartitioningSet.of("srcIP", "destIP", "srcPort", "destPort")
+            ),
+            small_trace.packets,
+        )
+        coarse = partition_balance(
+            HashSplitter(8, PartitioningSet.of("destPort")),
+            small_trace.packets,
+        )
+        assert coarse.max_over_mean > fine.max_over_mean
+
+    def test_temporal_key_is_degenerate(self, small_trace):
+        """§3.5.1's warning: correlated-in-time tuples share temporal
+        values — a coarse temporal key concentrates whole epochs on
+        single partitions."""
+        report = partition_balance(
+            HashSplitter(8, PartitioningSet.of("time / 4")),
+            small_trace.packets,
+        )
+        assert report.coefficient_of_variation > 0.5
+
+    def test_per_host_aggregation(self, small_trace):
+        placement = Placement(num_hosts=4, partitions_per_host=2)
+        report = partition_balance(
+            RoundRobinSplitter(8), small_trace.packets, placement
+        )
+        assert report.host_counts is not None
+        assert len(report.host_counts) == 4
+        assert sum(report.host_counts) == len(small_trace.packets)
+
+    def test_placement_mismatch_rejected(self, small_trace):
+        with pytest.raises(ValueError):
+            partition_balance(
+                RoundRobinSplitter(6),
+                small_trace.packets,
+                Placement(num_hosts=4, partitions_per_host=2),
+            )
+
+    def test_compare_balance(self, small_trace):
+        reports = compare_balance(
+            {
+                "rr": RoundRobinSplitter(4),
+                "srcIP": HashSplitter(4, PartitioningSet.of("srcIP")),
+            },
+            small_trace.packets,
+        )
+        assert set(reports) == {"rr", "srcIP"}

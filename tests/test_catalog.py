@@ -1,0 +1,123 @@
+"""Catalog registration, scripts, and DAG construction."""
+
+import pytest
+
+from repro.gsql.catalog import Catalog
+from repro.gsql.errors import (
+    DuplicateDefinitionError,
+    UnknownStreamError,
+)
+from repro.gsql.schema import packet_schema, tcp_schema
+from repro.plan import QueryDag
+
+
+class TestRegistration:
+    def test_duplicate_stream_rejected(self, catalog):
+        with pytest.raises(DuplicateDefinitionError):
+            catalog.add_stream(tcp_schema())
+
+    def test_duplicate_query_rejected(self, catalog):
+        catalog.define_query("q", "SELECT srcIP FROM TCP")
+        with pytest.raises(DuplicateDefinitionError):
+            catalog.define_query("q", "SELECT destIP FROM TCP")
+
+    def test_query_name_cannot_shadow_stream(self, catalog):
+        with pytest.raises(DuplicateDefinitionError):
+            catalog.define_query("TCP", "SELECT srcIP FROM TCP")
+
+    def test_stream_cannot_shadow_query(self, catalog):
+        catalog.define_query("PKT", "SELECT srcIP FROM TCP")
+        with pytest.raises(DuplicateDefinitionError):
+            catalog.add_stream(packet_schema("PKT"))
+
+    def test_unknown_lookup_raises(self, catalog):
+        with pytest.raises(UnknownStreamError):
+            catalog.node("missing")
+
+    def test_source_node_synthesized(self, catalog):
+        node = catalog.node("TCP")
+        assert node.kind.value == "source"
+        assert node.schema.column_names() == tcp_schema().column_names()
+
+
+class TestScripts:
+    SCRIPT = """
+    DEFINE QUERY flows AS
+    SELECT tb, srcIP, destIP, COUNT(*) as cnt
+    FROM TCP GROUP BY time/60 as tb, srcIP, destIP;
+
+    DEFINE QUERY heavy AS
+    SELECT tb, srcIP, MAX(cnt) as m FROM flows GROUP BY tb, srcIP;
+    """
+
+    def test_load_script_defines_in_order(self, catalog):
+        roots = catalog.load_script(self.SCRIPT)
+        assert [r.name for r in roots] == ["flows", "heavy"]
+
+    def test_definition_order_preserved(self, catalog):
+        catalog.load_script(self.SCRIPT)
+        assert [n.name for n in catalog.nodes()] == ["flows", "heavy"]
+
+    def test_anonymous_queries_get_generated_names(self, catalog):
+        roots = catalog.load_script("SELECT srcIP FROM TCP; SELECT destIP FROM TCP")
+        assert [r.name for r in roots] == ["query_0", "query_1"]
+
+    def test_roots_excludes_consumed_queries(self, catalog):
+        catalog.load_script(self.SCRIPT)
+        assert [r.name for r in catalog.roots()] == ["heavy"]
+
+    def test_forward_reference_rejected(self, catalog):
+        with pytest.raises(UnknownStreamError):
+            catalog.load_script(
+                "DEFINE QUERY a AS SELECT x FROM b;"
+                "DEFINE QUERY b AS SELECT srcIP as x FROM TCP;"
+            )
+
+
+class TestQueryDag:
+    def test_from_catalog_includes_sources(self, catalog):
+        catalog.load_script(TestScripts.SCRIPT)
+        dag = QueryDag.from_catalog(catalog)
+        assert "TCP" in dag
+        assert len(dag) == 3
+
+    def test_topological_order_is_leaves_first(self, catalog):
+        catalog.load_script(TestScripts.SCRIPT)
+        dag = QueryDag.from_catalog(catalog)
+        names = [n.name for n in dag.nodes()]
+        assert names.index("TCP") < names.index("flows") < names.index("heavy")
+
+    def test_restricting_roots_prunes(self, catalog):
+        catalog.load_script(TestScripts.SCRIPT)
+        dag = QueryDag.from_catalog(catalog, roots=["flows"])
+        assert "heavy" not in dag
+        assert len(dag) == 2
+
+    def test_parents_and_children(self, catalog):
+        catalog.load_script(TestScripts.SCRIPT)
+        dag = QueryDag.from_catalog(catalog)
+        assert [p.name for p in dag.parents("flows")] == ["heavy"]
+        assert [c.name for c in dag.children("heavy")] == ["flows"]
+
+    def test_leaf_queries(self, catalog):
+        catalog.load_script(TestScripts.SCRIPT)
+        dag = QueryDag.from_catalog(catalog)
+        assert [n.name for n in dag.leaf_queries()] == ["flows"]
+
+    def test_roots(self, catalog):
+        catalog.load_script(TestScripts.SCRIPT)
+        dag = QueryDag.from_catalog(catalog)
+        assert [n.name for n in dag.roots()] == ["heavy"]
+
+    def test_self_join_counts_once_in_parents(self, complex_dag):
+        parents = complex_dag.parents("heavy_flows")
+        assert [p.name for p in parents] == ["flow_pairs", "flow_pairs"]
+
+    def test_transitive_inputs(self, complex_dag):
+        below = complex_dag.descends_to_source_only_via("flow_pairs")
+        assert below == {"heavy_flows", "flows", "TCP"}
+
+    def test_render_mentions_every_query(self, complex_dag):
+        rendered = complex_dag.render()
+        for name in ("flow_pairs", "heavy_flows", "flows", "TCP"):
+            assert name in rendered

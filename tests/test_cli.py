@@ -1,0 +1,109 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SCRIPT = """
+DEFINE QUERY flows AS
+SELECT tb, srcIP, destIP, COUNT(*) as cnt
+FROM TCP GROUP BY time/60 as tb, srcIP, destIP;
+
+DEFINE QUERY heavy AS
+SELECT tb, srcIP, MAX(cnt) as m FROM flows GROUP BY tb, srcIP;
+"""
+
+
+@pytest.fixture
+def script_file(tmp_path):
+    path = tmp_path / "queries.gsql"
+    path.write_text(SCRIPT)
+    return str(path)
+
+
+class TestAnalyze:
+    def test_analyze_recommends(self, script_file, capsys):
+        assert main(["analyze", "--script", script_file, "--rate", "50000"]) == 0
+        out = capsys.readouterr().out
+        assert "recommended partitioning: {srcIP}" in out
+        assert "query DAG:" in out
+
+    def test_analyze_with_hardware(self, script_file, capsys):
+        code = main(
+            ["analyze", "--script", script_file, "--hardware", "destIP"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "destIP" in out
+
+
+class TestPlan:
+    def test_plan_with_partitioning(self, script_file, capsys):
+        code = main(
+            [
+                "plan",
+                "--script",
+                script_file,
+                "--hosts",
+                "3",
+                "--partitioning",
+                "srcIP",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "== host 0 (aggregator) ==" in out
+        assert "== host 2 ==" in out
+        assert "pushed FULL" in out
+
+    def test_plan_round_robin_default(self, script_file, capsys):
+        assert main(["plan", "--script", script_file]) == 0
+        out = capsys.readouterr().out
+        assert "round-robin" in out
+        assert "SUB/SUPER" in out
+
+
+class TestTrace:
+    def test_trace_stats_only(self, capsys):
+        code = main(["trace", "--duration", "3", "--rate", "200", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flows" in out
+
+    def test_trace_saved(self, tmp_path, capsys):
+        out_path = str(tmp_path / "t.csv")
+        code = main(
+            ["trace", "--duration", "2", "--rate", "100", "--out", out_path]
+        )
+        assert code == 0
+        from repro.traces import load_trace
+
+        loaded = load_trace(out_path)
+        assert loaded.packets
+
+    def test_trace_preset(self, capsys):
+        assert main(["trace", "--preset", "exp2", "--duration", "2"]) == 0
+        # preset overrides duration; just verify it ran and printed stats
+        assert "subnet groups" in capsys.readouterr().out
+
+
+class TestFigures:
+    def test_small_figure_sweep(self, capsys):
+        code = main(
+            ["figures", "--experiment", "1", "--hosts", "1,2", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CPU load on aggregator" in out
+        assert "Naive" in out
+        assert "Partitioned" in out
+
+
+class TestParserErrors:
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["figures", "--experiment", "9"])

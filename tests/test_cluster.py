@@ -1,0 +1,101 @@
+"""Hosts, network metering, cost tables."""
+
+import pytest
+
+from repro.cluster.costs import DEFAULT_COSTS, CostTable, default_capacity
+from repro.cluster.host import Host
+from repro.cluster.network import NetworkMeter
+
+
+class TestHost:
+    def test_charge_accumulates(self):
+        host = Host(0, capacity_per_sec=100.0)
+        host.charge(30.0, "ingest")
+        host.charge(20.0, "aggregate")
+        assert host.cpu_units == 50.0
+        assert host.by_category == {"ingest": 30.0, "aggregate": 20.0}
+
+    def test_load_percent(self):
+        host = Host(0, capacity_per_sec=100.0)
+        host.charge(50.0, "work")
+        assert host.load_percent(1.0) == 50.0
+        assert host.load_percent(2.0) == 25.0
+
+    def test_overload_exceeds_hundred(self):
+        host = Host(0, capacity_per_sec=10.0)
+        host.charge(25.0, "work")
+        assert host.load_percent(1.0) == 250.0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            Host(0, 10.0).charge(-1.0, "work")
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Host(0, 10.0).load_percent(0)
+
+    def test_reset(self):
+        host = Host(0, 10.0)
+        host.charge(5.0, "x")
+        host.reset()
+        assert host.cpu_units == 0.0
+        assert host.by_category == {}
+
+
+class TestNetworkMeter:
+    def test_same_host_not_counted(self):
+        meter = NetworkMeter()
+        meter.record(1, 1, 100, 26)
+        assert meter.total_tuples() == 0
+
+    def test_cross_host_counted(self):
+        meter = NetworkMeter()
+        meter.record(1, 0, 100, 26)
+        meter.record(2, 0, 50, 26)
+        assert meter.tuples_received[0] == 150
+        assert meter.bytes_received[0] == 150 * 26
+
+    def test_per_link_accounting(self):
+        meter = NetworkMeter()
+        meter.record(1, 0, 100, 26)
+        meter.record(1, 0, 1, 26)
+        assert meter.link_tuples[(1, 0)] == 101
+
+    def test_tuples_per_sec(self):
+        meter = NetworkMeter()
+        meter.record(1, 0, 200, 26)
+        assert meter.tuples_per_sec(0, 10.0) == 20.0
+        assert meter.tuples_per_sec(3, 10.0) == 0.0
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            NetworkMeter().tuples_per_sec(0, 0)
+
+    def test_reset(self):
+        meter = NetworkMeter()
+        meter.record(1, 0, 100, 26)
+        meter.reset()
+        assert meter.total_tuples() == 0
+
+
+class TestCostTable:
+    def test_remote_costs_more_than_local(self):
+        """The paper's central overhead assumption must hold in the table."""
+        assert DEFAULT_COSTS.receive_remote > 5 * DEFAULT_COSTS.receive_local
+
+    def test_scaled(self):
+        doubled = DEFAULT_COSTS.scaled(2.0)
+        assert doubled.receive_remote == 2 * DEFAULT_COSTS.receive_remote
+        assert doubled.aggregate_update == 2 * DEFAULT_COSTS.aggregate_update
+
+    def test_with_remote_overhead(self):
+        tweaked = DEFAULT_COSTS.with_remote_overhead(99.0)
+        assert tweaked.receive_remote == 99.0
+        assert tweaked.receive_local == DEFAULT_COSTS.receive_local
+
+    def test_default_capacity_scales_with_rate(self):
+        assert default_capacity(2000) == 2 * default_capacity(1000)
+
+    def test_cost_table_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COSTS.merge = 5.0

@@ -1,0 +1,65 @@
+"""Error classes: hierarchy and message quality."""
+
+import pytest
+
+from repro.gsql.errors import (
+    DuplicateDefinitionError,
+    GsqlError,
+    LexError,
+    ParseError,
+    SemanticError,
+    UnknownColumnError,
+    UnknownStreamError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            LexError("x", 0, 1, 1),
+            ParseError("x"),
+            SemanticError("x"),
+            UnknownStreamError("x", []),
+            UnknownColumnError("x", []),
+            DuplicateDefinitionError("x"),
+        ],
+    )
+    def test_all_derive_from_gsql_error(self, exc):
+        assert isinstance(exc, GsqlError)
+
+    def test_catching_base_class_at_api_boundary(self, catalog):
+        """One except clause suffices for any front-end failure."""
+        bad_inputs = [
+            "SELECT srcIP FROM",  # parse error
+            "SELECT nothere FROM TCP",  # unknown column
+            "SELECT a FROM NOPE",  # unknown stream
+            "SELECT @ FROM TCP",  # lex error
+        ]
+        for index, text in enumerate(bad_inputs):
+            with pytest.raises(GsqlError):
+                catalog.define_query(f"bad{index}", text)
+
+
+class TestMessages:
+    def test_lex_error_carries_position(self):
+        error = LexError("unexpected character '@'", 10, 2, 5)
+        assert error.line == 2
+        assert error.column == 5
+        assert "line 2" in str(error)
+
+    def test_parse_error_location_optional(self):
+        assert "line" not in str(ParseError("expected FROM"))
+        assert "line 3" in str(ParseError("expected FROM", 3, 7))
+
+    def test_unknown_stream_lists_known_names(self):
+        error = UnknownStreamError("TPC", ["TCP", "flows"])
+        assert "TPC" in str(error)
+        assert "TCP" in str(error)
+
+    def test_unknown_column_lists_scope(self):
+        error = UnknownColumnError("srcip", ["srcIP", "destIP"])
+        assert "srcIP" in str(error)
+
+    def test_duplicate_definition_names_offender(self):
+        assert "flows" in str(DuplicateDefinitionError("flows"))

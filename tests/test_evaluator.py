@@ -1,0 +1,97 @@
+"""Expression compilation and evaluation."""
+
+import pytest
+
+from repro.expr import compile_expr, compile_key, evaluate, parse_scalar
+from repro.expr.expressions import Func, attr, const
+
+
+class TestArithmetic:
+    def test_attribute_lookup(self):
+        assert evaluate(parse_scalar("srcIP"), {"srcIP": 7}) == 7
+
+    def test_constant(self):
+        assert evaluate(const(42), {}) == 42
+
+    @pytest.mark.parametrize(
+        "text, row, expected",
+        [
+            ("a + b", {"a": 2, "b": 3}, 5),
+            ("a - b", {"a": 2, "b": 3}, -1),
+            ("a * b", {"a": 4, "b": 3}, 12),
+            ("a % b", {"a": 7, "b": 3}, 1),
+            ("a & b", {"a": 0xFF, "b": 0x0F}, 0x0F),
+            ("a | b", {"a": 0xF0, "b": 0x0F}, 0xFF),
+            ("a ^ b", {"a": 0xFF, "b": 0x0F}, 0xF0),
+            ("a << b", {"a": 1, "b": 4}, 16),
+            ("a >> b", {"a": 256, "b": 4}, 16),
+        ],
+    )
+    def test_binary_operators(self, text, row, expected):
+        assert evaluate(parse_scalar(text), row) == expected
+
+    def test_integer_division_floors(self):
+        assert evaluate(parse_scalar("t / 60"), {"t": 119}) == 1
+
+    def test_float_division_is_true_division(self):
+        expr = parse_scalar("a / b")
+        assert evaluate(expr, {"a": 7.0, "b": 2}) == 3.5
+
+    def test_unary_negation(self):
+        assert evaluate(parse_scalar("-a"), {"a": 5}) == -5
+
+    def test_bitwise_not(self):
+        assert evaluate(parse_scalar("~a"), {"a": 0}) == -1
+
+
+class TestPredicateFunctions:
+    @pytest.mark.parametrize(
+        "func, args, expected",
+        [
+            ("EQ", (1, 1), True),
+            ("EQ", (1, 2), False),
+            ("NE", (1, 2), True),
+            ("LT", (1, 2), True),
+            ("LE", (2, 2), True),
+            ("GT", (3, 2), True),
+            ("GE", (1, 2), False),
+            ("AND", (True, False), False),
+            ("OR", (True, False), True),
+        ],
+    )
+    def test_comparison_functions(self, func, args, expected):
+        expr = Func(func, tuple(const(a) for a in args))
+        assert evaluate(expr, {}) == expected
+
+    def test_not_function(self):
+        assert evaluate(Func("NOT", (const(0),)), {}) is True
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(ValueError):
+            compile_expr(Func("FROBNICATE", (const(1),)))
+
+
+class TestKeyCompilation:
+    def test_single_expression_key(self):
+        key = compile_key([attr("a")])
+        assert key({"a": 9}) == (9,)
+
+    def test_multi_expression_key(self):
+        key = compile_key([attr("a"), parse_scalar("b & 0xF0")])
+        assert key({"a": 1, "b": 0xFF}) == (1, 0xF0)
+
+    def test_key_is_reusable(self):
+        key = compile_key([attr("a")])
+        assert key({"a": 1}) == (1,)
+        assert key({"a": 2}) == (2,)
+
+
+class TestCompilationIsPure:
+    def test_compiled_function_does_not_mutate_row(self):
+        row = {"a": 1, "b": 2}
+        evaluate(parse_scalar("a + b"), row)
+        assert row == {"a": 1, "b": 2}
+
+    def test_missing_attribute_raises_key_error(self):
+        with pytest.raises(KeyError):
+            evaluate(attr("missing"), {"present": 1})

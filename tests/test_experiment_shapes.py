@@ -1,0 +1,189 @@
+"""Integration tests: the paper's qualitative results must reproduce.
+
+These run the actual experiment harness on reduced traces and assert the
+*shapes* of Figures 8-11/13-14 — who wins, what grows linearly, what
+stays flat — rather than absolute numbers.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.traces import four_tap_trace
+from repro.workloads import (
+    complex_catalog,
+    experiment1_configurations,
+    experiment2_configurations,
+    experiment3_configurations,
+    subnet_jitter_catalog,
+    suspicious_flows_catalog,
+    sweep_hosts,
+)
+from repro.workloads.experiments import (
+    experiment1_trace_config,
+    experiment2_trace_config,
+    experiment3_trace_config,
+    experiment_capacity,
+)
+
+
+def smaller(config):
+    """Shrink a preset trace for test speed (same structure)."""
+    return replace(config, duration=10, rate=1200)
+
+
+@pytest.fixture(scope="module")
+def exp1():
+    trace = four_tap_trace(smaller(experiment1_trace_config()))
+    _, dag = suspicious_flows_catalog()
+    return sweep_hosts(
+        dag,
+        trace,
+        experiment1_configurations(),
+        host_counts=(1, 2, 4),
+        host_capacity=experiment_capacity(1, trace),
+    )
+
+
+@pytest.fixture(scope="module")
+def exp2():
+    trace = four_tap_trace(smaller(experiment2_trace_config()))
+    _, dag = subnet_jitter_catalog()
+    return sweep_hosts(
+        dag,
+        trace,
+        experiment2_configurations(),
+        host_counts=(1, 2, 4),
+        host_capacity=experiment_capacity(2, trace),
+    )
+
+
+@pytest.fixture(scope="module")
+def exp3():
+    trace = four_tap_trace(smaller(experiment3_trace_config()))
+    _, dag = complex_catalog()
+    return sweep_hosts(
+        dag,
+        trace,
+        experiment3_configurations(),
+        host_counts=(1, 2, 4),
+        host_capacity=experiment_capacity(3, trace),
+    )
+
+
+def cpu(series):
+    return [o.aggregator_cpu for o in series]
+
+def net(series):
+    return [o.aggregator_net for o in series]
+
+
+class TestExperiment1:
+    """Figures 8 and 9."""
+
+    def test_naive_cpu_grows_with_hosts(self, exp1):
+        loads = cpu(exp1["Naive"])
+        assert loads[-1] > loads[0]
+
+    def test_optimized_below_naive_at_scale(self, exp1):
+        assert cpu(exp1["Optimized"])[-1] < cpu(exp1["Naive"])[-1]
+
+    def test_partitioned_cpu_decreases(self, exp1):
+        loads = cpu(exp1["Partitioned"])
+        assert loads[0] > loads[1] > loads[2]
+
+    def test_partitioned_wins_at_four_hosts(self, exp1):
+        at4 = {name: cpu(series)[-1] for name, series in exp1.items()}
+        assert at4["Partitioned"] < at4["Optimized"] < at4["Naive"]
+
+    def test_network_naive_and_optimized_grow(self, exp1):
+        assert net(exp1["Naive"]) == sorted(net(exp1["Naive"]))
+        assert net(exp1["Naive"])[-1] > 0
+        assert net(exp1["Optimized"])[-1] > 0
+
+    def test_network_partitioned_flat_and_tiny(self, exp1):
+        """Partitioned network load is bounded by the (HAVING-filtered)
+        output cardinality — orders of magnitude below Naive."""
+        assert net(exp1["Partitioned"])[-1] < 0.05 * net(exp1["Naive"])[-1]
+
+    def test_leaf_loads_drop_with_hosts(self, exp1):
+        """§6.1's in-text series: per-leaf load ~80% -> ~24% at 4 hosts
+        (the aggregator is excluded — it is the one that gets *busier*)."""
+        series = exp1["Naive"]
+        first = series[0].result.cpu_load(0)  # single host does everything
+        leaves = series[-1].result.leaf_cpu_loads()
+        assert leaves
+        last = sum(leaves) / len(leaves)
+        assert last < 0.5 * first
+
+
+class TestExperiment2:
+    """Figures 10 and 11."""
+
+    def test_naive_grows_linearly(self, exp2):
+        loads = cpu(exp2["Naive"])
+        assert loads[-1] > loads[0]
+
+    def test_cpu_ordering_at_scale(self, exp2):
+        at4 = {name: cpu(series)[-1] for name, series in exp2.items()}
+        assert (
+            at4["Partitioned (optimal)"]
+            < at4["Partitioned (suboptimal)"]
+            < at4["Naive"]
+        )
+
+    def test_network_ordering_at_scale(self, exp2):
+        at4 = {name: net(series)[-1] for name, series in exp2.items()}
+        assert (
+            at4["Partitioned (optimal)"]
+            < at4["Partitioned (suboptimal)"]
+            < at4["Naive"]
+        )
+
+    def test_suboptimal_still_helps(self, exp2):
+        """Even the join-only-compatible partitioning beats naive
+        round-robin substantially (the paper's 36-52% reduction)."""
+        reduction = 1 - net(exp2["Partitioned (suboptimal)"])[-1] / net(
+            exp2["Naive"]
+        )[-1]
+        assert reduction > 0.25
+
+    def test_optimal_reduction_band(self, exp2):
+        """Paper: optimal reduces network load by 64-70% at 4 hosts."""
+        reduction = 1 - net(exp2["Partitioned (optimal)"])[-1] / net(
+            exp2["Naive"]
+        )[-1]
+        assert reduction > 0.5
+
+
+class TestExperiment3:
+    """Figures 13 and 14."""
+
+    def test_naive_cpu_grows(self, exp3):
+        loads = cpu(exp3["Naive"])
+        assert loads[-1] > loads[0]
+
+    def test_full_ordering_at_scale(self, exp3):
+        at4 = {name: cpu(series)[-1] for name, series in exp3.items()}
+        assert (
+            at4["Partitioned (full)"]
+            < at4["Partitioned (partial)"]
+            < at4["Optimized"]
+            < at4["Naive"]
+        )
+
+    def test_partial_and_full_flat_network(self, exp3):
+        at4 = {name: net(series)[-1] for name, series in exp3.items()}
+        assert at4["Partitioned (partial)"] < 0.35 * at4["Naive"]
+        assert at4["Partitioned (full)"] < at4["Partitioned (partial)"]
+
+    def test_full_scales_close_to_linearly(self, exp3):
+        """True linear scaling: CPU at 4 hosts well under half of 1 host."""
+        loads = cpu(exp3["Partitioned (full)"])
+        assert loads[-1] < 0.5 * loads[0]
+
+    def test_optimized_between_naive_and_partitioned(self, exp3):
+        at4 = {name: net(series)[-1] for name, series in exp3.items()}
+        assert (
+            at4["Partitioned (partial)"] < at4["Optimized"] < at4["Naive"]
+        )

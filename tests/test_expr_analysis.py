@@ -1,0 +1,183 @@
+"""Refinement analysis: is_function_of, reconcile, and their semantics.
+
+The central soundness property: whenever the analysis claims ``e`` is a
+function of ``g``, equal ``g``-values must imply equal ``e``-values.  The
+property tests check this directly on random inputs.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.expr import (
+    attr,
+    div,
+    equivalent,
+    evaluate,
+    is_function_of,
+    is_function_of_any,
+    mask,
+    parse_scalar,
+    reconcile,
+    single_attr,
+)
+from repro.expr.expressions import Const, binary, const
+
+
+class TestIsFunctionOf:
+    def test_identity(self):
+        assert is_function_of(attr("a"), attr("a"))
+
+    def test_constant_is_function_of_anything(self):
+        assert is_function_of(const(5), attr("a"))
+        assert is_function_of(const(5), mask("a", 0xF0))
+
+    def test_any_expression_over_attr_is_function_of_attr(self):
+        assert is_function_of(mask("a", 0xFFF0), attr("a"))
+        assert is_function_of(div("a", 60), attr("a"))
+        assert is_function_of(parse_scalar("(a & 0xFF) * 3 + 1"), attr("a"))
+
+    def test_attr_is_not_function_of_its_mask(self):
+        assert not is_function_of(attr("a"), mask("a", 0xFFF0))
+
+    def test_mask_subset_refines(self):
+        assert is_function_of(mask("a", 0xFF00), mask("a", 0xFFF0))
+
+    def test_mask_superset_does_not_refine(self):
+        assert not is_function_of(mask("a", 0xFFF0), mask("a", 0xFF00))
+
+    def test_disjoint_masks_unrelated(self):
+        assert not is_function_of(mask("a", 0x0F), mask("a", 0xF0))
+
+    def test_divisor_multiple_refines(self):
+        assert is_function_of(div("t", 180), div("t", 60))
+
+    def test_divisor_non_multiple_does_not_refine(self):
+        assert not is_function_of(div("t", 90), div("t", 60))
+
+    def test_attr_not_function_of_division(self):
+        assert not is_function_of(attr("t"), div("t", 60))
+
+    def test_composition_with_constant(self):
+        expr = binary("+", mask("a", 0xFF00), const(7))
+        assert is_function_of(expr, mask("a", 0xFFF0))
+
+    def test_different_attributes_unrelated(self):
+        assert not is_function_of(attr("a"), attr("b"))
+        assert not is_function_of(mask("a", 0xF0), mask("b", 0xF0))
+
+    def test_function_of_any(self):
+        bases = [attr("srcIP"), attr("destIP")]
+        assert is_function_of_any(mask("srcIP", 0xFFF0), bases)
+        assert not is_function_of_any(attr("srcPort"), bases)
+
+
+class TestReconcile:
+    def test_identical_attrs(self):
+        assert reconcile(attr("a"), attr("a")) == attr("a")
+
+    def test_attr_vs_mask_returns_mask(self):
+        assert reconcile(attr("a"), mask("a", 0xFFF0)) == mask("a", 0xFFF0)
+        assert reconcile(mask("a", 0xFFF0), attr("a")) == mask("a", 0xFFF0)
+
+    def test_mask_intersection(self):
+        got = reconcile(mask("a", 0xFF00), mask("a", 0x0FF0))
+        assert got == mask("a", 0x0F00)
+
+    def test_disjoint_masks_have_no_reconciliation(self):
+        assert reconcile(mask("a", 0xF0), mask("a", 0x0F)) is None
+
+    def test_division_lcm(self):
+        assert reconcile(div("t", 60), div("t", 90)) == div("t", 180)
+
+    def test_paper_example_time(self):
+        got = reconcile(parse_scalar("time/60"), parse_scalar("time/90"))
+        assert got == parse_scalar("time/180")
+
+    def test_different_attrs_no_reconciliation(self):
+        assert reconcile(attr("a"), attr("b")) is None
+
+    def test_mask_vs_division_no_reconciliation(self):
+        assert reconcile(mask("a", 0xF0), div("a", 60)) is None
+
+    def test_constant_exprs_no_reconciliation(self):
+        assert reconcile(const(1), const(2)) is None
+
+    def test_symmetric(self):
+        pairs = [
+            (div("t", 60), div("t", 90)),
+            (mask("a", 0xFF00), mask("a", 0x0FF0)),
+            (attr("a"), mask("a", 0xF0)),
+        ]
+        for e1, e2 in pairs:
+            assert reconcile(e1, e2) == reconcile(e2, e1)
+
+
+class TestEquivalentAndHelpers:
+    def test_equivalent_identity(self):
+        assert equivalent(attr("a"), attr("a"))
+
+    def test_equivalent_divisor_one(self):
+        assert equivalent(attr("a"), div("a", 1))
+
+    def test_not_equivalent_when_one_direction_only(self):
+        assert not equivalent(mask("a", 0xF0), attr("a"))
+
+    def test_single_attr(self):
+        assert single_attr(mask("srcIP", 0xF0)) == "srcIP"
+        assert single_attr(const(3)) is None
+        assert single_attr(binary("+", attr("a"), attr("b"))) is None
+
+
+# --- property-based soundness -------------------------------------------------
+
+u32 = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _expr_pairs():
+    """Generate (e, g) pairs over attribute 'a' with varied structure."""
+    masks = st.integers(min_value=0, max_value=2**16 - 1).map(
+        lambda m: mask("a", m)
+    )
+    divs = st.integers(min_value=1, max_value=512).map(lambda d: div("a", d))
+    plain = st.just(attr("a"))
+    any_expr = st.one_of(masks, divs, plain)
+    return st.tuples(any_expr, any_expr)
+
+
+@given(_expr_pairs(), u32, u32)
+def test_is_function_of_is_sound(pair, x, y):
+    """If e = f(g) is claimed, g(x) == g(y) must imply e(x) == e(y)."""
+    e, g = pair
+    if not is_function_of(e, g):
+        return
+    if evaluate(g, {"a": x}) == evaluate(g, {"a": y}):
+        assert evaluate(e, {"a": x}) == evaluate(e, {"a": y})
+
+
+@given(_expr_pairs(), u32, u32)
+def test_reconcile_result_is_function_of_both(pair, x, y):
+    """reconcile(e1, e2) must itself be a function of e1 and of e2 —
+    checked both structurally and semantically."""
+    e1, e2 = pair
+    r = reconcile(e1, e2)
+    if r is None:
+        return
+    assert is_function_of(r, e1)
+    assert is_function_of(r, e2)
+    for g in (e1, e2):
+        if evaluate(g, {"a": x}) == evaluate(g, {"a": y}):
+            assert evaluate(r, {"a": x}) == evaluate(r, {"a": y})
+
+
+@given(_expr_pairs())
+def test_reconcile_prefers_the_finer_result(pair):
+    """When one input already refines into the other, reconcile returns
+    the coarser input itself (the largest compatible set, §4.1)."""
+    e1, e2 = pair
+    r = reconcile(e1, e2)
+    if r is None:
+        return
+    if is_function_of(e1, e2):
+        assert is_function_of(r, e1) and is_function_of(e1, r)
+    elif is_function_of(e2, e1):
+        assert is_function_of(r, e2) and is_function_of(e2, r)

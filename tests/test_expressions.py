@@ -1,0 +1,155 @@
+"""Canonical scalar expressions: normalization and semantics preservation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr import (
+    Attr,
+    Binary,
+    Const,
+    attr,
+    binary,
+    const,
+    div,
+    evaluate,
+    mask,
+    parse_scalar,
+    unary,
+)
+
+
+class TestConstruction:
+    def test_attr_str(self):
+        assert str(Attr("srcIP")) == "srcIP"
+
+    def test_mask_shorthand(self):
+        expr = mask("srcIP", 0xFFF0)
+        assert isinstance(expr, Binary)
+        assert expr.op == "&"
+        assert expr.right == Const(0xFFF0)
+
+    def test_div_shorthand(self):
+        expr = div("time", 60)
+        assert expr.op == "/"
+
+    def test_attrs_collects_all_base_attributes(self):
+        expr = binary("+", attr("a"), binary("*", attr("b"), const(2)))
+        assert expr.attrs() == frozenset({"a", "b"})
+
+    def test_const_has_no_attrs(self):
+        assert const(7).attrs() == frozenset()
+
+
+class TestNormalization:
+    def test_constant_folding(self):
+        assert binary("*", const(2), const(30)) == const(60)
+
+    def test_commutative_constant_moves_right(self):
+        expr = binary("&", const(0xFF), attr("a"))
+        assert isinstance(expr.left, Attr)
+        assert expr.right == Const(0xFF)
+
+    def test_nested_masks_collapse(self):
+        expr = mask(mask("a", 0xFFF0), 0xFF00)
+        assert expr == mask("a", 0xFF00)
+
+    def test_nested_divisions_compose(self):
+        expr = div(div("time", 60), 3)
+        assert expr == div("time", 180)
+
+    def test_right_shift_becomes_division(self):
+        expr = binary(">>", attr("a"), const(4))
+        assert expr == div("a", 16)
+
+    def test_add_zero_identity(self):
+        assert binary("+", attr("a"), const(0)) == attr("a")
+
+    def test_multiply_one_identity(self):
+        assert binary("*", attr("a"), const(1)) == attr("a")
+
+    def test_divide_by_one_identity(self):
+        assert binary("/", attr("a"), const(1)) == attr("a")
+
+    def test_mask_zero_is_constant(self):
+        assert binary("&", attr("a"), const(0)) == const(0)
+
+    def test_or_zero_identity(self):
+        assert binary("|", attr("a"), const(0)) == attr("a")
+
+    def test_unary_constant_folds(self):
+        assert unary("-", const(5)) == const(-5)
+        assert unary("~", const(0)) == const(-1)
+
+    def test_integer_division_of_constants_floors(self):
+        assert binary("/", const(7), const(2)) == const(3)
+
+    def test_float_division_of_constants(self):
+        assert binary("/", const(7.0), const(2)) == const(3.5)
+
+
+class TestParsing:
+    def test_parse_scalar_mask(self):
+        assert parse_scalar("srcIP & 0xFFF0") == mask("srcIP", 0xFFF0)
+
+    def test_parse_scalar_div(self):
+        assert parse_scalar("time/60") == div("time", 60)
+
+    def test_parse_scalar_normalizes(self):
+        assert parse_scalar("(time/60)/3") == parse_scalar("time/180")
+
+    def test_parse_complex_expression(self):
+        expr = parse_scalar("(srcIP & 0xFF00) + destIP * 2")
+        assert expr.attrs() == frozenset({"srcIP", "destIP"})
+
+
+class TestHashabilityAndEquality:
+    def test_structural_equality(self):
+        assert mask("a", 0xF0) == mask("a", 0xF0)
+        assert mask("a", 0xF0) != mask("a", 0xF1)
+        assert mask("a", 0xF0) != mask("b", 0xF0)
+
+    def test_usable_in_sets(self):
+        s = {mask("a", 0xF0), mask("a", 0xF0), div("t", 60)}
+        assert len(s) == 2
+
+
+# --- property-based: normalization must preserve semantics -------------------
+
+values = st.integers(min_value=0, max_value=2**32 - 1)
+small_pos = st.integers(min_value=1, max_value=10_000)
+masks = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@given(values, small_pos, small_pos)
+def test_division_composition_matches_semantics(x, d1, d2):
+    """(x/d1)/d2 normalizes to x/(d1*d2); both must agree for unsigned x."""
+    composed = div(div("x", d1), d2)
+    assert evaluate(composed, {"x": x}) == (x // d1) // d2
+
+
+@given(values, masks, masks)
+def test_mask_collapse_matches_semantics(x, m1, m2):
+    collapsed = mask(mask("x", m1), m2)
+    assert evaluate(collapsed, {"x": x}) == (x & m1) & m2
+
+
+@given(values, st.integers(min_value=0, max_value=20))
+def test_shift_rewrite_matches_semantics(x, k):
+    rewritten = binary(">>", attr("x"), const(k))
+    assert evaluate(rewritten, {"x": x}) == x >> k
+
+
+@settings(max_examples=200)
+@given(values, values)
+def test_commutative_reordering_preserves_value(x, c):
+    left_const = binary("&", const(c), attr("x"))
+    right_const = binary("&", attr("x"), const(c))
+    row = {"x": x}
+    assert evaluate(left_const, row) == evaluate(right_const, row) == (x & c)
+
+
+class TestErrors:
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            binary("**", const(2), const(3))

@@ -1,0 +1,66 @@
+"""Hardware constraint models for the splitter (§1, §3.2)."""
+
+from repro.partitioning import (
+    AnyPartitioning,
+    ExpressionWhitelist,
+    FieldsConstraint,
+    PartitioningSet,
+    tcp_header_splitter,
+)
+
+
+class TestAnyPartitioning:
+    def test_supports_everything_nonempty(self):
+        hw = AnyPartitioning()
+        assert hw.supports(PartitioningSet.of("srcIP & 0xF0", "destPort"))
+        assert not hw.supports(PartitioningSet.empty())
+
+
+class TestFieldsConstraint:
+    def test_supports_expressions_over_allowed_fields(self):
+        hw = FieldsConstraint.of("srcIP", "destIP")
+        assert hw.supports(PartitioningSet.of("srcIP & 0xFFF0"))
+        assert hw.supports(PartitioningSet.of("srcIP", "destIP"))
+
+    def test_rejects_other_fields(self):
+        hw = FieldsConstraint.of("destIP")
+        assert not hw.supports(PartitioningSet.of("srcIP"))
+        assert not hw.supports(PartitioningSet.of("destIP", "srcPort"))
+
+    def test_rejects_empty(self):
+        assert not FieldsConstraint.of("srcIP").supports(PartitioningSet.empty())
+
+    def test_tcp_header_splitter_default(self):
+        hw = tcp_header_splitter()
+        assert hw.supports(
+            PartitioningSet.of("srcIP", "destIP", "srcPort", "destPort")
+        )
+        # payload-derived fields are beyond TCAM/FPGA header parsing
+        assert not hw.supports(PartitioningSet.of("http_host"))
+
+    def test_describe(self):
+        assert "destIP" in FieldsConstraint.of("destIP").describe()
+
+
+class TestExpressionWhitelist:
+    def test_exact_expression_supported(self):
+        hw = ExpressionWhitelist.of("srcIP & 0xFFF0", "destIP")
+        assert hw.supports(PartitioningSet.of("srcIP & 0xFFF0", "destIP"))
+
+    def test_coarsening_of_wired_expression_supported(self):
+        """The hardware partitions at least as finely as wired; any
+        function of a wired expression preserves grouping."""
+        hw = ExpressionWhitelist.of("srcIP")
+        assert hw.supports(PartitioningSet.of("srcIP & 0xFF00"))
+
+    def test_refinement_not_supported(self):
+        hw = ExpressionWhitelist.of("srcIP & 0xFF00")
+        assert not hw.supports(PartitioningSet.of("srcIP"))
+
+    def test_unrelated_field_not_supported(self):
+        hw = ExpressionWhitelist.of("srcIP")
+        assert not hw.supports(PartitioningSet.of("destIP"))
+
+    def test_describe(self):
+        text = ExpressionWhitelist.of("srcIP & 0xFFF0").describe()
+        assert "0xfff0" in text

@@ -1,0 +1,146 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.gsql.errors import LexError
+from repro.gsql.lexer import TokenKind, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_whitespace_only_yields_eof(self):
+        tokens = tokenize("  \t \n  ")
+        assert len(tokens) == 1
+
+    def test_identifier(self):
+        (tok, _) = tokenize("srcIP")
+        assert tok.kind is TokenKind.IDENT
+        assert tok.text == "srcIP"
+
+    def test_keyword_is_case_insensitive(self):
+        for variant in ("select", "SELECT", "Select"):
+            tok = tokenize(variant)[0]
+            assert tok.kind is TokenKind.KEYWORD
+
+    def test_identifier_with_underscore_and_digits(self):
+        tok = tokenize("flow_cnt_2")[0]
+        assert tok.kind is TokenKind.IDENT
+        assert tok.text == "flow_cnt_2"
+
+    def test_decimal_number(self):
+        tok = tokenize("60")[0]
+        assert tok.kind is TokenKind.NUMBER
+        assert tok.text == "60"
+
+    def test_hex_number(self):
+        tok = tokenize("0xFFF0")[0]
+        assert tok.kind is TokenKind.NUMBER
+        assert tok.text == "0xFFF0"
+
+    def test_float_number(self):
+        tok = tokenize("3.25")[0]
+        assert tok.text == "3.25"
+
+    def test_string_literal(self):
+        tok = tokenize("'hello'")[0]
+        assert tok.kind is TokenKind.STRING
+        assert tok.text == "hello"
+
+    def test_double_quoted_string(self):
+        tok = tokenize('"world"')[0]
+        assert tok.text == "world"
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "op", ["+", "-", "*", "/", "%", "&", "|", "^", "<", ">", "=", ",", "(", ")"]
+    )
+    def test_single_char_operator(self, op):
+        tok = tokenize(op)[0]
+        assert tok.kind is TokenKind.OP
+        assert tok.text == op
+
+    @pytest.mark.parametrize("op", ["<<", ">>", "<=", ">=", "<>", "!="])
+    def test_multi_char_operator(self, op):
+        tok = tokenize(op)[0]
+        assert tok.text == op
+
+    def test_shift_not_split_into_comparisons(self):
+        assert texts("a << 2") == ["a", "<<", "2"]
+
+    def test_adjacent_operators(self):
+        assert texts("a<=b") == ["a", "<=", "b"]
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert texts("a -- comment here\n b") == ["a", "b"]
+
+    def test_comment_at_end_of_input(self):
+        assert texts("a -- trailing") == ["a"]
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("SELECT\n  tb")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+    def test_column_after_operator(self):
+        tokens = tokenize("a+b")
+        assert [t.column for t in tokens[:3]] == [1, 2, 3]
+
+
+class TestHashMacro:
+    def test_macro_lexes_as_identifier(self):
+        tok = tokenize("#PATTERN#")[0]
+        assert tok.kind is TokenKind.IDENT
+        assert tok.text == "#PATTERN#"
+
+    def test_unterminated_macro_raises(self):
+        with pytest.raises(LexError):
+            tokenize("#PATTERN")
+
+
+class TestErrors:
+    def test_unknown_character_raises_with_position(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("a @ b")
+        assert excinfo.value.column == 3
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_bare_0x_raises(self):
+        with pytest.raises(LexError):
+            tokenize("0x")
+
+
+class TestRealQueries:
+    def test_flow_query_token_stream(self):
+        text = (
+            "SELECT tb, srcIP, destIP, COUNT(*) as cnt "
+            "FROM TCP GROUP BY time/60 as tb, srcIP, destIP"
+        )
+        tokens = tokenize(text)
+        assert tokens[-1].kind is TokenKind.EOF
+        words = [t.text for t in tokens if t.kind is TokenKind.KEYWORD]
+        assert "SELECT" in [w.upper() for w in words]
+        assert "GROUP" in [w.upper() for w in words]
+
+    def test_mask_expression_tokens(self):
+        assert texts("srcIP & 0xFFF0") == ["srcIP", "&", "0xFFF0"]

@@ -1,0 +1,85 @@
+"""Consistency between the §4 cost model and the §5 optimizer.
+
+The cost model *predicts* which nodes run on the leaves under a candidate
+partitioning; the optimizer *decides* where they run.  The two must agree
+— otherwise the search would be optimizing a different plan than the one
+deployed.
+"""
+
+import pytest
+
+from repro.cluster import ClusterSimulator, HashSplitter
+from repro.distopt import DistributedOptimizer, Placement
+from repro.distopt.plan_ir import Variant
+from repro.partitioning import CostModel, PartitioningSet
+
+
+PARTITIONINGS = [
+    PartitioningSet.of("srcIP"),
+    PartitioningSet.of("srcIP", "destIP"),
+    PartitioningSet.of("destIP"),
+    PartitioningSet.of("srcIP & 0xFFF0"),
+]
+
+
+@pytest.mark.parametrize("ps", PARTITIONINGS, ids=str)
+def test_leaf_residency_matches_plan_placement(complex_dag, ps):
+    model = CostModel(complex_dag, input_rate=10_000)
+    cost = model.plan_cost(ps)
+    plan = DistributedOptimizer(complex_dag, Placement(4, 2), ps).optimize()
+    for node in complex_dag.query_nodes():
+        predicted_leaf = cost.per_node[node.name].leaf_resident
+        ops = plan.ops_for(node.name)
+        full_ops = [op for op in ops if op.variant is Variant.FULL]
+        pushed = len(full_ops) > 1
+        assert predicted_leaf == pushed, (node.name, str(ps))
+
+
+@pytest.mark.parametrize("ps", PARTITIONINGS, ids=str)
+def test_predicted_network_tracks_simulated(complex_dag, small_trace, ps):
+    """The model's max-single-node bytes and the simulator's measured
+    aggregator traffic must rank partitionings identically; absolute
+    agreement is not expected (the model uses coarse selectivities)."""
+    from repro.workloads import measure_selectivities
+
+    selectivity = measure_selectivities(complex_dag, small_trace)
+    model = CostModel(complex_dag, input_rate=small_trace.rate, selectivity=selectivity)
+    predictions = {}
+    measured = {}
+    for candidate in PARTITIONINGS:
+        predictions[str(candidate)] = model.plan_cost(candidate).max_network_bytes
+        plan = DistributedOptimizer(
+            complex_dag, Placement(4, 2), candidate
+        ).optimize()
+        sim = ClusterSimulator(complex_dag, plan, stream_rate=small_trace.rate)
+        result = sim.run(
+            {"TCP": small_trace.packets},
+            HashSplitter(8, candidate),
+            small_trace.duration_sec,
+        )
+        measured[str(candidate)] = result.aggregator_network_load()
+    ranked_by_model = sorted(predictions, key=predictions.get)
+    ranked_by_sim = sorted(measured, key=measured.get)
+    assert ranked_by_model[0] == ranked_by_sim[0]  # same winner
+
+
+def test_simulator_category_breakdown(complex_dag, small_trace):
+    """Hosts attribute their work to categories the experiments rely on."""
+    ps = PartitioningSet.of("srcIP", "destIP")
+    plan = DistributedOptimizer(complex_dag, Placement(3, 2), ps).optimize()
+    sim = ClusterSimulator(complex_dag, plan, stream_rate=small_trace.rate)
+    result = sim.run(
+        {"TCP": small_trace.packets},
+        HashSplitter(6, ps),
+        small_trace.duration_sec,
+    )
+    aggregator = result.hosts[result.aggregator]
+    assert "ingest-remote" in aggregator.by_category  # shipped partials
+    assert "super-aggregate" in aggregator.by_category  # heavy_flows SUPER
+    assert "join" in aggregator.by_category  # flow_pairs central
+    leaf = result.hosts[1]
+    assert "aggregate" in leaf.by_category  # pushed flows
+    assert "send" in leaf.by_category  # shipping to the aggregator
+    # accounting sanity: total equals the category sum
+    for host in result.hosts:
+        assert host.cpu_units == pytest.approx(sum(host.by_category.values()))

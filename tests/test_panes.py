@@ -1,0 +1,210 @@
+"""Pane-based sliding-window aggregation (engine.panes)."""
+
+from collections import defaultdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import batches_equal
+from repro.engine.operators import SubAggregateOp
+from repro.engine.panes import SlidingWindowAggregate, WindowSpec, pane_expression
+
+
+@pytest.fixture
+def flows_node(catalog):
+    return catalog.define_query(
+        "flows",
+        "SELECT tb, srcIP, COUNT(*) as cnt, SUM(len) as bytes, MAX(len) as biggest "
+        "FROM TCP GROUP BY time/2 as tb, srcIP",
+    )
+
+
+def packet(time, src, length):
+    return {
+        "time": time,
+        "timestamp": time * 1_000_000,
+        "srcIP": src,
+        "destIP": 1,
+        "srcPort": 1,
+        "destPort": 80,
+        "protocol": 6,
+        "flags": 0x10,
+        "len": length,
+    }
+
+
+def oracle(rows, node, spec, pane_column="tb"):
+    """Independent recomputation: bucket raw tuples by pane, then fold
+    COUNT/SUM/MAX by hand for every window."""
+    pane_of = pane_expression(node, pane_column)
+    panes = sorted({pane_of(r) for r in rows})
+    expected = []
+    for end in spec.window_ends_covering(panes):
+        start = end - spec.window_panes + 1
+        groups = defaultdict(list)
+        for row in rows:
+            if start <= pane_of(row) <= end:
+                groups[row["srcIP"]].append(row["len"])
+        for src, lens in groups.items():
+            expected.append(
+                {
+                    "tb": end,
+                    "srcIP": src,
+                    "cnt": len(lens),
+                    "bytes": sum(lens),
+                    "biggest": max(lens),
+                }
+            )
+    return expected
+
+
+class TestWindowSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowSpec(0, 1)
+        with pytest.raises(ValueError):
+            WindowSpec(2, 3)  # slide > window drops panes
+
+    def test_tumbling_detection(self):
+        assert WindowSpec(3, 3).is_tumbling
+        assert not WindowSpec(3, 1).is_tumbling
+
+    def test_window_ends_alignment(self):
+        spec = WindowSpec(window_panes=3, slide_panes=2)
+        # window ends e satisfy (e+1) % 2 == 0 -> odd ends
+        ends = spec.window_ends_covering([0, 1, 2, 3])
+        assert all((e + 1) % 2 == 0 for e in ends)
+        # every observed pane is covered by some window
+        for pane in (0, 1, 2, 3):
+            assert any(e - 2 <= pane <= e for e in ends)
+
+    def test_no_panes_no_windows(self):
+        assert WindowSpec(2, 1).window_ends_covering([]) == []
+
+
+class TestSlidingEvaluation:
+    def test_matches_oracle_slide_one(self, flows_node):
+        rows = [packet(t, src, 10 * (t + 1)) for t in range(8) for src in (1, 2)]
+        spec = WindowSpec(window_panes=3, slide_panes=1)
+        sliding = SlidingWindowAggregate(flows_node, spec)
+        assert batches_equal(sliding.process(rows), oracle(rows, flows_node, spec))
+
+    def test_matches_oracle_slide_two(self, flows_node):
+        rows = [packet(t, 1, 5) for t in range(10)] + [packet(3, 7, 100)]
+        spec = WindowSpec(window_panes=4, slide_panes=2)
+        sliding = SlidingWindowAggregate(flows_node, spec)
+        assert batches_equal(sliding.process(rows), oracle(rows, flows_node, spec))
+
+    def test_tumbling_special_case(self, flows_node):
+        """window == slide reproduces plain tumbling aggregation totals."""
+        rows = [packet(t, 1, 1) for t in range(6)]
+        spec = WindowSpec(window_panes=1, slide_panes=1)
+        out = SlidingWindowAggregate(flows_node, spec).process(rows)
+        assert sum(r["cnt"] for r in out) == len(rows)
+
+    def test_empty_input(self, flows_node):
+        spec = WindowSpec(2, 1)
+        assert SlidingWindowAggregate(flows_node, spec).process([]) == []
+
+    def test_sparse_panes(self, flows_node):
+        """Gaps between panes yield windows containing only live panes."""
+        rows = [packet(0, 1, 10), packet(9, 1, 20)]  # panes 0 and 4
+        spec = WindowSpec(window_panes=2, slide_panes=1)
+        out = SlidingWindowAggregate(flows_node, spec).process(rows)
+        assert batches_equal(out, oracle(rows, flows_node, spec))
+
+    def test_having_applies_per_window(self, catalog):
+        node = catalog.define_query(
+            "busy",
+            "SELECT tb, srcIP, COUNT(*) as cnt FROM TCP "
+            "GROUP BY time/2 as tb, srcIP HAVING COUNT(*) >= 3",
+        )
+        # two packets per pane: no single pane passes HAVING, but a
+        # 2-pane window (4 packets) does — HAVING must see window totals
+        rows = [packet(t, 1, 5) for t in range(4)]
+        tumbling = SlidingWindowAggregate(node, WindowSpec(1, 1)).process(rows)
+        sliding = SlidingWindowAggregate(node, WindowSpec(2, 1)).process(rows)
+        assert tumbling == []
+        assert any(r["cnt"] >= 3 for r in sliding)
+
+
+class TestDistributedPanes:
+    def test_combine_shipped_partials(self, flows_node):
+        """Per-host SUB rows combine into exactly the centralized sliding
+        result — the deployment mode §3.5.1's temporal-exclusion rule
+        protects."""
+        rows = [packet(t, src, t + src) for t in range(8) for src in (1, 2, 3)]
+        spec = WindowSpec(window_panes=3, slide_panes=1)
+        sliding = SlidingWindowAggregate(flows_node, spec)
+        reference = sliding.process(rows)
+        # split by srcIP (a compatible, non-temporal partitioning)
+        sub = SubAggregateOp(flows_node)
+        shipped = []
+        for host in range(3):
+            local = [r for r in rows if r["srcIP"] % 3 == host]
+            shipped.extend(sub.process(local))
+        assert batches_equal(sliding.combine_partials(shipped), reference)
+
+    def test_temporal_partitioning_breaks_windows(self, flows_node):
+        """The §3.5.1 rationale, demonstrated: partitioning by the pane
+        index re-allocates groups mid-window; combining such partials
+        still works *only* because states ship — but splitting a group's
+        panes across hosts inside one window is exactly what a
+        partitioning ON the temporal attribute does, and reassembly then
+        depends on shipping every pane.  Dropping one host's panes (a
+        re-allocation glitch) corrupts the result."""
+        rows = [packet(t, 1, 10) for t in range(4)]
+        spec = WindowSpec(window_panes=2, slide_panes=1)
+        sliding = SlidingWindowAggregate(flows_node, spec)
+        reference = sliding.process(rows)
+        sub = SubAggregateOp(flows_node)
+        # time-partitioned: each host holds a subset of panes
+        incomplete = sub.process([r for r in rows if (r["time"] // 2) % 2 == 0])
+        assert not batches_equal(sliding.combine_partials(incomplete), reference)
+
+
+class TestValidation:
+    def test_requires_aggregation_node(self, catalog):
+        node = catalog.define_query("sel", "SELECT srcIP FROM TCP")
+        with pytest.raises(ValueError):
+            SlidingWindowAggregate(node, WindowSpec(2, 1))
+
+    def test_requires_temporal_column(self, catalog):
+        node = catalog.define_query(
+            "no_time", "SELECT srcIP, COUNT(*) as c FROM TCP GROUP BY srcIP"
+        )
+        with pytest.raises(ValueError):
+            SlidingWindowAggregate(node, WindowSpec(2, 1))
+
+    def test_explicit_pane_column_checked(self, flows_node):
+        with pytest.raises(ValueError):
+            SlidingWindowAggregate(flows_node, WindowSpec(2, 1), pane_column="nope")
+
+    def test_pane_expression_helper(self, flows_node):
+        pane_of = pane_expression(flows_node, "tb")
+        assert pane_of(packet(5, 1, 1)) == 2
+        with pytest.raises(ValueError):
+            pane_expression(flows_node, "missing")
+
+
+# --- property-based: panes == per-window recomputation -------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(
+    times=st.lists(st.integers(min_value=0, max_value=15), min_size=0, max_size=40),
+    window=st.integers(min_value=1, max_value=4),
+    slide_offset=st.integers(min_value=0, max_value=3),
+)
+def test_sliding_matches_oracle_randomized(catalog_factory, times, window, slide_offset):
+    catalog = catalog_factory()
+    node = catalog.define_query(
+        "flows",
+        "SELECT tb, srcIP, COUNT(*) as cnt, SUM(len) as bytes, MAX(len) as biggest "
+        "FROM TCP GROUP BY time/2 as tb, srcIP",
+    )
+    slide = max(1, min(window, 1 + slide_offset))
+    spec = WindowSpec(window, slide)
+    rows = [packet(t, 1 + (t % 2), 10 + t) for t in times]
+    sliding = SlidingWindowAggregate(node, spec)
+    assert batches_equal(sliding.process(rows), oracle(rows, node, spec))

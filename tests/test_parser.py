@@ -1,0 +1,249 @@
+"""Parser tests over the GSQL grammar."""
+
+import pytest
+
+from repro.gsql import ast_nodes as ast
+from repro.gsql.errors import ParseError
+from repro.gsql.parser import parse_expression, parse_query, parse_script
+
+
+class TestSelectBasics:
+    def test_simple_select(self):
+        stmt = parse_query("SELECT srcIP FROM TCP")
+        assert isinstance(stmt, ast.SelectStmt)
+        assert len(stmt.items) == 1
+        assert stmt.tables[0].name == "TCP"
+
+    def test_select_star(self):
+        stmt = parse_query("SELECT * FROM TCP")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+
+    def test_select_list_with_aliases(self):
+        stmt = parse_query("SELECT srcIP AS src, len l FROM TCP")
+        assert stmt.items[0].alias == "src"
+        assert stmt.items[1].alias == "l"  # bare alias without AS
+
+    def test_table_alias(self):
+        stmt = parse_query("SELECT x FROM TCP AS t")
+        assert stmt.tables[0].alias == "t"
+        assert stmt.tables[0].binding == "t"
+
+    def test_where_clause(self):
+        stmt = parse_query("SELECT srcIP FROM TCP WHERE len > 100")
+        assert isinstance(stmt.where, ast.BinaryOp)
+        assert stmt.where.op == ">"
+
+    def test_group_by_with_expression_alias(self):
+        stmt = parse_query(
+            "SELECT tb, srcIP FROM TCP GROUP BY time/60 as tb, srcIP"
+        )
+        assert len(stmt.group_by) == 2
+        first = stmt.group_by[0]
+        assert first.alias == "tb"
+        assert isinstance(first.expr, ast.BinaryOp)
+        assert first.expr.op == "/"
+
+    def test_having_clause(self):
+        stmt = parse_query(
+            "SELECT srcIP, COUNT(*) FROM TCP GROUP BY srcIP "
+            "HAVING COUNT(*) > 10"
+        )
+        assert stmt.having is not None
+
+    def test_count_star(self):
+        stmt = parse_query("SELECT COUNT(*) FROM TCP")
+        call = stmt.items[0].expr
+        assert isinstance(call, ast.FuncCall)
+        assert call.name == "COUNT"
+        assert isinstance(call.args[0], ast.Star)
+
+    def test_function_name_uppercased(self):
+        stmt = parse_query("SELECT max(len) FROM TCP")
+        assert stmt.items[0].expr.name == "MAX"
+
+
+class TestJoins:
+    def test_comma_join(self):
+        stmt = parse_query(
+            "SELECT S1.a FROM X S1, X S2 WHERE S1.a = S2.a and S1.t = S2.t"
+        )
+        assert stmt.is_join
+        assert stmt.join_type is ast.JoinType.INNER
+        assert [t.binding for t in stmt.tables] == ["S1", "S2"]
+
+    def test_join_keyword(self):
+        stmt = parse_query("SELECT a FROM X JOIN Y WHERE X.a = Y.a")
+        assert stmt.is_join
+
+    def test_join_with_on_clause_folds_into_where(self):
+        stmt = parse_query(
+            "SELECT a FROM X JOIN Y ON X.a = Y.a WHERE X.b > 2"
+        )
+        assert stmt.is_join
+        # both the ON predicate and the WHERE predicate end up conjoined
+        assert isinstance(stmt.where, ast.BinaryOp)
+        assert stmt.where.op == "AND"
+
+    @pytest.mark.parametrize(
+        "sql, expected",
+        [
+            ("LEFT JOIN", ast.JoinType.LEFT_OUTER),
+            ("LEFT OUTER JOIN", ast.JoinType.LEFT_OUTER),
+            ("RIGHT JOIN", ast.JoinType.RIGHT_OUTER),
+            ("FULL OUTER JOIN", ast.JoinType.FULL_OUTER),
+            ("INNER JOIN", ast.JoinType.INNER),
+        ],
+    )
+    def test_join_kinds(self, sql, expected):
+        stmt = parse_query(f"SELECT a FROM X {sql} Y WHERE X.a = Y.a")
+        assert stmt.join_type is expected
+
+    def test_qualified_column_reference(self):
+        stmt = parse_query("SELECT S1.srcIP FROM X S1, X S2 WHERE S1.a = S2.a")
+        ref = stmt.items[0].expr
+        assert isinstance(ref, ast.ColumnRef)
+        assert ref.qualifier == "S1"
+        assert ref.name == "srcIP"
+
+
+class TestUnion:
+    def test_union_of_two_selects(self):
+        stmt = parse_query("SELECT a FROM X UNION SELECT a FROM Y")
+        assert isinstance(stmt, ast.UnionStmt)
+        assert len(stmt.selects) == 2
+
+    def test_union_all_accepted(self):
+        stmt = parse_query("SELECT a FROM X UNION ALL SELECT a FROM Y")
+        assert isinstance(stmt, ast.UnionStmt)
+
+    def test_triple_union(self):
+        stmt = parse_query(
+            "SELECT a FROM X UNION SELECT a FROM Y UNION SELECT a FROM Z"
+        )
+        assert len(stmt.selects) == 3
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("a + b * c")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_and_over_or(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_bitwise_and_binds_tighter_than_comparison(self):
+        expr = parse_expression("srcIP & 0xFF00 = 5")
+        assert expr.op == "="
+        assert expr.left.op == "&"
+
+    def test_parentheses_override_precedence(self):
+        expr = parse_expression("(a + b) * c")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-a + b")
+        assert expr.op == "+"
+        assert isinstance(expr.left, ast.UnaryOp)
+
+    def test_not_operator(self):
+        expr = parse_expression("NOT a = 1")
+        assert isinstance(expr, ast.UnaryOp)
+        assert expr.op == "NOT"
+
+    def test_hex_literal_value(self):
+        expr = parse_expression("0xFFF0")
+        assert expr.value == 0xFFF0
+
+    def test_not_equal_normalized(self):
+        expr = parse_expression("a != b")
+        assert expr.op == "<>"
+
+    def test_shift_operators(self):
+        expr = parse_expression("srcIP >> 8")
+        assert expr.op == ">>"
+
+    def test_function_with_multiple_args(self):
+        expr = parse_expression("MIN2(a, b)")
+        assert len(expr.args) == 2
+
+    def test_boolean_literals(self):
+        assert parse_expression("TRUE").value is True
+        assert parse_expression("FALSE").value is False
+
+
+class TestScripts:
+    def test_define_statement(self):
+        (stmt,) = parse_script(
+            "DEFINE QUERY flows AS SELECT srcIP FROM TCP;"
+        )
+        assert isinstance(stmt, ast.DefineStmt)
+        assert stmt.name == "flows"
+
+    def test_define_with_colon(self):
+        (stmt,) = parse_script("DEFINE QUERY q: SELECT a FROM X")
+        assert stmt.name == "q"
+
+    def test_multiple_statements(self):
+        stmts = parse_script(
+            "DEFINE QUERY a AS SELECT x FROM T;"
+            "DEFINE QUERY b AS SELECT x FROM a;"
+        )
+        assert [s.name for s in stmts] == ["a", "b"]
+
+    def test_bare_query_in_script(self):
+        stmts = parse_script("SELECT a FROM X")
+        assert isinstance(stmts[0], ast.SelectStmt)
+
+    def test_trailing_semicolons_tolerated(self):
+        stmts = parse_script("SELECT a FROM X;;")
+        assert len(stmts) == 1
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "SELECT",
+            "SELECT FROM TCP",
+            "SELECT a TCP",
+            "SELECT a FROM",
+            "SELECT a FROM TCP GROUP srcIP",
+            "SELECT a FROM TCP WHERE",
+            "SELECT (a FROM TCP",
+        ],
+    )
+    def test_malformed_query_raises(self, text):
+        with pytest.raises(ParseError):
+            parse_query(text)
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT a FROM X extra stuff ,")
+
+    def test_expression_trailing_input_raises(self):
+        with pytest.raises(ParseError):
+            parse_expression("a + b c")
+
+
+class TestRoundTrip:
+    def test_paper_flow_query_parses_and_prints(self):
+        sql = (
+            "SELECT tb, srcIP, destIP, COUNT(*) AS cnt FROM TCP "
+            "GROUP BY time/60 AS tb, srcIP, destIP"
+        )
+        stmt = parse_query(sql)
+        printed = str(stmt)
+        reparsed = parse_query(printed)
+        assert str(reparsed) == printed
+
+    def test_paper_join_query_round_trip(self):
+        sql = (
+            "SELECT S1.tb, S1.srcIP FROM heavy_flows AS S1, heavy_flows AS S2 "
+            "WHERE S1.srcIP = S2.srcIP AND S1.tb = S2.tb + 1"
+        )
+        stmt = parse_query(sql)
+        assert str(parse_query(str(stmt))) == str(stmt)

@@ -1,0 +1,127 @@
+"""Partitioning sets and the bucketed hash partitioner (§3.3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.expr import mask, parse_scalar
+from repro.partitioning import PartitioningSet, fnv1a_hash, subset_sets
+from repro.partitioning.partition_set import HASH_RANGE, dedupe_exprs
+
+
+class TestConstruction:
+    def test_of_parses_text_specs(self):
+        ps = PartitioningSet.of("srcIP & 0xFFF0", "destIP")
+        assert len(ps) == 2
+        assert ps.exprs[0] == parse_scalar("srcIP & 0xFFF0")
+
+    def test_of_accepts_expression_objects(self):
+        ps = PartitioningSet.of(mask("srcIP", 0xF0))
+        assert len(ps) == 1
+
+    def test_empty(self):
+        assert PartitioningSet.empty().is_empty
+        assert len(PartitioningSet.empty()) == 0
+
+    def test_str(self):
+        assert str(PartitioningSet.of("srcIP")) == "{srcIP}"
+        assert str(PartitioningSet.empty()) == "{}"
+
+    def test_attrs(self):
+        ps = PartitioningSet.of("srcIP & 0xF0", "destIP")
+        assert ps.attrs() == frozenset({"srcIP", "destIP"})
+
+    def test_hashable(self):
+        assert PartitioningSet.of("srcIP") == PartitioningSet.of("srcIP")
+        assert len({PartitioningSet.of("srcIP"), PartitioningSet.of("srcIP")}) == 1
+
+
+class TestHash:
+    def test_deterministic(self):
+        assert fnv1a_hash((1, 2, 3)) == fnv1a_hash((1, 2, 3))
+
+    def test_within_range(self):
+        assert 0 <= fnv1a_hash((123456789,)) < HASH_RANGE
+
+    def test_different_keys_differ(self):
+        # not guaranteed in general, but these specific keys must differ
+        assert fnv1a_hash((1,)) != fnv1a_hash((2,))
+
+    def test_handles_strings_and_negatives(self):
+        assert 0 <= fnv1a_hash(("abc", -5)) < HASH_RANGE
+
+
+class TestPartitioner:
+    def test_all_rows_assigned_in_range(self):
+        ps = PartitioningSet.of("srcIP")
+        assign = ps.partitioner(8)
+        for value in range(1000):
+            index = assign({"srcIP": value})
+            assert 0 <= index < 8
+
+    def test_equal_keys_same_partition(self):
+        ps = PartitioningSet.of("srcIP", "destIP")
+        assign = ps.partitioner(4)
+        row1 = {"srcIP": 10, "destIP": 20, "len": 1}
+        row2 = {"srcIP": 10, "destIP": 20, "len": 999}
+        assert assign(row1) == assign(row2)
+
+    def test_rough_balance(self):
+        """Hash partitioning should spread distinct keys roughly evenly."""
+        ps = PartitioningSet.of("srcIP")
+        assign = ps.partitioner(4)
+        counts = [0, 0, 0, 0]
+        for value in range(4000):
+            counts[assign({"srcIP": value})] += 1
+        assert min(counts) > 700  # perfectly even would be 1000
+
+    def test_single_partition(self):
+        assign = PartitioningSet.of("srcIP").partitioner(1)
+        assert assign({"srcIP": 42}) == 0
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ValueError):
+            PartitioningSet.of("srcIP").partitioner(0)
+
+    def test_empty_set_has_no_key_function(self):
+        with pytest.raises(ValueError):
+            PartitioningSet.empty().key_function()
+
+    def test_mask_expression_partitioning(self):
+        """Rows equal under the mask land together even when raw IPs differ."""
+        ps = PartitioningSet.of("srcIP & 0xFFF0")
+        assign = ps.partitioner(8)
+        assert assign({"srcIP": 0x0A0001A1}) == assign({"srcIP": 0x0A0001AF})
+
+
+class TestHelpers:
+    def test_subset_sets_enumerates_all_nonempty(self):
+        ps = PartitioningSet.of("a", "b")
+        subsets = {str(s) for s in subset_sets(ps)}
+        assert subsets == {"{a}", "{b}", "{a, b}"}
+
+    def test_dedupe_exprs(self):
+        exprs = [parse_scalar("srcIP"), parse_scalar("srcIP"), parse_scalar("destIP")]
+        assert len(dedupe_exprs(exprs)) == 2
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=1, max_value=64))
+def test_partitioner_always_in_range(value, num_partitions):
+    assign = PartitioningSet.of("x").partitioner(num_partitions)
+    assert 0 <= assign({"x": value}) < num_partitions
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=50),
+    st.integers(min_value=1, max_value=16),
+)
+def test_partition_is_a_function_of_the_key(values, num_partitions):
+    """The same key value must always land in the same partition."""
+    assign = PartitioningSet.of("x & 0xFF00").partitioner(num_partitions)
+    seen = {}
+    for value in values:
+        key = value & 0xFF00
+        index = assign({"x": value})
+        if key in seen:
+            assert seen[key] == index
+        seen[key] = index

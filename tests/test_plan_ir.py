@@ -1,0 +1,90 @@
+"""Distributed plan IR: construction, navigation, liveness."""
+
+import pytest
+
+from repro.distopt.plan_ir import DistKind, DistributedPlan, Variant
+
+
+@pytest.fixture
+def plan():
+    return DistributedPlan(num_hosts=2, partitions_per_host=2)
+
+
+class TestConstruction:
+    def test_partition_to_host_mapping(self, plan):
+        assert plan.host_of_partition(0) == 0
+        assert plan.host_of_partition(1) == 0
+        assert plan.host_of_partition(2) == 1
+        assert plan.host_of_partition(3) == 1
+
+    def test_source_placed_on_partition_host(self, plan):
+        node = plan.add_source("TCP", 3)
+        assert node.host == 1
+        assert node.partitions == frozenset({3})
+
+    def test_merge_coverage_unions_children(self, plan):
+        s0 = plan.add_source("TCP", 0)
+        s1 = plan.add_source("TCP", 1)
+        merge = plan.add_merge([s0.node_id, s1.node_id], host=0)
+        assert merge.partitions == frozenset({0, 1})
+
+    def test_op_labels(self, plan):
+        s0 = plan.add_source("TCP", 0)
+        op = plan.add_op("flows", [s0.node_id], 0, Variant.SUB)
+        assert op.label() == "flows.sub"
+        full = plan.add_op("flows", [s0.node_id], 0)
+        assert full.label() == "flows"
+
+    def test_unknown_input_rejected(self, plan):
+        from repro.distopt.plan_ir import DistNode
+
+        with pytest.raises(ValueError):
+            plan.add(
+                DistNode(node_id="x", kind=DistKind.OP, host=0, inputs=["nope"])
+            )
+
+    def test_invalid_cluster_shapes(self):
+        with pytest.raises(ValueError):
+            DistributedPlan(num_hosts=0, partitions_per_host=2)
+        with pytest.raises(ValueError):
+            DistributedPlan(num_hosts=2, partitions_per_host=2, aggregator=5)
+
+
+class TestLiveness:
+    def test_topological_skips_dead_nodes(self, plan):
+        s0 = plan.add_source("TCP", 0)
+        live = plan.add_op("q", [s0.node_id], 0)
+        plan.add_source("TCP", 1)  # dead: not reachable from delivery
+        plan.delivery["q"] = live.node_id
+        names = [n.node_id for n in plan.topological()]
+        assert live.node_id in names
+        assert len(names) == 2
+
+    def test_topological_children_first(self, plan):
+        s0 = plan.add_source("TCP", 0)
+        op = plan.add_op("q", [s0.node_id], 0)
+        plan.delivery["q"] = op.node_id
+        order = [n.node_id for n in plan.topological()]
+        assert order.index(s0.node_id) < order.index(op.node_id)
+
+    def test_network_edges_cross_hosts_only(self, plan):
+        s0 = plan.add_source("TCP", 0)  # host 0
+        s2 = plan.add_source("TCP", 2)  # host 1
+        merge = plan.add_merge([s0.node_id, s2.node_id], host=0)
+        plan.delivery["m"] = merge.node_id
+        edges = list(plan.network_edges())
+        assert len(edges) == 1
+        child, parent = edges[0]
+        assert child.node_id == s2.node_id
+        assert parent.node_id == merge.node_id
+
+    def test_parents_of(self, plan):
+        s0 = plan.add_source("TCP", 0)
+        op = plan.add_op("q", [s0.node_id], 0)
+        assert [p.node_id for p in plan.parents_of(s0.node_id)] == [op.node_id]
+
+    def test_ops_for(self, plan):
+        s0 = plan.add_source("TCP", 0)
+        op = plan.add_op("q", [s0.node_id], 0)
+        plan.delivery["q"] = op.node_id
+        assert [n.node_id for n in plan.ops_for("q")] == [op.node_id]

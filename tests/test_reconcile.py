@@ -1,0 +1,97 @@
+"""Reconcile_Partn_Sets (§4.1)."""
+
+from repro.partitioning import (
+    PartitioningSet,
+    reconcile_all,
+    reconcile_partition_sets,
+)
+
+
+class TestSimpleAttributeSets:
+    def test_intersection_of_plain_attributes(self):
+        """The paper's first worked example: flow set x flow-count set."""
+        ps1 = PartitioningSet.of("srcIP", "destIP")
+        ps2 = PartitioningSet.of("srcIP", "destIP", "srcPort", "destPort")
+        got = reconcile_partition_sets(ps1, ps2)
+        assert str(got) == "{srcIP, destIP}"
+
+    def test_symmetry(self):
+        ps1 = PartitioningSet.of("srcIP", "destIP")
+        ps2 = PartitioningSet.of("srcIP")
+        assert reconcile_partition_sets(ps1, ps2) == reconcile_partition_sets(
+            ps2, ps1
+        )
+
+    def test_disjoint_sets_empty(self):
+        ps1 = PartitioningSet.of("srcIP")
+        ps2 = PartitioningSet.of("destIP")
+        assert reconcile_partition_sets(ps1, ps2).is_empty
+
+    def test_empty_input_empty_output(self):
+        assert reconcile_partition_sets(
+            PartitioningSet.empty(), PartitioningSet.of("srcIP")
+        ).is_empty
+
+
+class TestScalarExpressionSets:
+    def test_paper_scalar_example(self):
+        """Reconcile({time/60, srcIP, destIP}, {time/90, srcIP & 0xFFF0})
+        = {time/180, srcIP & 0xFFF0} (paper §4.1)."""
+        ps1 = PartitioningSet.of("time/60", "srcIP", "destIP")
+        ps2 = PartitioningSet.of("time/90", "srcIP & 0xFFF0")
+        got = reconcile_partition_sets(ps1, ps2)
+        assert set(str(e) for e in got) == {"(time / 180)", "(srcIP & 0xfff0)"}
+
+    def test_masks_intersect(self):
+        ps1 = PartitioningSet.of("srcIP & 0xFF00")
+        ps2 = PartitioningSet.of("srcIP & 0x0FF0")
+        got = reconcile_partition_sets(ps1, ps2)
+        assert str(got) == "{(srcIP & 0xf00)}"
+
+    def test_mask_against_plain_attribute(self):
+        ps1 = PartitioningSet.of("srcIP")
+        ps2 = PartitioningSet.of("srcIP & 0xFFF0")
+        got = reconcile_partition_sets(ps1, ps2)
+        assert str(got) == "{(srcIP & 0xfff0)}"
+
+    def test_incompatible_expressions_dropped(self):
+        ps1 = PartitioningSet.of("srcIP & 0xF0", "destIP")
+        ps2 = PartitioningSet.of("srcIP / 256", "destIP")
+        got = reconcile_partition_sets(ps1, ps2)
+        # mask vs division on srcIP has no common coarsening; destIP stays
+        assert str(got) == "{destIP}"
+
+    def test_duplicate_results_deduped(self):
+        ps1 = PartitioningSet.of("srcIP", "srcIP & 0xFF00")
+        ps2 = PartitioningSet.of("srcIP & 0xFF00")
+        got = reconcile_partition_sets(ps1, ps2)
+        assert len(got) == 1
+
+    def test_finest_candidate_preferred(self):
+        """Against {a, a & 0xFF00}, expression a & 0xFFF0 reconciles with
+        both; the finer result (itself) must win."""
+        ps1 = PartitioningSet.of("srcIP & 0xFFF0")
+        ps2 = PartitioningSet.of("srcIP", "srcIP & 0xFF00")
+        got = reconcile_partition_sets(ps1, ps2)
+        assert str(got) == "{(srcIP & 0xfff0)}"
+
+
+class TestReconcileAll:
+    def test_fold_over_three_sets(self):
+        sets = [
+            PartitioningSet.of("srcIP", "destIP", "srcPort"),
+            PartitioningSet.of("srcIP", "destIP"),
+            PartitioningSet.of("srcIP"),
+        ]
+        assert str(reconcile_all(sets)) == "{srcIP}"
+
+    def test_conflicting_sets_collapse_to_empty(self):
+        sets = [PartitioningSet.of("srcIP"), PartitioningSet.of("destIP")]
+        assert reconcile_all(sets).is_empty
+
+    def test_no_sets(self):
+        assert reconcile_all([]).is_empty
+
+    def test_single_set_passthrough(self):
+        ps = PartitioningSet.of("srcIP")
+        assert reconcile_all([ps]) == ps

@@ -1,0 +1,115 @@
+"""Stream schemas, column types, and ordering declarations."""
+
+import pytest
+
+from repro.gsql.errors import SemanticError
+from repro.gsql.schema import (
+    Column,
+    Ordering,
+    StreamSchema,
+    packet_schema,
+    tcp_schema,
+)
+from repro.gsql.types import (
+    BOOL,
+    FLOAT,
+    IP,
+    TIME,
+    UINT,
+    UINT8,
+    UINT16,
+    UINT64,
+    TypeKind,
+    merge_numeric,
+    type_from_name,
+)
+
+
+class TestTypes:
+    def test_named_lookup(self):
+        assert type_from_name("uint") is UINT
+        assert type_from_name("IP") is IP
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(KeyError):
+            type_from_name("varchar")
+
+    def test_widths(self):
+        assert UINT8.width == 1
+        assert UINT16.width == 2
+        assert UINT.width == 4
+        assert UINT64.width == 8
+
+    def test_numeric_classification(self):
+        assert UINT.is_numeric()
+        assert IP.is_numeric()
+        assert not BOOL.is_numeric()
+
+    def test_integral_classification(self):
+        assert UINT.is_integral()
+        assert not FLOAT.is_integral()
+
+    def test_merge_widens(self):
+        merged = merge_numeric(UINT8, UINT)
+        assert merged.width == 4
+
+    def test_merge_float_contagious(self):
+        assert merge_numeric(UINT, FLOAT) is FLOAT
+
+    def test_merge_mixed_kinds_degrades_to_uint(self):
+        merged = merge_numeric(IP, UINT16)
+        assert merged.kind is TypeKind.UINT
+        assert merged.width == 4
+
+    def test_str_format(self):
+        assert str(UINT) == "uint32"
+        assert str(UINT8) == "uint8"
+
+
+class TestSchema:
+    def test_column_lookup(self):
+        schema = tcp_schema()
+        assert schema.column("srcIP").ctype is IP
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(SemanticError):
+            tcp_schema().column("nonexistent")
+
+    def test_get_returns_none_for_unknown(self):
+        assert tcp_schema().get("nonexistent") is None
+
+    def test_contains(self):
+        assert "srcIP" in tcp_schema()
+        assert "bogus" not in tcp_schema()
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SemanticError):
+            StreamSchema("S", [Column("a", UINT), Column("a", UINT)])
+
+    def test_temporal_columns(self):
+        temporal = [c.name for c in tcp_schema().temporal_columns()]
+        assert temporal == ["time", "timestamp"]
+
+    def test_temporal_flag(self):
+        assert tcp_schema().column("time").is_temporal
+        assert not tcp_schema().column("srcIP").is_temporal
+
+    def test_tuple_width(self):
+        # time(4)+timestamp(4)+srcIP(4)+destIP(4)+srcPort(2)+destPort(2)
+        # +protocol(1)+flags(1)+len(4) = 26
+        assert tcp_schema().tuple_width() == 26
+
+    def test_packet_schema_matches_paper(self):
+        schema = packet_schema()
+        assert schema.column_names() == ["time", "srcIP", "destIP", "len"]
+        assert schema.column("time").ordering is Ordering.INCREASING
+
+    def test_iteration_and_len(self):
+        schema = packet_schema()
+        assert len(schema) == 4
+        assert [c.name for c in schema] == schema.column_names()
+
+    def test_describe_is_readable(self):
+        text = packet_schema().describe()
+        assert "PKT(" in text
+        assert "time time32 increasing" in text

@@ -1,0 +1,152 @@
+"""The cluster simulator: accounting invariants and metric plumbing."""
+
+import pytest
+
+from repro.cluster import ClusterSimulator, HashSplitter, RoundRobinSplitter
+from repro.cluster.costs import DEFAULT_COSTS
+from repro.distopt import DistributedOptimizer, Placement
+from repro.engine import batches_equal, run_centralized
+from repro.partitioning import PartitioningSet
+
+
+def build(dag, hosts, ps=None, merge_local=True):
+    placement = Placement(hosts, 2, merge_local_partitions=merge_local)
+    return DistributedOptimizer(dag, placement, ps).optimize()
+
+
+class TestSingleHost:
+    def test_no_network_traffic(self, suspicious_dag, tiny_trace):
+        plan = build(suspicious_dag, 1)
+        sim = ClusterSimulator(suspicious_dag, plan, stream_rate=tiny_trace.rate)
+        result = sim.run(
+            {"TCP": tiny_trace.packets}, RoundRobinSplitter(2), tiny_trace.duration_sec
+        )
+        assert result.network.total_tuples() == 0
+        assert result.aggregator_network_load() == 0.0
+
+    def test_cpu_load_positive(self, suspicious_dag, tiny_trace):
+        plan = build(suspicious_dag, 1)
+        sim = ClusterSimulator(suspicious_dag, plan, stream_rate=tiny_trace.rate)
+        result = sim.run(
+            {"TCP": tiny_trace.packets}, RoundRobinSplitter(2), tiny_trace.duration_sec
+        )
+        assert result.aggregator_cpu_load() > 0
+
+
+class TestMultiHost:
+    def test_outputs_match_centralized(self, suspicious_dag, tiny_trace):
+        plan = build(suspicious_dag, 3, ps=PartitioningSet.of("srcIP"))
+        sim = ClusterSimulator(suspicious_dag, plan, stream_rate=tiny_trace.rate)
+        splitter = HashSplitter(6, PartitioningSet.of("srcIP"))
+        result = sim.run(
+            {"TCP": tiny_trace.packets}, splitter, tiny_trace.duration_sec
+        )
+        reference = run_centralized(suspicious_dag, {"TCP": tiny_trace.packets})
+        assert batches_equal(
+            result.outputs["suspicious_flows"], reference["suspicious_flows"]
+        )
+
+    def test_all_hosts_do_work(self, suspicious_dag, tiny_trace):
+        plan = build(suspicious_dag, 3, ps=PartitioningSet.of("srcIP"))
+        sim = ClusterSimulator(suspicious_dag, plan, stream_rate=tiny_trace.rate)
+        result = sim.run(
+            {"TCP": tiny_trace.packets},
+            HashSplitter(6, PartitioningSet.of("srcIP")),
+            tiny_trace.duration_sec,
+        )
+        for host in result.hosts:
+            assert host.cpu_units > 0
+
+    def test_partition_count_mismatch_rejected(self, suspicious_dag, tiny_trace):
+        plan = build(suspicious_dag, 3)
+        sim = ClusterSimulator(suspicious_dag, plan, stream_rate=tiny_trace.rate)
+        with pytest.raises(ValueError):
+            sim.run({"TCP": tiny_trace.packets}, RoundRobinSplitter(4), 5.0)
+
+    def test_leaf_loads_reported(self, suspicious_dag, tiny_trace):
+        plan = build(suspicious_dag, 4)
+        sim = ClusterSimulator(suspicious_dag, plan, stream_rate=tiny_trace.rate)
+        result = sim.run(
+            {"TCP": tiny_trace.packets}, RoundRobinSplitter(8), tiny_trace.duration_sec
+        )
+        assert len(result.leaf_cpu_loads()) == 3
+
+    def test_summary_mentions_roles(self, suspicious_dag, tiny_trace):
+        plan = build(suspicious_dag, 2)
+        sim = ClusterSimulator(suspicious_dag, plan, stream_rate=tiny_trace.rate)
+        result = sim.run(
+            {"TCP": tiny_trace.packets}, RoundRobinSplitter(4), tiny_trace.duration_sec
+        )
+        text = result.summary()
+        assert "aggregator" in text
+        assert "leaf" in text
+
+
+class TestAccountingInvariants:
+    def test_network_equals_remote_edge_counts(self, complex_dag, tiny_trace):
+        plan = build(complex_dag, 3, ps=PartitioningSet.of("srcIP", "destIP"))
+        sim = ClusterSimulator(complex_dag, plan, stream_rate=tiny_trace.rate)
+        result = sim.run(
+            {"TCP": tiny_trace.packets},
+            HashSplitter(6, PartitioningSet.of("srcIP", "destIP")),
+            tiny_trace.duration_sec,
+        )
+        expected = 0
+        for child, parent in plan.network_edges():
+            expected += result.node_output_counts[child.node_id]
+        assert result.network.total_tuples() == expected
+
+    def test_rerun_is_deterministic(self, complex_dag, tiny_trace):
+        plan = build(complex_dag, 2, ps=PartitioningSet.of("srcIP"))
+        sim = ClusterSimulator(complex_dag, plan, stream_rate=tiny_trace.rate)
+        splitter = HashSplitter(4, PartitioningSet.of("srcIP"))
+        first = sim.run({"TCP": tiny_trace.packets}, splitter, tiny_trace.duration_sec)
+        first_loads = [h.cpu_units for h in first.hosts]
+        second = sim.run({"TCP": tiny_trace.packets}, splitter, tiny_trace.duration_sec)
+        assert [h.cpu_units for h in second.hosts] == first_loads
+        assert second.network.tuples_received == first.network.tuples_received
+
+    def test_higher_remote_overhead_raises_aggregator_load(
+        self, suspicious_dag, tiny_trace
+    ):
+        plan = build(suspicious_dag, 4, merge_local=False)
+        splitter = RoundRobinSplitter(8)
+        base_sim = ClusterSimulator(
+            suspicious_dag, plan, stream_rate=tiny_trace.rate, costs=DEFAULT_COSTS
+        )
+        base = base_sim.run(
+            {"TCP": tiny_trace.packets}, splitter, tiny_trace.duration_sec
+        )
+        heavy_costs = DEFAULT_COSTS.with_remote_overhead(20.0)
+        heavy_sim = ClusterSimulator(
+            suspicious_dag, plan, stream_rate=tiny_trace.rate, costs=heavy_costs
+        )
+        heavy = heavy_sim.run(
+            {"TCP": tiny_trace.packets}, splitter, tiny_trace.duration_sec
+        )
+        assert heavy.aggregator_cpu_load() > base.aggregator_cpu_load()
+
+    def test_union_query_distributed_equivalence(self, catalog, tiny_trace):
+        """Union branches over the same partitions must not split groups
+        of a pushed compatible aggregation (regression test for the
+        coverage-clustering rule)."""
+        from repro.plan import QueryDag
+
+        catalog.define_query(
+            "u",
+            "SELECT srcIP, len FROM TCP WHERE len > 300 "
+            "UNION SELECT srcIP, len FROM TCP WHERE len > 700",
+        )
+        catalog.define_query(
+            "agg", "SELECT srcIP, COUNT(*) as c, SUM(len) as s FROM u GROUP BY srcIP"
+        )
+        dag = QueryDag.from_catalog(catalog)
+        plan = build(dag, 3, ps=PartitioningSet.of("srcIP"))
+        sim = ClusterSimulator(dag, plan, stream_rate=tiny_trace.rate)
+        result = sim.run(
+            {"TCP": tiny_trace.packets},
+            HashSplitter(6, PartitioningSet.of("srcIP")),
+            tiny_trace.duration_sec,
+        )
+        reference = run_centralized(dag, {"TCP": tiny_trace.packets})
+        assert batches_equal(result.outputs["agg"], reference["agg"])

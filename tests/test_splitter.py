@@ -1,0 +1,78 @@
+"""Splitter hardware models."""
+
+import pytest
+
+from repro.cluster.splitter import (
+    HashSplitter,
+    RoundRobinSplitter,
+    partition_histogram,
+)
+from repro.partitioning import PartitioningSet
+
+
+def rows(n):
+    return [{"srcIP": i % 7, "destIP": i % 3, "len": i} for i in range(n)]
+
+
+class TestRoundRobin:
+    def test_even_spread(self):
+        splitter = RoundRobinSplitter(4)
+        batches = splitter.split(rows(100))
+        assert [len(b) for b in batches] == [25, 25, 25, 25]
+
+    def test_cyclic_assignment(self):
+        splitter = RoundRobinSplitter(3)
+        assign = splitter.assigner()
+        assert [assign({}) for _ in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_preserves_all_tuples(self):
+        splitter = RoundRobinSplitter(5)
+        batches = splitter.split(rows(17))
+        assert sum(len(b) for b in batches) == 17
+
+    def test_describe(self):
+        assert "round-robin" in RoundRobinSplitter(4).describe()
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ValueError):
+            RoundRobinSplitter(0)
+
+
+class TestHashSplitter:
+    def test_key_locality(self):
+        splitter = HashSplitter(4, PartitioningSet.of("srcIP"))
+        batches = splitter.split(rows(100))
+        # every batch must contain only whole srcIP groups
+        seen = {}
+        for index, batch in enumerate(batches):
+            for row in batch:
+                key = row["srcIP"]
+                assert seen.setdefault(key, index) == index
+
+    def test_preserves_all_tuples(self):
+        splitter = HashSplitter(8, PartitioningSet.of("srcIP", "destIP"))
+        batches = splitter.split(rows(123))
+        assert sum(len(b) for b in batches) == 123
+
+    def test_empty_ps_rejected(self):
+        with pytest.raises(ValueError):
+            HashSplitter(4, PartitioningSet.empty())
+
+    def test_describe_mentions_expressions(self):
+        splitter = HashSplitter(4, PartitioningSet.of("srcIP & 0xFFF0"))
+        assert "0xfff0" in splitter.describe()
+
+    def test_histogram(self):
+        splitter = HashSplitter(4, PartitioningSet.of("len"))
+        histogram = partition_histogram(splitter, rows(50))
+        assert sum(histogram.values()) == 50
+
+    def test_reasonable_balance_on_trace(self, small_trace):
+        """The paper's premise: hashing on flow keys spreads load well."""
+        splitter = HashSplitter(
+            8, PartitioningSet.of("srcIP", "destIP", "srcPort", "destPort")
+        )
+        histogram = partition_histogram(splitter, small_trace.packets)
+        total = sum(histogram.values())
+        expected = total / 8
+        assert max(histogram.values()) < 2.5 * expected

@@ -1,0 +1,118 @@
+"""Trace persistence (CSV round trip) and trace statistics."""
+
+import pytest
+
+from repro.traces import (
+    ATTACK_PATTERN,
+    TraceConfig,
+    generate_trace,
+    load_trace,
+    save_trace,
+    trace_statistics,
+)
+from repro.traces.stats import packet_statistics
+
+
+class TestTraceIO:
+    def test_round_trip(self, tmp_path, tiny_trace):
+        path = str(tmp_path / "trace.csv")
+        save_trace(tiny_trace, path)
+        loaded = load_trace(path)
+        assert loaded.packets == tiny_trace.packets
+        assert loaded.duration_sec == tiny_trace.duration_sec
+        assert loaded.flow_count == tiny_trace.flow_count
+        assert loaded.suspicious_flow_count == tiny_trace.suspicious_flow_count
+        assert loaded.notes["loaded_from"] == path
+
+    def test_loaded_trace_drives_experiments(self, tmp_path, tiny_trace):
+        from repro.workloads import Configuration, run_configuration
+        from repro.workloads.queries import suspicious_flows_catalog
+
+        path = str(tmp_path / "trace.csv")
+        save_trace(tiny_trace, path)
+        loaded = load_trace(path)
+        _, dag = suspicious_flows_catalog()
+        fresh = run_configuration(dag, tiny_trace, Configuration("rr", None), 2)
+        replayed = run_configuration(dag, loaded, Configuration("rr", None), 2)
+        assert replayed.aggregator_net == fresh.aggregator_net
+
+    def test_missing_metadata_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,timestamp,srcIP\n1,2,3\n")
+        with pytest.raises(ValueError):
+            load_trace(str(path))
+
+    def test_wrong_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("#meta:duration_sec=1\nfoo,bar\n1,2\n")
+        with pytest.raises(ValueError):
+            load_trace(str(path))
+
+    def test_values_are_ints_after_reload(self, tmp_path, tiny_trace):
+        path = str(tmp_path / "trace.csv")
+        save_trace(tiny_trace, path)
+        loaded = load_trace(path)
+        first = loaded.packets[0]
+        assert all(isinstance(value, int) for value in first.values())
+
+
+class TestStatistics:
+    def test_counts_consistent(self, small_trace):
+        stats = trace_statistics(small_trace)
+        assert stats.packets == len(small_trace.packets)
+        assert stats.flows <= stats.flow_seconds
+        assert stats.host_pairs <= stats.flows
+        assert stats.subnet_groups <= stats.host_pairs
+        assert stats.src_hosts <= stats.flows
+        assert stats.rate == pytest.approx(
+            len(small_trace.packets) / small_trace.duration_sec
+        )
+
+    def test_suspicious_detection_matches_generator(self, small_trace):
+        stats = trace_statistics(small_trace)
+        # generator metadata counts generated attack flows; the statistic
+        # counts flows whose OR-fold equals the pattern — they agree
+        assert stats.suspicious_flows == small_trace.suspicious_flow_count
+
+    def test_describe_readable(self, small_trace):
+        text = trace_statistics(small_trace).describe()
+        assert "flows" in text
+        assert "suspicious" in text
+
+    def test_empty_packets(self):
+        stats = packet_statistics([], duration_sec=1.0)
+        assert stats.flows == 0
+        assert stats.mean_packets_per_flow == 0.0
+        assert stats.suspicious_fraction == 0.0
+        assert stats.max_flow_packets == 0
+
+    def test_single_suspicious_flow(self):
+        packets = [
+            {
+                "time": 0,
+                "timestamp": 0,
+                "srcIP": 1,
+                "destIP": 2,
+                "srcPort": 3,
+                "destPort": 4,
+                "protocol": 6,
+                "flags": ATTACK_PATTERN,
+                "len": 40,
+            }
+        ]
+        stats = packet_statistics(packets, 1.0)
+        assert stats.suspicious_flows == 1
+        assert stats.suspicious_fraction == 1.0
+
+    def test_session_clustering_visible_in_stats(self):
+        """The experiment-2 preset must show multiple flows per subnet
+        group; the experiment-3 preset must not."""
+        from repro.workloads.experiments import (
+            experiment2_trace_config,
+            experiment3_trace_config,
+        )
+
+        clustered = trace_statistics(generate_trace(experiment2_trace_config()))
+        wide = trace_statistics(generate_trace(experiment3_trace_config()))
+        assert clustered.mean_flows_per_subnet_group > 2.0
+        assert wide.mean_flows_per_subnet_group < clustered.mean_flows_per_subnet_group

@@ -1,0 +1,236 @@
+"""The partition-aware distributed optimizer (§5): plan shapes per rule."""
+
+import pytest
+
+from repro.distopt import DistributedOptimizer, Placement, render_plan
+from repro.distopt.plan_ir import DistKind, Variant
+from repro.partitioning import PartitioningSet
+from repro.plan import QueryDag
+
+
+def optimize(dag, hosts=3, ps=None, merge_local=True, deliver=None):
+    placement = Placement(
+        num_hosts=hosts, partitions_per_host=2, merge_local_partitions=merge_local
+    )
+    optimizer = DistributedOptimizer(dag, placement, ps, deliver=deliver)
+    return optimizer.optimize(), optimizer
+
+
+def ops_by_variant(plan, query):
+    result = {}
+    for node in plan.ops_for(query):
+        result.setdefault(node.variant, []).append(node)
+    return result
+
+
+class TestCompatibleAggregation:
+    def test_pushed_full_copies_per_host(self, suspicious_dag):
+        ps = PartitioningSet.of("srcIP", "destIP", "srcPort", "destPort")
+        plan, _ = optimize(suspicious_dag, hosts=3, ps=ps)
+        variants = ops_by_variant(plan, "suspicious_flows")
+        assert set(variants) == {Variant.FULL}
+        assert len(variants[Variant.FULL]) == 3
+        hosts = {op.host for op in variants[Variant.FULL]}
+        assert hosts == {0, 1, 2}
+
+    def test_delivery_merge_on_aggregator(self, suspicious_dag):
+        ps = PartitioningSet.of("srcIP")
+        plan, _ = optimize(suspicious_dag, hosts=3, ps=ps)
+        delivery = plan.node(plan.delivery["suspicious_flows"])
+        assert delivery.kind is DistKind.MERGE
+        assert delivery.host == plan.aggregator
+
+    def test_report_mentions_compatibility(self, suspicious_dag):
+        ps = PartitioningSet.of("srcIP")
+        _, optimizer = optimize(suspicious_dag, ps=ps)
+        assert "pushed FULL" in optimizer.report.decisions["suspicious_flows"]
+
+
+class TestIncompatibleAggregation:
+    def test_round_robin_splits_sub_super(self, suspicious_dag):
+        plan, optimizer = optimize(suspicious_dag, hosts=3, ps=None)
+        variants = ops_by_variant(plan, "suspicious_flows")
+        assert len(variants[Variant.SUB]) == 3  # one per host (merged local)
+        assert len(variants[Variant.SUPER]) == 1
+        assert variants[Variant.SUPER][0].host == plan.aggregator
+        assert "SUB/SUPER" in optimizer.report.decisions["suspicious_flows"]
+
+    def test_naive_mode_splits_per_partition(self, suspicious_dag):
+        plan, _ = optimize(suspicious_dag, hosts=3, ps=None, merge_local=False)
+        variants = ops_by_variant(plan, "suspicious_flows")
+        assert len(variants[Variant.SUB]) == 6  # one per partition
+
+    def test_single_host_everything_local(self, suspicious_dag):
+        plan, _ = optimize(suspicious_dag, hosts=1, ps=None)
+        assert plan.hosts_used() == [0]
+
+
+class TestJoinTransform:
+    def test_compatible_self_join_pushed_pairwise(self, complex_dag):
+        plan, optimizer = optimize(complex_dag, hosts=4, ps=PartitioningSet.of("srcIP"))
+        variants = ops_by_variant(plan, "flow_pairs")
+        assert set(variants) == {Variant.FULL}
+        assert len(variants[Variant.FULL]) == 4
+        # each pushed join reads the same producer twice (self-join)
+        for op in variants[Variant.FULL]:
+            assert len(op.inputs) == 2
+            assert op.inputs[0] == op.inputs[1]
+        assert "pair-wise" in optimizer.report.decisions["flow_pairs"]
+
+    def test_incompatible_join_central(self, complex_dag):
+        ps = PartitioningSet.of("srcIP", "destIP")  # flows yes, join no
+        plan, optimizer = optimize(complex_dag, hosts=4, ps=ps)
+        variants = ops_by_variant(plan, "flow_pairs")
+        assert len(variants[Variant.FULL]) == 1
+        assert variants[Variant.FULL][0].host == plan.aggregator
+        assert "centrally" in optimizer.report.decisions["flow_pairs"]
+
+    def test_central_join_shares_one_merge_for_self_join(self, jitter_dag):
+        ps = PartitioningSet.of("srcIP & 0xFFFFFFF0", "destIP")
+        plan, _ = optimize(jitter_dag, hosts=4, ps=ps,
+                           deliver=["subnet_stats", "jitter", "tcp_flows"])
+        (join_op,) = plan.ops_for("jitter")
+        assert join_op.inputs[0] == join_op.inputs[1]
+        merge = plan.node(join_op.inputs[0])
+        assert merge.kind is DistKind.MERGE
+        # the same merge also serves the tcp_flows delivery
+        assert plan.delivery["tcp_flows"] == merge.node_id
+
+
+class TestPropagation:
+    def test_fully_compatible_chain_pushes_everything(self, complex_dag):
+        plan, _ = optimize(complex_dag, hosts=3, ps=PartitioningSet.of("srcIP"))
+        for query in ("flows", "heavy_flows", "flow_pairs"):
+            ops = plan.ops_for(query)
+            assert len(ops) == 3, query
+            assert all(op.variant is Variant.FULL for op in ops)
+        # only the delivery merge lives on the aggregator beyond its own ops
+        delivery = plan.node(plan.delivery["flow_pairs"])
+        assert delivery.kind is DistKind.MERGE
+
+    def test_partial_chain_stops_at_incompatible_node(self, complex_dag):
+        ps = PartitioningSet.of("srcIP", "destIP")
+        plan, _ = optimize(complex_dag, hosts=3, ps=ps)
+        assert len(plan.ops_for("flows")) == 3  # compatible, pushed
+        heavy = ops_by_variant(plan, "heavy_flows")
+        assert len(heavy[Variant.SUB]) == 3  # partial aggregation
+        assert len(heavy[Variant.SUPER]) == 1
+
+    def test_selection_pushdown(self, catalog):
+        catalog.define_query(
+            "web", "SELECT time, srcIP, len FROM TCP WHERE destPort = 80"
+        )
+        catalog.define_query(
+            "web_flows",
+            "SELECT tb, srcIP, COUNT(*) as c FROM web GROUP BY time as tb, srcIP",
+        )
+        dag = QueryDag.from_catalog(catalog)
+        plan, optimizer = optimize(dag, hosts=3, ps=PartitioningSet.of("srcIP"))
+        # the selection runs on every host, below the pushed aggregation
+        assert len(plan.ops_for("web")) == 3
+        assert len(plan.ops_for("web_flows")) == 3
+        assert "pushed" in optimizer.report.decisions["web"]
+
+
+class TestUnionFlattening:
+    def test_union_producers_flattened(self, catalog):
+        catalog.define_query(
+            "u",
+            "SELECT srcIP, len FROM TCP WHERE destPort = 80 "
+            "UNION SELECT srcIP, len FROM TCP WHERE destPort = 443",
+        )
+        catalog.define_query(
+            "agg", "SELECT srcIP, COUNT(*) as c FROM u GROUP BY srcIP"
+        )
+        dag = QueryDag.from_catalog(catalog)
+        plan, _ = optimize(dag, hosts=2, ps=PartitioningSet.of("srcIP"))
+        # aggregation over the union still pushes, but the two branch
+        # producers on each host share one pushed copy (their partition
+        # coverages overlap, so separate copies would split groups)
+        agg_ops = plan.ops_for("agg")
+        assert len(agg_ops) == 2
+        for op in agg_ops:
+            merge = plan.node(op.inputs[0])
+            assert merge.kind is DistKind.MERGE
+            assert len(merge.inputs) == 2
+
+
+class TestPaperPlanFigures:
+    """The paper's illustrative distributed plans, reproduced structurally."""
+
+    def test_figure2_destip_partitioning(self, complex_dag):
+        """Fig. 2: the optimizer given a (destIP) splitter — flows pushes
+        (destIP is one of its group-by attributes), heavy_flows and the
+        self-join cannot, so heavy_flows partial-aggregates and the join
+        runs centrally."""
+        plan, optimizer = optimize(
+            complex_dag, hosts=4, ps=PartitioningSet.of("destIP")
+        )
+        assert len(plan.ops_for("flows")) == 4  # γ per host
+        heavy = ops_by_variant(plan, "heavy_flows")
+        assert len(heavy[Variant.SUB]) == 4
+        assert len(heavy[Variant.SUPER]) == 1
+        join_ops = plan.ops_for("flow_pairs")
+        assert len(join_ops) == 1
+        assert join_ops[0].host == plan.aggregator
+        assert "compatible" in optimizer.report.decisions["flows"]
+
+    def test_figure12_partial_partitioning(self, complex_dag):
+        """Fig. 12: the §6.3 partially-compatible plan — only flows takes
+        advantage of the (srcIP, destIP) partitioning."""
+        plan, _ = optimize(
+            complex_dag, hosts=4, ps=PartitioningSet.of("srcIP", "destIP")
+        )
+        assert len(plan.ops_for("flows")) == 4
+        heavy = ops_by_variant(plan, "heavy_flows")
+        assert set(heavy) == {Variant.SUB, Variant.SUPER}
+        (join_op,) = plan.ops_for("flow_pairs")
+        assert join_op.host == plan.aggregator
+
+    def test_figure4_compatible_aggregation(self, suspicious_dag):
+        """Fig. 4: aggregation pushed below the merge, one copy per
+        producer, data fully aggregated before crossing the network."""
+        ps = PartitioningSet.of("srcIP", "destIP", "srcPort", "destPort")
+        plan, _ = optimize(suspicious_dag, hosts=3, ps=ps)
+        delivery = plan.node(plan.delivery["suspicious_flows"])
+        assert delivery.kind is DistKind.MERGE
+        for child_id in delivery.inputs:
+            child = plan.node(child_id)
+            assert child.kind is DistKind.OP
+            assert child.variant is Variant.FULL
+
+    def test_figure5_partial_aggregation(self, suspicious_dag):
+        """Fig. 5: γ-sub per producer, one merge, γ-super on top."""
+        plan, _ = optimize(suspicious_dag, hosts=3, ps=None, merge_local=False)
+        (super_op,) = ops_by_variant(plan, "suspicious_flows")[Variant.SUPER]
+        (merge_id,) = super_op.inputs
+        merge = plan.node(merge_id)
+        assert merge.kind is DistKind.MERGE
+        assert len(merge.inputs) == 6  # one sub per partition
+        for sub_id in merge.inputs:
+            assert plan.node(sub_id).variant is Variant.SUB
+
+    def test_figure7_pairwise_join(self, complex_dag):
+        """Fig. 7: per-partition joins below the merges."""
+        plan, _ = optimize(complex_dag, hosts=3, ps=PartitioningSet.of("srcIP"))
+        delivery = plan.node(plan.delivery["flow_pairs"])
+        assert delivery.kind is DistKind.MERGE
+        assert len(delivery.inputs) == 3
+        hosts = {plan.node(c).host for c in delivery.inputs}
+        assert hosts == {0, 1, 2}
+
+
+class TestRendering:
+    def test_render_groups_by_host(self, complex_dag):
+        plan, _ = optimize(complex_dag, hosts=2, ps=PartitioningSet.of("srcIP"))
+        text = render_plan(plan)
+        assert "== host 0 (aggregator) ==" in text
+        assert "== host 1 ==" in text
+        assert "flow_pairs" in text
+
+    def test_render_summary_counts(self, complex_dag):
+        from repro.distopt.render import render_summary
+
+        plan, _ = optimize(complex_dag, hosts=2, ps=PartitioningSet.of("srcIP"))
+        summary = render_summary(plan)
+        assert "flows x2" in summary

@@ -1,0 +1,124 @@
+"""Canned workloads and the experiment harness plumbing."""
+
+import pytest
+
+from repro.partitioning import PartitioningSet, choose_partitioning
+from repro.workloads import (
+    Configuration,
+    complex_catalog,
+    experiment1_configurations,
+    experiment2_configurations,
+    experiment3_configurations,
+    format_figure,
+    run_configuration,
+    subnet_jitter_catalog,
+    suspicious_flows_catalog,
+    sweep_hosts,
+)
+from repro.workloads.experiments import (
+    experiment1_trace_config,
+    experiment2_trace_config,
+    experiment3_trace_config,
+    experiment_capacity,
+)
+
+
+class TestCatalogs:
+    def test_suspicious_flows_structure(self):
+        catalog, dag = suspicious_flows_catalog()
+        node = dag.node("suspicious_flows")
+        assert node.having is not None
+        assert [g.name for g in node.group_by] == [
+            "tb",
+            "srcIP",
+            "destIP",
+            "srcPort",
+            "destPort",
+        ]
+
+    def test_subnet_jitter_structure(self):
+        _, dag = subnet_jitter_catalog()
+        assert dag.node("jitter").is_join
+        assert len(dag.node("jitter").equalities) == 5  # 4-tuple + temporal
+
+    def test_complex_structure_matches_paper(self):
+        _, dag = complex_catalog()
+        assert [n.name for n in dag.roots()] == ["flow_pairs"]
+
+    def test_complex_epoch_parameter(self):
+        _, dag = complex_catalog(epoch_seconds=7)
+        tb = dag.node("flows").group_by[0]
+        assert "7" in str(tb.expr)
+
+    def test_analysis_recommends_paper_partitionings(self):
+        """The search reproduces the paper's optimal sets per workload."""
+        _, dag1 = suspicious_flows_catalog()
+        assert (
+            str(choose_partitioning(dag1, 100_000).partitioning)
+            == "{srcIP, destIP, srcPort, destPort}"
+        )
+        _, dag3 = complex_catalog()
+        assert str(choose_partitioning(dag3, 100_000).partitioning) == "{srcIP}"
+
+
+class TestConfigurations:
+    def test_experiment1_names(self):
+        names = [c.name for c in experiment1_configurations()]
+        assert names == ["Naive", "Optimized", "Partitioned"]
+
+    def test_experiment2_partitionings(self):
+        configs = {c.name: c for c in experiment2_configurations()}
+        assert configs["Naive"].partitioning is None
+        assert "srcPort" in str(configs["Partitioned (suboptimal)"].partitioning)
+        assert "0xfffffff0" in str(configs["Partitioned (optimal)"].partitioning)
+
+    def test_experiment3_has_four_configurations(self):
+        assert len(experiment3_configurations()) == 4
+
+    def test_splitter_construction(self):
+        rr = Configuration("x", None).splitter(4)
+        assert "round-robin" in rr.describe()
+        hashed = Configuration("y", PartitioningSet.of("srcIP")).splitter(4)
+        assert "hash" in hashed.describe()
+
+    def test_trace_configs_distinct(self):
+        assert experiment2_trace_config() != experiment1_trace_config()
+        assert experiment3_trace_config() != experiment1_trace_config()
+
+    def test_capacity_validation(self, small_trace):
+        assert experiment_capacity(1, small_trace) > 0
+        with pytest.raises(ValueError):
+            experiment_capacity(9, small_trace)
+
+
+class TestHarness:
+    def test_run_configuration_produces_outcome(self, small_trace):
+        _, dag = suspicious_flows_catalog()
+        outcome = run_configuration(
+            dag, small_trace, experiment1_configurations()[0], num_hosts=2
+        )
+        assert outcome.num_hosts == 2
+        assert outcome.aggregator_cpu > 0
+        assert outcome.plan.num_partitions == 4
+
+    def test_sweep_shape(self, small_trace):
+        _, dag = suspicious_flows_catalog()
+        outcomes = sweep_hosts(
+            dag,
+            small_trace,
+            experiment1_configurations()[:2],
+            host_counts=(1, 2),
+        )
+        assert set(outcomes) == {"Naive", "Optimized"}
+        assert [o.num_hosts for o in outcomes["Naive"]] == [1, 2]
+
+    def test_format_figure(self, small_trace):
+        _, dag = suspicious_flows_catalog()
+        outcomes = sweep_hosts(
+            dag, small_trace, experiment1_configurations()[:1], host_counts=(1, 2)
+        )
+        text = format_figure("Figure 8", outcomes, "cpu")
+        assert "Figure 8" in text
+        assert "Naive" in text
+        with pytest.raises(ValueError):
+            format_figure("x", outcomes, "latency")
