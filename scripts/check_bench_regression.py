@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Compare fresh micro-benchmark throughputs against the committed baseline.
+
+Workflow::
+
+    cd benchmarks && PYTHONPATH=../src python -m pytest bench_micro_engine.py
+    python scripts/check_bench_regression.py            # diff vs baseline
+    python scripts/check_bench_regression.py --update   # bless current run
+
+The benchmark run writes ``benchmarks/results/BENCH_engine.json`` (see
+``benchmarks/conftest.py``); the blessed copy lives in
+``benchmarks/baseline/BENCH_engine.json``.  A benchmark regresses when its
+ops/sec falls more than ``--threshold`` (default 30%) below the baseline.
+Absolute timings are machine-dependent, so the default threshold is
+deliberately loose — the check exists to catch order-of-magnitude cliffs
+(e.g. a vectorized kernel silently falling back to rows), not 5% noise.
+
+Exit status: 0 when every benchmark holds, 1 on any regression or when an
+input file is missing or unreadable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CURRENT = os.path.join(REPO_ROOT, "benchmarks", "results", "BENCH_engine.json")
+BASELINE = os.path.join(REPO_ROOT, "benchmarks", "baseline", "BENCH_engine.json")
+
+
+def load(path: str) -> dict:
+    with open(path) as handle:
+        payload = json.load(handle)
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, dict):
+        raise ValueError(f"{path}: no 'benchmarks' mapping")
+    return benchmarks
+
+
+def compare(baseline: dict, current: dict, threshold: float) -> int:
+    regressions = []
+    width = max((len(name) for name in baseline), default=0)
+    for name in sorted(baseline):
+        base_ops = baseline[name].get("ops_per_sec", 0.0)
+        entry = current.get(name)
+        if entry is None:
+            print(f"MISSING  {name:<{width}}  (in baseline, not in current run)")
+            regressions.append(name)
+            continue
+        cur_ops = entry.get("ops_per_sec", 0.0)
+        if base_ops <= 0:
+            continue
+        ratio = cur_ops / base_ops
+        status = "ok" if ratio >= 1.0 - threshold else "REGRESSED"
+        print(
+            f"{status:<10}{name:<{width}}  "
+            f"{base_ops:12.1f} -> {cur_ops:12.1f} ops/s  ({ratio:6.2f}x)"
+        )
+        if status != "ok":
+            regressions.append(name)
+    for name in sorted(set(current) - set(baseline)):
+        print(f"NEW      {name}  (not in baseline; run with --update to record)")
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed beyond "
+              f"{threshold:.0%} of baseline")
+        return 1
+    print("\nall benchmarks within threshold")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", default=CURRENT)
+    parser.add_argument("--baseline", default=BASELINE)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="allowed fractional ops/sec drop before failing (default 0.30)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="bless the current results as the new baseline",
+    )
+    args = parser.parse_args(argv)
+
+    if not os.path.exists(args.current):
+        print(
+            f"no current results at {args.current}; run the micro benchmarks "
+            "first:\n  cd benchmarks && PYTHONPATH=../src "
+            "python -m pytest bench_micro_engine.py"
+        )
+        return 1
+    if args.update:
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}; create one with --update")
+        return 1
+    try:
+        baseline = load(args.baseline)
+        current = load(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error reading benchmark files: {exc}")
+        return 1
+    return compare(baseline, current, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -82,6 +82,7 @@ def cmd_figures(args) -> int:
         configs_fn(),
         host_counts=host_counts,
         host_capacity=capacity,
+        engine=args.engine,
     )
     print(
         format_figure(
@@ -161,6 +162,12 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--experiment", type=int, choices=(1, 2, 3), required=True)
     figures.add_argument("--hosts", default="1,2,3,4", help="comma-separated sizes")
     figures.add_argument("--seed", type=int, default=7)
+    figures.add_argument(
+        "--engine",
+        choices=("row", "columnar"),
+        default="columnar",
+        help="execution backend (identical results; columnar is faster)",
+    )
     figures.set_defaults(func=cmd_figures)
 
     analyze = commands.add_parser(

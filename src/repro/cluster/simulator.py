@@ -14,13 +14,23 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..distopt.plan_ir import DistKind, DistNode, DistributedPlan, Variant
 from ..engine.aggregates import states_width
+from ..engine.columnar import (
+    ColumnarMergeOp,
+    ColumnBatch,
+    build_columnar_operator,
+    ensure_columns,
+    ensure_rows,
+)
 from ..engine.operators import Batch, MergeOp, NullPadOp, build_operator
+from ..expr.vectorizer import UnsupportedExpression
 from ..gsql.analyzer import NodeKind
 from ..plan.dag import QueryDag
 from .costs import DEFAULT_COSTS, CostTable, default_capacity
 from .host import Host
 from .network import NetworkMeter
 from .splitter import Splitter
+
+ENGINES = ("row", "columnar")
 
 
 @dataclass
@@ -83,18 +93,40 @@ class ClusterSimulator:
         stream_rate: float,
         costs: CostTable = DEFAULT_COSTS,
         host_capacity: Optional[float] = None,
+        engine: str = "row",
     ):
         """``stream_rate`` is the total input rate in tuples/second; the
         default host capacity derives from it (see costs.py) so loads are
-        expressed relative to the monitored link, as in the paper."""
+        expressed relative to the monitored link, as in the paper.
+
+        ``engine`` selects the execution backend: ``"row"`` (dict tuples,
+        the reference semantics) or ``"columnar"`` (NumPy batch kernels;
+        nodes without a vectorized kernel — joins, NULLPAD — transparently
+        fall back to the row operator).  Both backends produce identical
+        outputs and identical CPU/network accounting; the cost model
+        charges simulated per-tuple work, not wall-clock time.
+        """
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
         self._dag = dag
         self._plan = plan
         self._costs = costs
+        self._engine = engine
         capacity = host_capacity if host_capacity is not None else default_capacity(
             stream_rate
         )
         self._hosts = [Host(i, capacity) for i in range(plan.num_hosts)]
         self._width_cache: Dict[str, float] = {}
+        # Built operators are cached per (kind, query, variant, pad side):
+        # the plan instantiates one OP per host for the same query node, and
+        # every run re-executes them all — without the cache each execution
+        # re-ran build_operator, recompiling every expression.
+        self._row_operators: Dict[tuple, object] = {}
+        self._columnar_operators: Dict[tuple, object] = {}
+
+    @property
+    def engine(self) -> str:
+        return self._engine
 
     @property
     def hosts(self) -> List[Host]:
@@ -117,8 +149,10 @@ class ClusterSimulator:
             batch = self._execute_node(node, outputs, partitions, network)
             outputs[node.node_id] = batch
             counts[node.node_id] = len(batch)
+        # Delivered outputs are always row batches, whichever backend ran.
         delivered = {
-            name: outputs[node_id] for name, node_id in self._plan.delivery.items()
+            name: ensure_rows(outputs[node_id])
+            for name, node_id in self._plan.delivery.items()
         }
         return SimulationResult(
             hosts=self._hosts,
@@ -142,8 +176,22 @@ class ClusterSimulator:
             )
         partitions: Dict[str, List[Batch]] = {}
         for stream, rows in source_rows.items():
-            partitions[stream] = splitter.split(rows)
+            if self._engine == "columnar":
+                partitions[stream] = self._split_columns(rows, splitter)
+            else:
+                partitions[stream] = splitter.split(ensure_rows(rows))
         return partitions
+
+    def _split_columns(self, rows, splitter: Splitter) -> List[ColumnBatch]:
+        """Vectorized splitting; falls back to row splitting + conversion."""
+        batch = ensure_columns(rows)
+        try:
+            return splitter.split_columns(batch)
+        except UnsupportedExpression:
+            return [
+                ColumnBatch.from_rows(part)
+                for part in splitter.split(ensure_rows(rows))
+            ]
 
     def _execute_node(
         self,
@@ -179,14 +227,47 @@ class ClusterSimulator:
         return result
 
     def _apply(self, node: DistNode, inputs: List[Batch]) -> Batch:
+        if self._engine == "columnar":
+            operator = self._columnar_operator(node)
+            if operator is not None:
+                return operator.process(*(ensure_columns(b) for b in inputs))
+            # Row fallback for this node (e.g. a join): convert at the edge.
+            inputs = [ensure_rows(b) for b in inputs]
+        return self._row_operator(node).process(*inputs)
+
+    def _operator_key(self, node: DistNode) -> tuple:
+        return (node.kind, node.query, node.variant, node.pad_side)
+
+    def _row_operator(self, node: DistNode):
+        key = self._operator_key(node)
+        operator = self._row_operators.get(key)
+        if operator is None:
+            if node.kind is DistKind.MERGE:
+                operator = MergeOp()
+            elif node.kind is DistKind.NULLPAD:
+                operator = NullPadOp(self._dag.node(node.query), node.pad_side)
+            else:
+                operator = build_operator(
+                    self._dag.node(node.query), node.variant.value
+                )
+            self._row_operators[key] = operator
+        return operator
+
+    def _columnar_operator(self, node: DistNode):
+        """The cached vectorized operator, or None for row fallback."""
+        key = self._operator_key(node)
+        if key in self._columnar_operators:
+            return self._columnar_operators[key]
         if node.kind is DistKind.MERGE:
-            return MergeOp().process(*inputs)
-        if node.kind is DistKind.NULLPAD:
-            analyzed = self._dag.node(node.query)
-            return NullPadOp(analyzed, node.pad_side).process(*inputs)
-        analyzed = self._dag.node(node.query)
-        operator = build_operator(analyzed, node.variant.value)
-        return operator.process(*inputs)
+            operator = ColumnarMergeOp()
+        elif node.kind is DistKind.NULLPAD:
+            operator = None  # outer-join padding reuses the row join projection
+        else:
+            operator = build_columnar_operator(
+                self._dag.node(node.query), node.variant.value
+            )
+        self._columnar_operators[key] = operator
+        return operator
 
     def _charge_processing(
         self, node: DistNode, inputs: List[Batch], result: Batch, host: Host

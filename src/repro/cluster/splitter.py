@@ -13,8 +13,12 @@ any host's CPU.  Two concrete splitters:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Mapping
+from typing import Callable, Dict, Iterable, List, Mapping, Optional
 
+import numpy as np
+
+from ..engine.columnar import ColumnBatch
+from ..expr.vectorizer import UnsupportedExpression
 from ..partitioning.partition_set import PartitioningSet
 
 Row = Mapping[str, object]
@@ -35,6 +39,26 @@ class Splitter:
         for row in rows:
             batches[assign(row)].append(row)
         return batches
+
+    def split_columns(self, batch: ColumnBatch) -> List[ColumnBatch]:
+        """Partition a columnar batch with the vectorized assigner.
+
+        Produces the same row-to-partition assignment as :meth:`split`
+        (parity-tested), preserving within-partition order.  Raises
+        :class:`~repro.expr.vectorizer.UnsupportedExpression` when no
+        vectorized assigner exists, so callers can fall back to rows.
+        """
+        indices = self.assign_indices(batch)
+        return [
+            batch.select(indices == partition)
+            for partition in range(self.num_partitions)
+        ]
+
+    def assign_indices(self, batch: ColumnBatch) -> np.ndarray:
+        """Partition index of every row of a columnar batch, at once."""
+        raise UnsupportedExpression(
+            f"{type(self).__name__} has no vectorized assigner"
+        )
 
     def assigner(self) -> Callable[[Row], int]:
         raise NotImplementedError
@@ -57,6 +81,9 @@ class RoundRobinSplitter(Splitter):
 
         return assign
 
+    def assign_indices(self, batch: ColumnBatch) -> np.ndarray:
+        return np.arange(len(batch), dtype=np.int64) % self.num_partitions
+
     def describe(self) -> str:
         return f"round-robin over {self.num_partitions} partitions"
 
@@ -69,9 +96,17 @@ class HashSplitter(Splitter):
         if ps.is_empty:
             raise ValueError("hash splitter needs a non-empty partitioning set")
         self.partitioning_set = ps
+        self._vector_partition: Optional[Callable] = None
 
     def assigner(self) -> Callable[[Row], int]:
         return self.partitioning_set.partitioner(self.num_partitions)
+
+    def assign_indices(self, batch: ColumnBatch) -> np.ndarray:
+        if self._vector_partition is None:
+            self._vector_partition = self.partitioning_set.vector_partitioner(
+                self.num_partitions
+            )
+        return self._vector_partition(batch.columns, len(batch))
 
     def describe(self) -> str:
         return f"hash on {self.partitioning_set} over {self.num_partitions} partitions"

@@ -1,0 +1,582 @@
+"""Columnar execution backend: batches as NumPy arrays, operators as kernels.
+
+The row engine (:mod:`repro.engine.operators`) processes one dict per
+tuple; this module processes a whole batch per operator call over a
+:class:`ColumnBatch` — a mapping of column name to NumPy array.  Selection
+becomes a boolean-mask filter, tumbling-window aggregation becomes a
+lexsort-based factorization with per-aggregate ``ufunc.reduceat``
+reductions, and merge becomes array concatenation.  Scalar expressions are
+lowered by :mod:`repro.expr.vectorizer`.
+
+The two engines are interchangeable per node: anything without a
+vectorized kernel (joins, exotic UDAFs, un-lowerable expressions) makes
+:func:`build_columnar_operator` return ``None`` and the cluster simulator
+falls back to the row operator for that node, converting representations
+at the boundary.  Parity is exact — for every workload catalog the
+columnar engine produces the same output multisets and the same per-node
+tuple counts (hence identical CPU/network accounting) as the row engine;
+``tests/test_engine_parity.py`` enforces this.
+
+Aggregate states follow the same sub/super protocol as the row engine: a
+scalar-state aggregate (COUNT, SUM, MIN, MAX, OR_AGGR, AND_AGGR) ships its
+state as a plain array column, while a composite state (AVG's
+``(sum, count)``, VARIANCE's ``(count, sum, sumsq)``) is a *tuple of
+arrays* stored unzipped — :meth:`ColumnBatch.to_rows` zips it back into
+the per-row Python tuples the row engine's SUPER operator expects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..expr.vectorizer import (
+    UnsupportedExpression,
+    materialize,
+    vectorize_expr,
+    vectorize_key,
+    vectorize_predicate,
+)
+from ..gsql.analyzer import AnalyzedNode, NodeKind
+from .aggregates import state_columns
+
+# A column is either one array or, for composite aggregate states, a tuple
+# of component arrays of equal length (a tuple-valued column, unzipped).
+Column = Union[np.ndarray, Tuple[np.ndarray, ...]]
+
+
+def _column_length(column: Column) -> int:
+    if isinstance(column, tuple):
+        return len(column[0])
+    return len(column)
+
+
+class ColumnBatch:
+    """A batch of tuples in columnar form: name -> array (+ length)."""
+
+    __slots__ = ("columns", "length")
+
+    def __init__(self, columns: Dict[str, Column], length: Optional[int] = None):
+        if length is None:
+            length = (
+                _column_length(next(iter(columns.values()))) if columns else 0
+            )
+        self.columns = columns
+        self.length = length
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:
+        return f"ColumnBatch({list(self.columns)}, length={self.length})"
+
+    def names(self) -> List[str]:
+        return list(self.columns)
+
+    def column(self, name: str) -> Column:
+        return self.columns[name]
+
+    def select(self, selector: np.ndarray) -> "ColumnBatch":
+        """A new batch of the rows picked by a boolean mask or index array."""
+        columns = {
+            name: _take(column, selector) for name, column in self.columns.items()
+        }
+        if selector.dtype == bool:
+            length = int(np.count_nonzero(selector))
+        else:
+            length = len(selector)
+        return ColumnBatch(columns, length)
+
+    def to_rows(self) -> List[dict]:
+        """Materialize as the row engine's list of dicts (native scalars)."""
+        if self.length == 0:
+            return []
+        names = self.names()
+        pools = []
+        for name in names:
+            column = self.columns[name]
+            if isinstance(column, tuple):
+                components = [part.tolist() for part in column]
+                pools.append(list(zip(*components)))
+            else:
+                pools.append(column.tolist())
+        return [dict(zip(names, values)) for values in zip(*pools)]
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[dict]) -> "ColumnBatch":
+        """Convert a row batch; tuple-valued cells become composite columns."""
+        rows = list(rows)
+        if not rows:
+            return cls({}, 0)
+        columns: Dict[str, Column] = {}
+        for name in rows[0]:
+            values = [row[name] for row in rows]
+            if isinstance(values[0], tuple):
+                width = len(values[0])
+                columns[name] = tuple(
+                    np.asarray([value[index] for value in values])
+                    for index in range(width)
+                )
+            else:
+                columns[name] = np.asarray(values)
+        return cls(columns, len(rows))
+
+    @classmethod
+    def concat(cls, batches: Sequence["ColumnBatch"]) -> "ColumnBatch":
+        """Concatenate batches (stream union); empty inputs are skipped."""
+        alive = [batch for batch in batches if batch.length > 0]
+        if not alive:
+            return batches[0] if batches else cls({}, 0)
+        if len(alive) == 1:
+            only = alive[0]
+            return cls(dict(only.columns), only.length)
+        names = alive[0].names()
+        columns: Dict[str, Column] = {}
+        for name in names:
+            parts = [batch.columns[name] for batch in alive]
+            if isinstance(parts[0], tuple):
+                width = len(parts[0])
+                columns[name] = tuple(
+                    np.concatenate([part[index] for part in parts])
+                    for index in range(width)
+                )
+            else:
+                columns[name] = np.concatenate(parts)
+        return cls(columns, sum(batch.length for batch in alive))
+
+
+def _take(column: Column, selector: np.ndarray) -> Column:
+    if isinstance(column, tuple):
+        return tuple(part[selector] for part in column)
+    return column[selector]
+
+
+def ensure_columns(batch) -> ColumnBatch:
+    """Coerce a row list (or ColumnBatch) to columnar form."""
+    if isinstance(batch, ColumnBatch):
+        return batch
+    return ColumnBatch.from_rows(batch)
+
+
+def ensure_rows(batch) -> List[dict]:
+    """Coerce a ColumnBatch (or row list) to the row representation."""
+    if isinstance(batch, ColumnBatch):
+        return batch.to_rows()
+    return batch
+
+
+# -- group-by factorization ----------------------------------------------------
+
+
+def _group(keys: List[np.ndarray], length: int):
+    """Factorize rows by key tuple via a stable lexsort.
+
+    Returns ``(order, starts, counts, group_keys)``: the sort permutation,
+    the start offset of each group in sorted order, per-group row counts,
+    and each key's representative value per group.  With no keys all rows
+    form one group (a global aggregate).  ``length`` must be positive.
+    """
+    if not keys:
+        order = np.arange(length)
+        starts = np.zeros(1, dtype=np.intp)
+        counts = np.asarray([length], dtype=np.int64)
+        return order, starts, counts, []
+    order = np.lexsort(tuple(reversed(keys)))
+    sorted_keys = [key[order] for key in keys]
+    change = np.zeros(length, dtype=bool)
+    change[0] = True
+    for key in sorted_keys:
+        change[1:] |= key[1:] != key[:-1]
+    starts = np.flatnonzero(change)
+    counts = np.diff(np.append(starts, length))
+    group_keys = [key[starts] for key in sorted_keys]
+    return order, starts, counts, group_keys
+
+
+# -- vectorized aggregate kernels ----------------------------------------------
+
+
+class VectorAggregate:
+    """Batch-level counterpart of :class:`~repro.engine.aggregates.AggregateFunction`.
+
+    States are tuples of per-group arrays; ``update`` folds sorted input
+    values group-wise, ``merge`` combines sorted partial-state components
+    (the SUPER step), and ``final`` extracts the result column.  The state
+    tuple's arity matches the row engine's state shape, so SUB outputs
+    round-trip exactly between the two representations.
+    """
+
+    def update(
+        self, values: Optional[np.ndarray], starts: np.ndarray, counts: np.ndarray
+    ) -> Tuple[np.ndarray, ...]:
+        raise NotImplementedError
+
+    def merge(
+        self, components: Tuple[np.ndarray, ...], starts: np.ndarray
+    ) -> Tuple[np.ndarray, ...]:
+        raise NotImplementedError
+
+    def final(self, state: Tuple[np.ndarray, ...]) -> np.ndarray:
+        return state[0]
+
+
+def _numeric(values: np.ndarray) -> np.ndarray:
+    """Sum-style aggregates fold booleans as ints, like Python's ``+``."""
+    if values.dtype == bool:
+        return values.astype(np.int64)
+    return values
+
+
+class _VectorCount(VectorAggregate):
+    def update(self, values, starts, counts):
+        return (counts,)
+
+    def merge(self, components, starts):
+        return (np.add.reduceat(components[0], starts),)
+
+
+class _VectorSum(VectorAggregate):
+    def update(self, values, starts, counts):
+        return (np.add.reduceat(_numeric(values), starts),)
+
+    def merge(self, components, starts):
+        return (np.add.reduceat(components[0], starts),)
+
+
+class _VectorMin(VectorAggregate):
+    def update(self, values, starts, counts):
+        return (np.minimum.reduceat(values, starts),)
+
+    def merge(self, components, starts):
+        return (np.minimum.reduceat(components[0], starts),)
+
+
+class _VectorMax(VectorAggregate):
+    def update(self, values, starts, counts):
+        return (np.maximum.reduceat(values, starts),)
+
+    def merge(self, components, starts):
+        return (np.maximum.reduceat(components[0], starts),)
+
+
+class _VectorAvg(VectorAggregate):
+    def update(self, values, starts, counts):
+        return (np.add.reduceat(_numeric(values), starts), counts)
+
+    def merge(self, components, starts):
+        return tuple(np.add.reduceat(part, starts) for part in components)
+
+    def final(self, state):
+        total, count = state
+        return np.true_divide(total, count)
+
+
+class _VectorVariance(VectorAggregate):
+    def update(self, values, starts, counts):
+        values = _numeric(values)
+        return (
+            counts,
+            np.add.reduceat(values, starts),
+            np.add.reduceat(values * values, starts),
+        )
+
+    def merge(self, components, starts):
+        return tuple(np.add.reduceat(part, starts) for part in components)
+
+    def final(self, state):
+        count, total, squares = state
+        mean = np.true_divide(total, count)
+        return np.true_divide(squares, count) - mean * mean
+
+
+class _VectorStddev(_VectorVariance):
+    def final(self, state):
+        variance = super().final(state)
+        return np.sqrt(np.maximum(variance, 0.0))
+
+
+class _VectorOr(VectorAggregate):
+    def update(self, values, starts, counts):
+        return (np.bitwise_or.reduceat(values, starts),)
+
+    def merge(self, components, starts):
+        return (np.bitwise_or.reduceat(components[0], starts),)
+
+
+class _VectorAnd(VectorAggregate):
+    def update(self, values, starts, counts):
+        return (np.bitwise_and.reduceat(values, starts),)
+
+    def merge(self, components, starts):
+        return (np.bitwise_and.reduceat(components[0], starts),)
+
+
+_VECTOR_AGGREGATES: Dict[str, VectorAggregate] = {
+    "COUNT": _VectorCount(),
+    "SUM": _VectorSum(),
+    "MIN": _VectorMin(),
+    "MAX": _VectorMax(),
+    "AVG": _VectorAvg(),
+    "VARIANCE": _VectorVariance(),
+    "STDDEV": _VectorStddev(),
+    "OR_AGGR": _VectorOr(),
+    "AND_AGGR": _VectorAnd(),
+}
+
+
+def register_vector_aggregate(name: str, impl: VectorAggregate) -> None:
+    """Give a UDAF a columnar kernel (without one it row-falls-back)."""
+    _VECTOR_AGGREGATES[name.upper()] = impl
+
+
+def vector_aggregate_impl(name: str) -> VectorAggregate:
+    try:
+        return _VECTOR_AGGREGATES[name]
+    except KeyError:
+        raise UnsupportedExpression(
+            f"no vectorized kernel for aggregate {name!r}"
+        ) from None
+
+
+# -- operators -----------------------------------------------------------------
+
+
+class ColumnarOperator:
+    """Base class: ``process`` consumes ColumnBatches, returns one."""
+
+    def process(self, *batches: ColumnBatch) -> ColumnBatch:
+        raise NotImplementedError
+
+
+class ColumnarMergeOp(ColumnarOperator):
+    """Stream union: concatenate column arrays."""
+
+    def process(self, *batches: ColumnBatch) -> ColumnBatch:
+        return ColumnBatch.concat(batches)
+
+
+def _filter(columns: Dict[str, Column], mask: np.ndarray) -> Dict[str, Column]:
+    return {name: _take(column, mask) for name, column in columns.items()}
+
+
+def _empty_output(names: Sequence[str]) -> ColumnBatch:
+    return ColumnBatch({name: np.empty(0, dtype=np.int64) for name in names}, 0)
+
+
+class ColumnarSelectionOp(ColumnarOperator):
+    """Selection/projection: boolean-mask filter + computed columns."""
+
+    def __init__(self, node: AnalyzedNode):
+        if node.kind is not NodeKind.SELECTION:
+            raise ValueError(f"{node.name} is not a selection node")
+        self._predicate = (
+            vectorize_predicate(node.where) if node.where is not None else None
+        )
+        self._outputs = [
+            (column.name, vectorize_expr(expr))
+            for column, expr in zip(node.columns, node.select_exprs)
+        ]
+        self._output_names = [column.name for column in node.columns]
+
+    def process(self, *batches: ColumnBatch) -> ColumnBatch:
+        (batch,) = batches
+        length = len(batch)
+        if length == 0:
+            return _empty_output(self._output_names)
+        columns = batch.columns
+        if self._predicate is not None:
+            mask = self._predicate(columns, length)
+            kept = int(np.count_nonzero(mask))
+            if kept != length:
+                columns = _filter(columns, mask)
+                length = kept
+            if length == 0:
+                return _empty_output(self._output_names)
+        out = {
+            name: materialize(fn(columns, length), length)
+            for name, fn in self._outputs
+        }
+        return ColumnBatch(out, length)
+
+
+class ColumnarAggregateOp(ColumnarOperator):
+    """Tumbling-window group-by aggregation — FULL variant.
+
+    Filters, factorizes the group keys, reduces every aggregate with its
+    vector kernel, applies HAVING on the finished group columns, and
+    projects the SELECT list.
+    """
+
+    def __init__(self, node: AnalyzedNode):
+        if node.kind is not NodeKind.AGGREGATION:
+            raise ValueError(f"{node.name} is not an aggregation node")
+        self._where = (
+            vectorize_predicate(node.where) if node.where is not None else None
+        )
+        self._keys = vectorize_key([g.expr for g in node.group_by])
+        self._gb_names = [g.name for g in node.group_by]
+        self._kernels = [vector_aggregate_impl(call.func) for call in node.aggregates]
+        self._args = [
+            vectorize_expr(call.arg) if call.arg is not None else None
+            for call in node.aggregates
+        ]
+        self._slots = [call.slot for call in node.aggregates]
+        self._having = (
+            vectorize_predicate(node.having) if node.having is not None else None
+        )
+        self._outputs = [
+            (column.name, vectorize_expr(expr))
+            for column, expr in zip(node.columns, node.select_exprs)
+        ]
+        self._output_names = [column.name for column in node.columns]
+
+    def process(self, *batches: ColumnBatch) -> ColumnBatch:
+        (batch,) = batches
+        length = len(batch)
+        if length == 0:
+            return self._empty()
+        columns = batch.columns
+        if self._where is not None:
+            mask = self._where(columns, length)
+            kept = int(np.count_nonzero(mask))
+            if kept != length:
+                columns = _filter(columns, mask)
+                length = kept
+            if length == 0:
+                return self._empty()
+        keys = self._keys(columns, length)
+        order, starts, counts, group_keys = _group(keys, length)
+        group_columns: Dict[str, Column] = dict(zip(self._gb_names, group_keys))
+        num_groups = len(counts)
+        states = self._reduce(columns, length, order, starts, counts)
+        self._store(group_columns, states)
+        return self._finish(group_columns, num_groups)
+
+    def _reduce(self, columns, length, order, starts, counts):
+        states = []
+        for kernel, arg in zip(self._kernels, self._args):
+            if arg is None:
+                values = None
+            else:
+                values = materialize(arg(columns, length), length)[order]
+            states.append(kernel.update(values, starts, counts))
+        return states
+
+    def _store(self, group_columns: Dict[str, Column], states) -> None:
+        for kernel, slot, state in zip(self._kernels, self._slots, states):
+            group_columns[slot] = kernel.final(state)
+
+    def _finish(self, group_columns: Dict[str, Column], num_groups: int):
+        if self._having is not None:
+            mask = self._having(group_columns, num_groups)
+            kept = int(np.count_nonzero(mask))
+            if kept != num_groups:
+                group_columns = _filter(group_columns, mask)
+                num_groups = kept
+            if num_groups == 0:
+                return self._empty()
+        out = {
+            name: materialize(fn(group_columns, num_groups), num_groups)
+            for name, fn in self._outputs
+        }
+        return ColumnBatch(out, num_groups)
+
+    def _empty(self) -> ColumnBatch:
+        return _empty_output(self._output_names)
+
+
+class ColumnarSubAggregateOp(ColumnarAggregateOp):
+    """SUB variant: emit raw aggregate states, no HAVING or projection."""
+
+    def __init__(self, node: AnalyzedNode):
+        super().__init__(node)
+        self._state_names = state_columns(node.aggregates)
+        self._output_names = self._gb_names + self._state_names
+
+    def _store(self, group_columns: Dict[str, Column], states) -> None:
+        for name, state in zip(self._state_names, states):
+            group_columns[name] = state[0] if len(state) == 1 else state
+
+    def _finish(self, group_columns: Dict[str, Column], num_groups: int):
+        return ColumnBatch(group_columns, num_groups)
+
+
+class ColumnarSuperAggregateOp(ColumnarOperator):
+    """SUPER variant: group-wise merge of partial states, then finalize."""
+
+    def __init__(self, node: AnalyzedNode):
+        if node.kind is not NodeKind.AGGREGATION:
+            raise ValueError(f"{node.name} is not an aggregation node")
+        self._gb_names = [g.name for g in node.group_by]
+        self._kernels = [vector_aggregate_impl(call.func) for call in node.aggregates]
+        self._slots = [call.slot for call in node.aggregates]
+        self._state_names = state_columns(node.aggregates)
+        self._having = (
+            vectorize_predicate(node.having) if node.having is not None else None
+        )
+        self._outputs = [
+            (column.name, vectorize_expr(expr))
+            for column, expr in zip(node.columns, node.select_exprs)
+        ]
+        self._output_names = [column.name for column in node.columns]
+
+    def process(self, *batches: ColumnBatch) -> ColumnBatch:
+        (batch,) = batches
+        length = len(batch)
+        if length == 0:
+            return _empty_output(self._output_names)
+        columns = batch.columns
+        keys = [np.asarray(columns[name]) for name in self._gb_names]
+        order, starts, counts, group_keys = _group(keys, length)
+        group_columns: Dict[str, Column] = dict(zip(self._gb_names, group_keys))
+        num_groups = len(counts)
+        for kernel, slot, state_name in zip(
+            self._kernels, self._slots, self._state_names
+        ):
+            column = columns[state_name]
+            components = column if isinstance(column, tuple) else (column,)
+            sorted_components = tuple(part[order] for part in components)
+            merged = kernel.merge(sorted_components, starts)
+            group_columns[slot] = kernel.final(merged)
+        if self._having is not None:
+            mask = self._having(group_columns, num_groups)
+            kept = int(np.count_nonzero(mask))
+            if kept != num_groups:
+                group_columns = _filter(group_columns, mask)
+                num_groups = kept
+            if num_groups == 0:
+                return _empty_output(self._output_names)
+        out = {
+            name: materialize(fn(group_columns, num_groups), num_groups)
+            for name, fn in self._outputs
+        }
+        return ColumnBatch(out, num_groups)
+
+
+def build_columnar_operator(
+    node: AnalyzedNode, variant: str = "full"
+) -> Optional[ColumnarOperator]:
+    """The vectorized operator for a node, or None when it must row-fall-back.
+
+    Joins (and NULLPAD padding, which reuses the join projection) have no
+    columnar kernel yet; nodes whose expressions or aggregates cannot be
+    lowered also return None.  The cluster simulator treats None as "run
+    this node on the row engine".
+    """
+    try:
+        if node.kind is NodeKind.SELECTION:
+            return ColumnarSelectionOp(node)
+        if node.kind is NodeKind.AGGREGATION:
+            if variant == "full":
+                return ColumnarAggregateOp(node)
+            if variant == "sub":
+                return ColumnarSubAggregateOp(node)
+            if variant == "super":
+                return ColumnarSuperAggregateOp(node)
+            raise ValueError(f"unknown aggregation variant {variant!r}")
+        if node.kind is NodeKind.UNION:
+            return ColumnarMergeOp()
+    except UnsupportedExpression:
+        return None
+    return None

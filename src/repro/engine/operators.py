@@ -37,8 +37,8 @@ class MergeOp(Operator):
     """Stream union: concatenate all input batches (paper's merge node)."""
 
     def process(self, *batches: Batch) -> Batch:
-        if len(batches) == 1:
-            return batches[0]
+        # Always return a fresh list — even for a single input — so no
+        # downstream operator can mutate a sibling consumer's batch.
         merged: Batch = []
         for batch in batches:
             merged.extend(batch)

@@ -8,6 +8,13 @@ from .analysis import (
     single_attr,
 )
 from .evaluator import compile_expr, compile_key, evaluate
+from .vectorizer import (
+    UnsupportedExpression,
+    materialize,
+    vectorize_expr,
+    vectorize_key,
+    vectorize_predicate,
+)
 from .expressions import (
     Attr,
     Binary,
@@ -48,4 +55,9 @@ __all__ = [
     "compile_expr",
     "compile_key",
     "evaluate",
+    "UnsupportedExpression",
+    "materialize",
+    "vectorize_expr",
+    "vectorize_key",
+    "vectorize_predicate",
 ]

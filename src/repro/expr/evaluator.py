@@ -79,6 +79,16 @@ def compile_expr(expr: ScalarExpr) -> Evaluator:
             return lambda row: ~operand(row)
         raise ValueError(f"unknown unary operator {expr.op!r}")
     if isinstance(expr, Func):
+        if (
+            expr.name == "IN"
+            and len(expr.args) >= 2
+            and all(isinstance(arg, Const) for arg in expr.args[1:])
+        ):
+            # Constant member lists are by far the common case; a frozenset
+            # turns the per-tuple membership test into one hash lookup.
+            members = frozenset(arg.value for arg in expr.args[1:])
+            needle = compile_expr(expr.args[0])
+            return lambda row: needle(row) in members
         try:
             func = _SCALAR_FUNCS[expr.name]
         except KeyError:

@@ -14,10 +14,13 @@ key tuple, so simulations are reproducible across processes regardless of
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, Mapping, Sequence, Tuple, Union
+from typing import Callable, Iterable, Iterator, List, Mapping, Sequence, Tuple, Union
+
+import numpy as np
 
 from ..expr import compile_key
 from ..expr.expressions import ScalarExpr, parse_scalar
+from ..expr.vectorizer import UnsupportedExpression, vectorize_key
 
 HASH_RANGE = 1 << 32
 
@@ -37,6 +40,36 @@ def fnv1a_hash(key: tuple) -> int:
             value ^= byte
             value = (value * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
     return (value ^ (value >> 32)) & 0xFFFFFFFF
+
+
+def fnv1a_hash_arrays(keys: Sequence[np.ndarray]) -> np.ndarray:
+    """Vectorized :func:`fnv1a_hash` over parallel key-element arrays.
+
+    Bit-for-bit identical to the row hash for integer keys: each element
+    contributes the same 16 little-endian two's-complement bytes (8 value
+    bytes from the int64, then 8 sign-extension bytes), folded through the
+    same 64-bit FNV-1a state with wrapping uint64 arithmetic.
+    """
+    if not keys:
+        raise ValueError("need at least one key array")
+    value = np.full(len(keys[0]), _FNV_OFFSET, dtype=np.uint64)
+    prime = np.uint64(_FNV_PRIME)
+    byte_mask = np.uint64(0xFF)
+    for key in keys:
+        if key.dtype.kind not in "iu":
+            raise UnsupportedExpression(
+                f"vectorized hash needs integer keys, got dtype {key.dtype}"
+            )
+        signed = key.astype(np.int64, copy=False)
+        low = signed.view(np.uint64)
+        sign_byte = np.where(signed < 0, np.uint64(0xFF), np.uint64(0))
+        for shift in range(8):
+            value ^= (low >> np.uint64(8 * shift)) & byte_mask
+            value *= prime
+        for _ in range(8):
+            value ^= sign_byte
+            value *= prime
+    return (value ^ (value >> np.uint64(32))) & np.uint64(0xFFFFFFFF)
 
 
 @dataclass(frozen=True)
@@ -105,6 +138,32 @@ class PartitioningSet:
             index = fnv1a_hash(key_of(row)) // bucket
             # Guard against the final, slightly-short bucket.
             return min(index, num_partitions - 1)
+
+        return partition
+
+    def vector_partitioner(
+        self, num_partitions: int
+    ) -> Callable[[Mapping[str, np.ndarray], int], np.ndarray]:
+        """Batch analogue of :meth:`partitioner`: columns -> index array.
+
+        Compiles the member expressions with the vectorizer and hashes all
+        key tuples at once; assignments match the row partitioner exactly
+        (same FNV-1a, same bucketing).  Raises
+        :class:`~repro.expr.vectorizer.UnsupportedExpression` when a member
+        expression (or its key dtype) has no vectorized lowering.
+        """
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        if self.is_empty:
+            raise ValueError("the empty partitioning set has no key function")
+        keys_of = vectorize_key(self.exprs)
+        bucket = HASH_RANGE // num_partitions + (HASH_RANGE % num_partitions > 0)
+
+        def partition(columns: Mapping[str, np.ndarray], length: int) -> np.ndarray:
+            keys: List[np.ndarray] = keys_of(columns, length)
+            hashed = fnv1a_hash_arrays(keys)
+            indices = (hashed // np.uint64(bucket)).astype(np.int64)
+            return np.minimum(indices, num_partitions - 1)
 
         return partition
 

@@ -24,12 +24,25 @@ Generation is NumPy-vectorized and fully determined by the seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import List
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from .packet import ACK, ATTACK_PATTERN, FIN, PSH, SYN, URG, Packet
+
+# Column order of a generated trace (also the row dicts' key order).
+TRACE_COLUMNS = (
+    "srcIP",
+    "destIP",
+    "srcPort",
+    "destPort",
+    "protocol",
+    "time",
+    "timestamp",
+    "flags",
+    "len",
+)
 
 
 @dataclass(frozen=True)
@@ -71,21 +84,76 @@ class TraceConfig:
         return max(1, int(self.total_packets() / self.mean_flow_packets))
 
 
-@dataclass
 class Trace:
-    """A generated trace plus the metadata experiments need."""
+    """A generated trace plus the metadata experiments need.
 
-    packets: List[Packet]
-    config: TraceConfig
-    duration_sec: float
-    flow_count: int
-    suspicious_flow_count: int
-    notes: dict = field(default_factory=dict)
+    The trace is held natively as NumPy column arrays (``columns``) and/or
+    as the row engine's list of dicts (``packets``); whichever
+    representation is absent is derived lazily and cached, so the columnar
+    engine consumes the generator's arrays zero-copy while row-based code
+    keeps working unchanged.
+    """
+
+    def __init__(
+        self,
+        packets: Optional[List[Packet]] = None,
+        config: TraceConfig = TraceConfig(),
+        duration_sec: float = 0.0,
+        flow_count: int = 0,
+        suspicious_flow_count: int = 0,
+        notes: Optional[dict] = None,
+        columns: Optional[Dict[str, np.ndarray]] = None,
+    ):
+        if packets is None and columns is None:
+            raise ValueError("a trace needs packets or columns")
+        self._packets = packets
+        self._columns = columns
+        self.config = config
+        self.duration_sec = duration_sec
+        self.flow_count = flow_count
+        self.suspicious_flow_count = suspicious_flow_count
+        self.notes = notes if notes is not None else {}
+
+    @property
+    def packets(self) -> List[Packet]:
+        """The trace as row dicts (materialized from columns on demand)."""
+        if self._packets is None:
+            names = list(self._columns)
+            pools = [self._columns[name].tolist() for name in names]
+            self._packets = [
+                dict(zip(names, values)) for values in zip(*pools)
+            ]
+        return self._packets
+
+    @property
+    def columns(self) -> Dict[str, np.ndarray]:
+        """The trace as column arrays (built from rows on demand)."""
+        if self._columns is None:
+            self._columns = {
+                name: np.asarray(
+                    [packet[name] for packet in self._packets], dtype=np.int64
+                )
+                for name in TRACE_COLUMNS
+            }
+        return self._columns
+
+    def column_batch(self):
+        """A zero-copy :class:`~repro.engine.columnar.ColumnBatch` view."""
+        from ..engine.columnar import ColumnBatch
+
+        return ColumnBatch(dict(self.columns), self.num_packets)
+
+    @property
+    def num_packets(self) -> int:
+        if self._columns is not None:
+            first = next(iter(self._columns.values()))
+            return len(first)
+        return len(self._packets)
 
     @property
     def rate(self) -> float:
         """Measured packets per second."""
-        return len(self.packets) / self.duration_sec
+        return self.num_packets / self.duration_sec
 
 
 def generate_trace(config: TraceConfig = TraceConfig()) -> Trace:
@@ -133,7 +201,12 @@ def generate_trace(config: TraceConfig = TraceConfig()) -> Trace:
         config.duration - starts,
     )
 
-    packets: List[Packet] = []
+    # Per-flow packet attributes, gathered as arrays and assembled into
+    # columns at the end — the columnar engine consumes them zero-copy.
+    time_parts: List[np.ndarray] = []
+    timestamp_parts: List[np.ndarray] = []
+    length_parts: List[np.ndarray] = []
+    flag_parts: List[np.ndarray] = []
     normal_flag_menu = np.array([ACK, ACK | PSH, SYN | ACK, FIN | ACK])
     attack_flag_menu = np.array([FIN, PSH, URG, FIN | PSH, PSH | URG])
     for index in range(num_flows):
@@ -150,29 +223,36 @@ def generate_trace(config: TraceConfig = TraceConfig()) -> Trace:
             flags = rng.choice(normal_flag_menu, count)
             flags[0] = SYN  # connection setup
             flags = flags | np.where(np.arange(count) > 0, ACK, 0)
-        base = {
-            "srcIP": int(src_ips[index]),
-            "destIP": int(dst_ips[index]),
-            "srcPort": int(src_ports[index]),
-            "destPort": int(dst_ports[index]),
-            "protocol": int(protocols[index]),
-        }
-        for position in range(count):
-            row = dict(base)
-            row["time"] = int(times[position])
-            row["timestamp"] = int(timestamps[position])
-            row["flags"] = int(flags[position])
-            row["len"] = int(lengths[position])
-            packets.append(row)
+        time_parts.append(times)
+        timestamp_parts.append(timestamps)
+        length_parts.append(lengths)
+        flag_parts.append(flags)
 
-    packets.sort(key=lambda p: (p["time"], p["timestamp"]))
+    counts = packets_per_flow
+    columns = {
+        "srcIP": np.repeat(src_ips, counts).astype(np.int64),
+        "destIP": np.repeat(dst_ips, counts).astype(np.int64),
+        "srcPort": np.repeat(src_ports, counts).astype(np.int64),
+        "destPort": np.repeat(dst_ports, counts).astype(np.int64),
+        "protocol": np.repeat(protocols, counts).astype(np.int64),
+        "time": np.concatenate(time_parts),
+        "timestamp": np.concatenate(timestamp_parts),
+        "flags": np.concatenate(flag_parts).astype(np.int64),
+        "len": np.concatenate(length_parts).astype(np.int64),
+    }
     return Trace(
-        packets=packets,
+        columns=_sorted_by_time(columns),
         config=config,
         duration_sec=float(config.duration),
         flow_count=num_flows,
         suspicious_flow_count=int(suspicious.sum()),
     )
+
+
+def _sorted_by_time(columns: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Order columns by (time, timestamp), stably — like sort_by_time."""
+    order = np.lexsort((columns["timestamp"], columns["time"]))
+    return {name: column[order] for name, column in columns.items()}
 
 
 def merge_taps(traces: List[Trace]) -> Trace:
@@ -181,12 +261,12 @@ def merge_taps(traces: List[Trace]) -> Trace:
     captured concurrently using four data center taps")."""
     if not traces:
         raise ValueError("need at least one tap")
-    packets: List[Packet] = []
-    for trace in traces:
-        packets.extend(trace.packets)
-    packets.sort(key=lambda p: (p["time"], p["timestamp"]))
+    merged = {
+        name: np.concatenate([trace.columns[name] for trace in traces])
+        for name in TRACE_COLUMNS
+    }
     return Trace(
-        packets=packets,
+        columns=_sorted_by_time(merged),
         config=traces[0].config,
         duration_sec=max(trace.duration_sec for trace in traces),
         flow_count=sum(trace.flow_count for trace in traces),

@@ -195,8 +195,13 @@ def run_configuration(
     partitions_per_host: int = 2,
     costs: CostTable = DEFAULT_COSTS,
     host_capacity: Optional[float] = None,
+    engine: str = "row",
 ) -> RunOutcome:
-    """Build the distributed plan for one configuration and simulate it."""
+    """Build the distributed plan for one configuration and simulate it.
+
+    ``engine`` selects the simulator backend; with ``"columnar"`` the
+    trace's column arrays are handed to the simulator zero-copy.
+    """
     placement = Placement(
         num_hosts=num_hosts,
         partitions_per_host=partitions_per_host,
@@ -208,14 +213,19 @@ def run_configuration(
     )
     plan = optimizer.optimize()
     simulator = ClusterSimulator(
-        dag, plan, stream_rate=trace.rate, costs=costs, host_capacity=host_capacity
+        dag,
+        plan,
+        stream_rate=trace.rate,
+        costs=costs,
+        host_capacity=host_capacity,
+        engine=engine,
     )
+    if engine == "columnar":
+        sources = {source.name: trace.column_batch() for source in dag.sources()}
+    else:
+        sources = {source.name: trace.packets for source in dag.sources()}
     splitter = configuration.splitter(placement.num_partitions)
-    result = simulator.run(
-        {source.name: trace.packets for source in dag.sources()},
-        splitter,
-        trace.duration_sec,
-    )
+    result = simulator.run(sources, splitter, trace.duration_sec)
     return RunOutcome(configuration, num_hosts, result, plan)
 
 
@@ -226,6 +236,7 @@ def sweep_hosts(
     host_counts: Sequence[int] = (1, 2, 3, 4),
     costs: CostTable = DEFAULT_COSTS,
     host_capacity: Optional[float] = None,
+    engine: str = "row",
 ) -> Dict[str, List[RunOutcome]]:
     """The paper's sweep: every configuration at every cluster size."""
     outcomes: Dict[str, List[RunOutcome]] = {}
@@ -238,6 +249,7 @@ def sweep_hosts(
                 num_hosts,
                 costs=costs,
                 host_capacity=host_capacity,
+                engine=engine,
             )
             for num_hosts in host_counts
         ]

@@ -1,0 +1,204 @@
+"""Columnar backend unit tests: batches, kernels, splitting, caching."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSimulator, HashSplitter, RoundRobinSplitter
+from repro.distopt import DistributedOptimizer, Placement
+from repro.engine import (
+    AggregateOp,
+    ColumnBatch,
+    SubAggregateOp,
+    SuperAggregateOp,
+    batches_equal,
+    build_columnar_operator,
+    build_operator,
+    ensure_columns,
+    ensure_rows,
+)
+from repro.partitioning import PartitioningSet
+from repro.partitioning.partition_set import fnv1a_hash, fnv1a_hash_arrays
+from repro.workloads import suspicious_flows_catalog
+
+
+class TestColumnBatch:
+    def test_row_round_trip_native_scalars(self):
+        rows = [{"a": 1, "b": 40}, {"a": 2, "b": 1500}]
+        batch = ColumnBatch.from_rows(rows)
+        back = batch.to_rows()
+        assert back == rows
+        assert type(back[0]["a"]) is int  # never numpy scalars
+
+    def test_composite_state_round_trip(self):
+        # AVG-style (sum, count) tuple cells become unzipped array pairs
+        # and zip back into per-row Python tuples.
+        rows = [{"k": 1, "__state___agg0": (10, 2)}, {"k": 2, "__state___agg0": (7, 1)}]
+        batch = ColumnBatch.from_rows(rows)
+        state = batch.column("__state___agg0")
+        assert isinstance(state, tuple) and len(state) == 2
+        assert batch.to_rows() == rows
+
+    def test_select_by_mask_and_indices(self):
+        batch = ColumnBatch({"x": np.asarray([5, 6, 7, 8])})
+        masked = batch.select(np.asarray([True, False, True, False]))
+        assert masked.to_rows() == [{"x": 5}, {"x": 7}]
+        indexed = batch.select(np.asarray([3, 0]))
+        assert indexed.to_rows() == [{"x": 8}, {"x": 5}]
+
+    def test_concat_skips_empty(self):
+        a = ColumnBatch({"x": np.asarray([1])})
+        empty = ColumnBatch({}, 0)
+        out = ColumnBatch.concat([empty, a, empty, a])
+        assert len(out) == 2 and out.to_rows() == [{"x": 1}, {"x": 1}]
+
+    def test_ensure_helpers_pass_through(self):
+        rows = [{"x": 1}]
+        batch = ensure_columns(rows)
+        assert ensure_columns(batch) is batch
+        assert ensure_rows(rows) is rows
+        assert ensure_rows(batch) == rows
+
+
+def _columnar_matches_row(node, packets, variant="full"):
+    row_out = build_operator(node, variant).process(list(packets))
+    col_op = build_columnar_operator(node, variant)
+    assert col_op is not None, f"no columnar kernel for {node.name}/{variant}"
+    col_out = col_op.process(ColumnBatch.from_rows(packets)).to_rows()
+    assert batches_equal(row_out, col_out)
+    return col_out
+
+
+class TestOperatorParity:
+    def test_selection(self, catalog, tiny_trace):
+        node = catalog.define_query(
+            "q",
+            "SELECT srcIP, destIP, len * 2 as dbl FROM TCP "
+            "WHERE len > 100 and destPort IN (80, 443)",
+        )
+        _columnar_matches_row(node, tiny_trace.packets)
+
+    def test_full_aggregation_every_kernel(self, catalog, tiny_trace):
+        node = catalog.define_query(
+            "q",
+            "SELECT tb, srcIP, COUNT(*) as cnt, SUM(len) as b, MIN(len) as lo, "
+            "MAX(len) as hi, AVG(len) as mean, OR_AGGR(flags) as f "
+            "FROM TCP GROUP BY time/2 as tb, srcIP",
+        )
+        _columnar_matches_row(node, tiny_trace.packets)
+
+    def test_global_aggregate_no_group_by(self, catalog, tiny_trace):
+        node = catalog.define_query(
+            "q", "SELECT COUNT(*) as cnt, SUM(len) as b FROM TCP"
+        )
+        out = _columnar_matches_row(node, tiny_trace.packets)
+        assert len(out) == 1
+
+    def test_having_filters_groups(self, catalog, tiny_trace):
+        node = catalog.define_query(
+            "q",
+            "SELECT srcIP, COUNT(*) as c FROM TCP GROUP BY srcIP "
+            "HAVING COUNT(*) >= 10",
+        )
+        _columnar_matches_row(node, tiny_trace.packets)
+
+    def test_sub_states_match_row_representation(self, catalog, tiny_trace):
+        node = catalog.define_query(
+            "q",
+            "SELECT srcIP, COUNT(*) as c, AVG(len) as mean FROM TCP "
+            "GROUP BY srcIP HAVING COUNT(*) >= 2",
+        )
+        col_sub = _columnar_matches_row(node, tiny_trace.packets, "sub")
+        # and the row SUPER accepts the columnar SUB output unchanged:
+        combined = SuperAggregateOp(node).process(col_sub)
+        full = AggregateOp(node).process(tiny_trace.packets)
+        assert batches_equal(combined, full)
+
+    def test_super_merges_row_sub_output(self, catalog, tiny_trace):
+        node = catalog.define_query(
+            "q",
+            "SELECT tb, destIP, COUNT(*) as c, AVG(len) as mean, "
+            "MAX(timestamp) as hi FROM TCP GROUP BY time as tb, destIP",
+        )
+        thirds = [tiny_trace.packets[i::3] for i in range(3)]
+        partials = []
+        for third in thirds:
+            partials.extend(SubAggregateOp(node).process(third))
+        _columnar_matches_row(node, partials, "super")
+
+    def test_empty_input(self, catalog):
+        node = catalog.define_query(
+            "q", "SELECT srcIP, COUNT(*) as c FROM TCP GROUP BY srcIP"
+        )
+        for variant in ("full", "sub", "super"):
+            out = build_columnar_operator(node, variant).process(
+                ColumnBatch.from_rows([])
+            )
+            assert len(out) == 0 and out.to_rows() == []
+
+    def test_join_has_no_columnar_kernel(self, catalog):
+        catalog.define_query(
+            "flows",
+            "SELECT tb, srcIP, COUNT(*) as cnt FROM TCP GROUP BY time as tb, srcIP",
+        )
+        node = catalog.define_query(
+            "j",
+            "SELECT S1.tb, S1.srcIP FROM flows S1, flows S2 "
+            "WHERE S1.srcIP = S2.srcIP and S2.tb = S1.tb + 1",
+        )
+        assert build_columnar_operator(node) is None
+
+
+class TestVectorizedSplitting:
+    def test_hash_assignment_matches_row_partitioner(self, tiny_trace):
+        for spec in (("srcIP",), ("srcIP & 0xFFF0", "destIP"),
+                     ("srcIP", "destIP", "srcPort", "destPort")):
+            splitter = HashSplitter(8, PartitioningSet.of(*spec))
+            assign = splitter.assigner()
+            expected = [assign(row) for row in tiny_trace.packets]
+            indices = splitter.assign_indices(tiny_trace.column_batch())
+            assert indices.tolist() == expected, spec
+
+    def test_round_robin_assignment(self):
+        splitter = RoundRobinSplitter(3)
+        batch = ColumnBatch({"x": np.arange(7)})
+        assert splitter.assign_indices(batch).tolist() == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_split_columns_matches_split(self, tiny_trace):
+        splitter = HashSplitter(4, PartitioningSet.of("srcIP"))
+        by_rows = splitter.split(tiny_trace.packets)
+        by_columns = splitter.split_columns(tiny_trace.column_batch())
+        assert [part.to_rows() for part in by_columns] == by_rows
+
+    def test_vectorized_fnv1a_is_bit_identical(self):
+        values = np.asarray(
+            [0, 1, -1, 2**31, -(2**31), 2**63 - 1, -(2**63), 167772161], dtype=np.int64
+        )
+        ports = np.asarray([0, 80, 443, 25, 65535, 1, 7, 22], dtype=np.int64)
+        hashed = fnv1a_hash_arrays([values, ports])
+        expected = [
+            fnv1a_hash((int(v), int(p))) for v, p in zip(values, ports)
+        ]
+        assert hashed.tolist() == expected
+
+
+class TestOperatorCaching:
+    def test_simulator_reuses_operators_across_hosts_and_runs(self, tiny_trace):
+        _, dag = suspicious_flows_catalog()
+        ps = PartitioningSet.of("srcIP")
+        placement = Placement(3, 2)
+        plan = DistributedOptimizer(dag, placement, ps).optimize()
+        splitter = HashSplitter(placement.num_partitions, ps)
+        for engine, cache_name in (
+            ("row", "_row_operators"),
+            ("columnar", "_columnar_operators"),
+        ):
+            sim = ClusterSimulator(dag, plan, stream_rate=1000, engine=engine)
+            sim.run({"TCP": tiny_trace.packets}, splitter, duration_sec=10.0)
+            cache = dict(getattr(sim, cache_name))
+            assert cache, engine
+            # distinct (kind, query, variant) keys, far fewer than plan nodes
+            assert len(cache) < len(list(plan.topological()))
+            sim.run({"TCP": tiny_trace.packets}, splitter, duration_sec=10.0)
+            after = getattr(sim, cache_name)
+            for key, operator in cache.items():
+                assert after[key] is operator, key

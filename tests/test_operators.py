@@ -35,9 +35,15 @@ class TestMerge:
         merged = MergeOp().process([{"a": 1}], [{"a": 2}], [{"a": 3}])
         assert [r["a"] for r in merged] == [1, 2, 3]
 
-    def test_single_input_passthrough(self):
+    def test_single_input_copies(self):
+        # A merge must never alias its input list: downstream consumers
+        # may extend/mutate their batch without corrupting a sibling's.
         batch = [{"a": 1}]
-        assert MergeOp().process(batch) is batch
+        merged = MergeOp().process(batch)
+        assert merged == batch
+        assert merged is not batch
+        merged.append({"a": 2})
+        assert batch == [{"a": 1}]
 
 
 class TestSelection:
