@@ -8,19 +8,12 @@ level work evenly; only the aggregator diverges.
 from _figures import record_figure
 
 
-def _leaf_load(outcome):
-    leaves = outcome.result.leaf_cpu_loads()
-    if not leaves:  # single host: it is both leaf and aggregator
-        return outcome.result.cpu_load(0)
-    return sum(leaves) / len(leaves)
-
-
 def test_leaf_cpu_series(benchmark, exp1_sweep):
     trace, dag, outcomes, capacity = exp1_sweep
 
     def collect():
         return {
-            name: [_leaf_load(outcome) for outcome in series]
+            name: [outcome.result.mean_leaf_cpu_load() for outcome in series]
             for name, series in outcomes.items()
         }
 

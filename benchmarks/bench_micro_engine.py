@@ -99,6 +99,25 @@ def test_round_robin_splitter_throughput(benchmark, packets):
     assert sum(len(b) for b in batches) == len(packets)
 
 
+@pytest.mark.parametrize("engine", ENGINES)
+def test_streaming_simulation_throughput(benchmark, trace, engine):
+    """Epoch-at-a-time execution of the full suspicious-flows plan."""
+    from repro.cluster import ClusterSimulator
+    from repro.distopt import DistributedOptimizer, Placement
+
+    _, dag = suspicious_flows_catalog()
+    placement = Placement(2, 2)
+    ps = PartitioningSet.of("srcIP")
+    plan = DistributedOptimizer(dag, placement, ps).optimize()
+    sim = ClusterSimulator(dag, plan, stream_rate=trace.rate, engine=engine)
+    splitter = HashSplitter(placement.num_partitions, ps)
+    sources = {
+        "TCP": trace.column_batch() if engine == "columnar" else trace.packets
+    }
+    result = benchmark(sim.run_streaming, sources, splitter, trace.duration_sec)
+    assert result.timeline is not None and result.timeline.num_epochs > 0
+
+
 def _best_of(fn, *args, repeats=5):
     best = float("inf")
     for _ in range(repeats):

@@ -1,15 +1,17 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the toolkit's workflows:
+Five subcommands cover the toolkit's workflows:
 
 ``figures``   regenerate one paper experiment's figure tables
+``timeline``  per-epoch load/traffic series from a streaming run
 ``analyze``   run the partitioning analysis on a GSQL script
 ``plan``      print the distributed plan for a script + partitioning
 ``trace``     generate (and optionally save) a synthetic trace
 
 Examples::
 
-    python -m repro figures --experiment 3
+    python -m repro figures --experiment 3 --streaming
+    python -m repro timeline --experiment 1 --config Naive --hosts 2
     python -m repro analyze --script queries.gsql --rate 100000
     python -m repro plan --script queries.gsql --hosts 4 --partitioning srcIP
     python -m repro trace --out trace.csv --preset exp2
@@ -47,6 +49,7 @@ from .workloads.experiments import (
     experiment2_trace_config,
     experiment3_trace_config,
     experiment_capacity,
+    run_configuration,
 )
 
 _EXPERIMENTS = {
@@ -83,6 +86,7 @@ def cmd_figures(args) -> int:
         host_counts=host_counts,
         host_capacity=capacity,
         engine=args.engine,
+        streaming=args.streaming,
     )
     print(
         format_figure(
@@ -99,6 +103,45 @@ def cmd_figures(args) -> int:
             "net",
         )
     )
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    catalog_fn, configs_fn, trace_fn = _EXPERIMENTS[args.experiment]
+    configurations = configs_fn()
+    wanted = args.config.lower()
+    matches = [c for c in configurations if wanted in c.name.lower()]
+    if len(matches) != 1:
+        names = ", ".join(repr(c.name) for c in configurations)
+        print(
+            f"--config {args.config!r} matches {len(matches)} of: {names}",
+            file=sys.stderr,
+        )
+        return 2
+    configuration = matches[0]
+    trace = four_tap_trace(trace_fn(seed=args.seed))
+    _, dag = catalog_fn()
+    outcome = run_configuration(
+        dag,
+        trace,
+        configuration,
+        args.hosts,
+        host_capacity=experiment_capacity(args.experiment, trace),
+        engine=args.engine,
+        streaming=True,
+    )
+    result = outcome.result
+    print(
+        f"experiment {args.experiment}, {configuration.name!r}, "
+        f"{args.hosts} host(s), engine {args.engine}"
+    )
+    print(result.summary())
+    print(
+        f"peak resident batch: {result.peak_batch_rows} rows over "
+        f"{result.timeline.num_epochs} epochs"
+    )
+    print()
+    print(result.timeline.render(result.aggregator))
     return 0
 
 
@@ -168,7 +211,26 @@ def build_parser() -> argparse.ArgumentParser:
         default="columnar",
         help="execution backend (identical results; columnar is faster)",
     )
+    figures.add_argument(
+        "--streaming",
+        action="store_true",
+        help="execute epoch by epoch (identical figures, bounded memory)",
+    )
     figures.set_defaults(func=cmd_figures)
+
+    timeline = commands.add_parser(
+        "timeline", help="per-epoch series from a streaming run"
+    )
+    timeline.add_argument("--experiment", type=int, choices=(1, 2, 3), required=True)
+    timeline.add_argument(
+        "--config", required=True, help="configuration name (substring match)"
+    )
+    timeline.add_argument("--hosts", type=int, default=4)
+    timeline.add_argument("--seed", type=int, default=7)
+    timeline.add_argument(
+        "--engine", choices=("row", "columnar"), default="columnar"
+    )
+    timeline.set_defaults(func=cmd_timeline)
 
     analyze = commands.add_parser(
         "analyze", help="choose a partitioning for a GSQL script"

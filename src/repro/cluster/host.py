@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List
 
 
 @dataclass
@@ -12,19 +12,30 @@ class Host:
 
     ``cpu_units`` accumulates simulated work; ``charge`` attributes it to
     a category so experiments can break loads down (ingest vs. operator
-    work vs. send overhead).
+    work vs. send overhead).  In streaming mode the simulator opens one
+    accounting bucket per epoch (:meth:`begin_epoch`); ``epoch_cpu`` then
+    holds the per-epoch series, which always sums to ``cpu_units``.
+    Work charged before any bucket exists (one-shot mode) is recorded in
+    the totals only.
     """
 
     index: int
     capacity_per_sec: float
     cpu_units: float = 0.0
     by_category: Dict[str, float] = field(default_factory=dict)
+    epoch_cpu: List[float] = field(default_factory=list)
 
     def charge(self, units: float, category: str) -> None:
         if units < 0:
             raise ValueError("cannot charge negative work")
         self.cpu_units += units
         self.by_category[category] = self.by_category.get(category, 0.0) + units
+        if self.epoch_cpu:
+            self.epoch_cpu[-1] += units
+
+    def begin_epoch(self) -> None:
+        """Open a new per-epoch bucket; subsequent charges add to it."""
+        self.epoch_cpu.append(0.0)
 
     def load_percent(self, duration_sec: float) -> float:
         """CPU utilization over the run, in percent (may exceed 100 —
@@ -36,3 +47,4 @@ class Host:
     def reset(self) -> None:
         self.cpu_units = 0.0
         self.by_category.clear()
+        self.epoch_cpu.clear()

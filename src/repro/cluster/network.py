@@ -3,12 +3,17 @@
 The paper's network-load figures report packets/second arriving at the
 aggregator node over the LAN; :class:`NetworkMeter` accumulates the same
 quantity per receiving host (plus bytes, using schema tuple widths).
+Streaming runs additionally open one bucket per epoch
+(:meth:`begin_epoch`), yielding per-link time series whose per-link sums
+equal the run totals.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
+
+Link = Tuple[int, int]
 
 
 @dataclass
@@ -17,7 +22,9 @@ class NetworkMeter:
 
     tuples_received: Dict[int, int] = field(default_factory=dict)
     bytes_received: Dict[int, float] = field(default_factory=dict)
-    link_tuples: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    link_tuples: Dict[Link, int] = field(default_factory=dict)
+    epoch_link_tuples: List[Dict[Link, int]] = field(default_factory=list)
+    epoch_link_bytes: List[Dict[Link, float]] = field(default_factory=list)
 
     def record(self, src_host: int, dst_host: int, tuples: int, width: float) -> None:
         """Record ``tuples`` rows of ``width`` bytes shipped src -> dst."""
@@ -31,6 +38,16 @@ class NetworkMeter:
         )
         link = (src_host, dst_host)
         self.link_tuples[link] = self.link_tuples.get(link, 0) + tuples
+        if self.epoch_link_tuples:
+            bucket = self.epoch_link_tuples[-1]
+            bucket[link] = bucket.get(link, 0) + tuples
+            byte_bucket = self.epoch_link_bytes[-1]
+            byte_bucket[link] = byte_bucket.get(link, 0.0) + tuples * width
+
+    def begin_epoch(self) -> None:
+        """Open a new per-epoch bucket; subsequent records add to it."""
+        self.epoch_link_tuples.append({})
+        self.epoch_link_bytes.append({})
 
     def tuples_per_sec(self, host: int, duration_sec: float) -> float:
         """The paper's network-load metric for one host."""
@@ -45,3 +62,5 @@ class NetworkMeter:
         self.tuples_received.clear()
         self.bytes_received.clear()
         self.link_tuples.clear()
+        self.epoch_link_tuples.clear()
+        self.epoch_link_bytes.clear()

@@ -32,15 +32,24 @@ class Splitter:
             raise ValueError("num_partitions must be positive")
         self.num_partitions = num_partitions
 
-    def split(self, rows: Iterable[Row]) -> List[List[Row]]:
-        """Partition ``rows`` into ``num_partitions`` batches."""
+    def split(self, rows: Iterable[Row], offset: int = 0) -> List[List[Row]]:
+        """Partition ``rows`` into ``num_partitions`` batches.
+
+        ``offset`` is the number of tuples of the same stream already
+        split in earlier calls — it lets stateful splitters (round-robin)
+        continue their cursor when a trace arrives epoch by epoch, so the
+        sliced assignment matches one whole-trace split exactly.
+        Content-hash splitters ignore it.
+        """
         batches: List[List[Row]] = [[] for _ in range(self.num_partitions)]
-        assign = self.assigner()
+        assign = self.assigner(offset)
         for row in rows:
             batches[assign(row)].append(row)
         return batches
 
-    def split_columns(self, batch: ColumnBatch) -> List[ColumnBatch]:
+    def split_columns(
+        self, batch: ColumnBatch, offset: int = 0
+    ) -> List[ColumnBatch]:
         """Partition a columnar batch with the vectorized assigner.
 
         Produces the same row-to-partition assignment as :meth:`split`
@@ -48,19 +57,19 @@ class Splitter:
         :class:`~repro.expr.vectorizer.UnsupportedExpression` when no
         vectorized assigner exists, so callers can fall back to rows.
         """
-        indices = self.assign_indices(batch)
+        indices = self.assign_indices(batch, offset)
         return [
             batch.select(indices == partition)
             for partition in range(self.num_partitions)
         ]
 
-    def assign_indices(self, batch: ColumnBatch) -> np.ndarray:
+    def assign_indices(self, batch: ColumnBatch, offset: int = 0) -> np.ndarray:
         """Partition index of every row of a columnar batch, at once."""
         raise UnsupportedExpression(
             f"{type(self).__name__} has no vectorized assigner"
         )
 
-    def assigner(self) -> Callable[[Row], int]:
+    def assigner(self, offset: int = 0) -> Callable[[Row], int]:
         raise NotImplementedError
 
     def describe(self) -> str:
@@ -70,8 +79,8 @@ class Splitter:
 class RoundRobinSplitter(Splitter):
     """Query-independent even spreading, one tuple at a time."""
 
-    def assigner(self) -> Callable[[Row], int]:
-        state = {"next": 0}
+    def assigner(self, offset: int = 0) -> Callable[[Row], int]:
+        state = {"next": offset % self.num_partitions}
         count = self.num_partitions
 
         def assign(_row: Row) -> int:
@@ -81,8 +90,9 @@ class RoundRobinSplitter(Splitter):
 
         return assign
 
-    def assign_indices(self, batch: ColumnBatch) -> np.ndarray:
-        return np.arange(len(batch), dtype=np.int64) % self.num_partitions
+    def assign_indices(self, batch: ColumnBatch, offset: int = 0) -> np.ndarray:
+        indices = np.arange(offset, offset + len(batch), dtype=np.int64)
+        return indices % self.num_partitions
 
     def describe(self) -> str:
         return f"round-robin over {self.num_partitions} partitions"
@@ -98,10 +108,11 @@ class HashSplitter(Splitter):
         self.partitioning_set = ps
         self._vector_partition: Optional[Callable] = None
 
-    def assigner(self) -> Callable[[Row], int]:
+    def assigner(self, offset: int = 0) -> Callable[[Row], int]:
+        # Content hashing is position-independent; the offset is ignored.
         return self.partitioning_set.partitioner(self.num_partitions)
 
-    def assign_indices(self, batch: ColumnBatch) -> np.ndarray:
+    def assign_indices(self, batch: ColumnBatch, offset: int = 0) -> np.ndarray:
         if self._vector_partition is None:
             self._vector_partition = self.partitioning_set.vector_partitioner(
                 self.num_partitions

@@ -5,11 +5,14 @@ input batches and return output batches; CPU and network accounting happen
 in the cluster simulator based on tuple counts, so operator logic stays
 testable in isolation.
 
-Tumbling-window note: the engine processes a whole trace as one batch with
-temporal keys included in group/join keys.  For finite traces this yields
-exactly the union of all per-epoch tumbling-window results (each epoch's
-groups are disjoint by the temporal key), while keeping the operators
-simple; rates are recovered by dividing totals by the trace duration.
+Tumbling-window note: each operator processes whatever batch it is given
+with temporal keys included in group/join keys.  Handing it a whole trace
+as one batch yields exactly the union of all per-epoch tumbling-window
+results (each epoch's groups are disjoint by the temporal key); rates are
+recovered by dividing totals by the trace duration.  The streaming mode
+(:mod:`repro.engine.streaming`) reuses these same pure operators on
+epoch-bounded sub-batches, so memory stays bounded by one epoch while the
+emitted union is identical.
 """
 
 from __future__ import annotations
@@ -248,11 +251,11 @@ class JoinOp(Operator):
                 JoinType.LEFT_OUTER,
                 JoinType.FULL_OUTER,
             ):
-                result.append(self._project(self._merge(left_row, None)))
+                result.append(self._project(self._merge(left_row, None), padded=True))
         if self._join_type in (JoinType.RIGHT_OUTER, JoinType.FULL_OUTER):
             for row in right_rows:
                 if id(row) not in matched_right:
-                    result.append(self._project(self._merge(None, row)))
+                    result.append(self._project(self._merge(None, row), padded=True))
         return result
 
     def _merge(self, left_row: Optional[Row], right_row: Optional[Row]) -> Row:
@@ -273,13 +276,24 @@ class JoinOp(Operator):
                 merged[f"{self._right_alias}.{name}"] = None
         return merged
 
-    def _project(self, merged: Row) -> Row:
+    def _project(self, merged: Row, padded: bool = False) -> Row:
+        """Evaluate the SELECT list over a merged row.
+
+        Only a *padded* row (one side replaced by NULLs — outer-join
+        unmatched rows and NULLPAD output) may legitimately hit NULL
+        arithmetic, which SQL resolves to NULL.  On fully-matched rows a
+        TypeError is a genuine expression bug and must raise.
+        """
         out: Row = {}
+        if not padded:
+            for name, fn in self._outputs:
+                out[name] = fn(merged)
+            return out
         for name, fn in self._outputs:
             try:
                 out[name] = fn(merged)
             except TypeError:
-                out[name] = None  # NULL arithmetic from outer-join padding
+                out[name] = None  # NULL arithmetic from the padded side
         return out
 
 
@@ -301,27 +315,36 @@ class NullPadOp(Operator):
         (rows,) = batches
         join = self._join
         if self._side == "left":
-            return [join._project(join._merge(row, None)) for row in rows]
-        return [join._project(join._merge(None, row)) for row in rows]
+            return [
+                join._project(join._merge(row, None), padded=True) for row in rows
+            ]
+        return [join._project(join._merge(None, row), padded=True) for row in rows]
 
 
 def _input_columns(node: AnalyzedNode, index: int) -> List[str]:
-    """Column names of a join input, for NULL padding.
+    """Column names of a join input referenced anywhere in the join.
 
-    Derived from the equalities and outputs actually referenced, which is
-    sufficient because padding only needs keys present in the merged row.
+    Used to NULL-pad a missing side: every column the SELECT list, the
+    residual predicate, or this side's equality expressions can reference
+    must exist (as NULL) in the merged row, or projection/filtering on
+    padded rows would KeyError.  Qualified attributes (``alias.col``) are
+    matched by this input's alias and stripped; the per-side equality
+    expressions are unqualified attributes over this input's own columns.
     """
     alias = node.input_aliases[index]
     prefix = alias + "."
     names = set()
-    for expr_list in ([c for c in node.select_exprs], [e.left for e in node.equalities]):
-        for expr in expr_list:
-            for attr in expr.attrs():
-                if attr.startswith(prefix):
-                    names.add(attr[len(prefix):])
+    referenced = list(node.select_exprs)
+    if node.residual is not None:
+        referenced.append(node.residual)
+    for expr in referenced:
+        for attr in expr.attrs():
+            if attr.startswith(prefix):
+                names.add(attr[len(prefix):])
     for eq in node.equalities:
-        for attr in (eq.left if index == 0 else eq.right).attrs():
-            names.add(attr)
+        side = eq.left if index == 0 else eq.right
+        for attr in side.attrs():
+            names.add(attr[len(prefix):] if attr.startswith(prefix) else attr)
     return sorted(names)
 
 

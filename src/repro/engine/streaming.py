@@ -1,0 +1,354 @@
+"""Streaming (epoch-at-a-time) execution over the pure batch operators.
+
+The paper's semantics are tumbling-window: every query result is the
+union of per-epoch results, with the temporal attribute in every group
+and join key (§3.1).  The batch engines exploit this by processing a
+whole trace at once; this module provides the inverse exploitation —
+processing one epoch's tuples per step while keeping per-node state
+alive across steps, so memory stays bounded by an epoch but the emitted
+union (and every tuple count the simulator charges for) is identical.
+
+The mechanism is watermark-driven buffering built on *the same pure
+operators* the one-shot engines use:
+
+* A **watermark** is a dict ``{column: B}`` asserting that every row a
+  node emits in any *later* step satisfies ``row[column] >= B``.
+  Sources emit ``{epoch_column: next_epoch}`` (``inf`` once drained);
+  downstream nodes derive their own watermark with interval arithmetic
+  (:func:`lower_bound`) over their output expressions.
+* A stateful node (aggregation, join) buffers its raw input and, each
+  step, hands the *completed* prefix — rows whose temporal key can no
+  longer gain companions — to the ordinary batch operator.  Because the
+  temporal key is part of the group/join key, the completed prefix
+  contains only whole groups / whole join buckets, so the per-step
+  outputs are exactly a partition of the one-shot output.
+* Stateless nodes (selection, merge, union, NULLPAD) simply run their
+  operator on each step's batch.
+
+A final *flush* step drains every buffer regardless of watermarks,
+covering nodes whose temporal bound is not derivable (e.g. downstream
+of a join, whose output watermark is unknown).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..expr.evaluator import compile_expr
+from ..expr.expressions import Attr, Binary, Const, ScalarExpr
+from ..expr.vectorizer import materialize
+from ..gsql.analyzer import AnalyzedNode
+from .columnar import ColumnBatch, ensure_columns, ensure_rows
+from .operators import Batch, JoinOp, Row
+
+Number = Union[int, float]
+#: Maps column name -> inclusive lower bound on that column in all rows
+#: the node will emit in later steps.  Missing columns are unbounded.
+Watermark = Dict[str, Number]
+
+
+def lower_bound(expr: ScalarExpr, bounds: Watermark) -> Optional[Number]:
+    """Greatest derivable lower bound of ``expr`` under attribute bounds.
+
+    ``bounds[name] = B`` asserts every relevant row satisfies
+    ``row[name] >= B``.  Only operators monotone non-decreasing in the
+    bounded attribute propagate a bound: ``+`` of two bounded operands,
+    and ``-``/``*``/``/`` by a positive constant (``/`` floors for ints,
+    matching the evaluator).  Everything else — masks, modulo, unary
+    negation, functions — returns None (unknown).  ``math.inf`` bounds
+    propagate, marking a drained stream.
+    """
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Attr):
+        return bounds.get(expr.name)
+    if isinstance(expr, Binary):
+        if expr.op == "+":
+            left = lower_bound(expr.left, bounds)
+            right = lower_bound(expr.right, bounds)
+            if left is None or right is None:
+                return None
+            return left + right
+        if expr.op in ("-", "*", "/") and isinstance(expr.right, Const):
+            left = lower_bound(expr.left, bounds)
+            value = expr.right.value
+            if left is None:
+                return None
+            if expr.op == "-":
+                return left - value
+            if not isinstance(value, (int, float)) or value <= 0:
+                return None
+            if expr.op == "*":
+                return left * value
+            if isinstance(left, int) and isinstance(value, int):
+                return left // value  # evaluator's integer floor division
+            return left / value
+    return None
+
+
+def merge_watermarks(watermarks: Sequence[Watermark]) -> Watermark:
+    """Watermark of a stream union: per-column minimum over all inputs,
+    keeping only columns bounded by *every* input."""
+    if not watermarks:
+        return {}
+    common = set(watermarks[0])
+    for wm in watermarks[1:]:
+        common &= set(wm)
+    return {name: min(wm[name] for wm in watermarks) for name in common}
+
+
+def mapped_watermark(
+    outputs: Sequence[Tuple[str, ScalarExpr]]
+) -> Callable[[Sequence[Watermark]], Watermark]:
+    """Watermark function for a single-input row-wise node: bound each
+    output column by its defining expression over the input bounds."""
+
+    def compute(watermarks: Sequence[Watermark]) -> Watermark:
+        (bounds,) = watermarks
+        return _bound_outputs(outputs, bounds)
+
+    return compute
+
+
+def unknown_watermark(watermarks: Sequence[Watermark]) -> Watermark:
+    return {}
+
+
+def _bound_outputs(
+    outputs: Sequence[Tuple[str, ScalarExpr]], bounds: Watermark
+) -> Watermark:
+    result: Watermark = {}
+    for name, expr in outputs:
+        bound = lower_bound(expr, bounds)
+        if bound is not None:
+            result[name] = bound
+    return result
+
+
+# -- buffers -------------------------------------------------------------------
+
+
+class RowBuffer:
+    """Retained rows plus a compiled temporal-key extractor."""
+
+    def __init__(self, key_fn: Optional[Callable[[Row], Number]]):
+        self._key_fn = key_fn
+        self._rows: Batch = []
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def add(self, rows: Batch) -> None:
+        self._rows.extend(rows)
+
+    def take_below(self, bound: Number) -> Batch:
+        """Remove and return the rows whose temporal key is < ``bound``."""
+        if bound == math.inf:
+            return self.drain()
+        key_fn = self._key_fn
+        taken: Batch = []
+        kept: Batch = []
+        for row in self._rows:
+            (taken if key_fn(row) < bound else kept).append(row)
+        self._rows = kept
+        return taken
+
+    def drain(self) -> Batch:
+        rows, self._rows = self._rows, []
+        return rows
+
+
+class ColumnBuffer:
+    """Columnar retained rows; the key extractor is a vectorized expr."""
+
+    def __init__(self, key_fn: Optional[Callable]):
+        self._key_fn = key_fn
+        self._pending: List[ColumnBatch] = []
+
+    def __len__(self) -> int:
+        return sum(len(batch) for batch in self._pending)
+
+    def add(self, batch: ColumnBatch) -> None:
+        if len(batch):
+            self._pending.append(batch)
+
+    def _merged(self) -> ColumnBatch:
+        if not self._pending:
+            return ColumnBatch({}, 0)
+        if len(self._pending) > 1:
+            self._pending = [ColumnBatch.concat(self._pending)]
+        return self._pending[0]
+
+    def take_below(self, bound: Number) -> ColumnBatch:
+        if bound == math.inf:
+            return self.drain()
+        batch = self._merged()
+        if len(batch) == 0:
+            return batch
+        values = materialize(
+            self._key_fn(batch.columns, len(batch)), len(batch)
+        )
+        mask = values < bound
+        taken = batch.select(mask)
+        self._pending = [batch.select(~mask)]
+        return taken
+
+    def drain(self) -> ColumnBatch:
+        batch = self._merged()
+        self._pending = []
+        return batch
+
+
+# -- streaming node wrappers ---------------------------------------------------
+
+
+class StreamingNode:
+    """One distributed-plan node kept alive across epoch steps."""
+
+    def step(
+        self,
+        inputs: Sequence,
+        watermarks: Sequence[Watermark],
+        flush: bool,
+    ) -> Tuple[object, Watermark]:
+        """Consume this step's input batches; return (output, watermark).
+
+        ``watermarks[i]`` bounds all *future* rows of input ``i``.  With
+        ``flush`` set, every buffer drains regardless of watermarks and
+        the returned watermark is meaningless (nothing follows a flush).
+        """
+        raise NotImplementedError
+
+    def buffered_rows(self) -> int:
+        """Rows currently held back — for memory-bound assertions."""
+        return 0
+
+
+def _coerce(batch, columnar: bool):
+    return ensure_columns(batch) if columnar else ensure_rows(batch)
+
+
+class StatelessStreamingNode(StreamingNode):
+    """Row-wise node: run the pure operator on each step's batch as-is."""
+
+    def __init__(
+        self,
+        operator,
+        watermark_fn: Callable[[Sequence[Watermark]], Watermark],
+        columnar: bool = False,
+    ):
+        self._operator = operator
+        self._watermark_fn = watermark_fn
+        self._columnar = columnar
+
+    def step(self, inputs, watermarks, flush):
+        batches = [_coerce(batch, self._columnar) for batch in inputs]
+        return self._operator.process(*batches), self._watermark_fn(watermarks)
+
+
+class StreamingAggregate(StreamingNode):
+    """Buffer-and-release wrapper around a pure aggregation operator.
+
+    Rows are buffered raw; once the input watermark pushes the temporal
+    group-by expression's lower bound to ``L``, all buffered rows with
+    temporal key < L form *complete* groups (the temporal key is part of
+    the group key, so groups never straddle the boundary) and are handed
+    to the ordinary batch operator.  Without a temporal group-by column
+    (a global aggregate) everything waits for the flush.
+    """
+
+    def __init__(
+        self,
+        operator,
+        buffer: Union[RowBuffer, ColumnBuffer],
+        temporal_name: Optional[str],
+        temporal_expr: Optional[ScalarExpr],
+        outputs: Sequence[Tuple[str, ScalarExpr]],
+        columnar: bool = False,
+    ):
+        self._operator = operator
+        self._buffer = buffer
+        self._temporal_name = temporal_name
+        self._temporal_expr = temporal_expr
+        self._outputs = list(outputs)
+        self._columnar = columnar
+
+    def buffered_rows(self) -> int:
+        return len(self._buffer)
+
+    def step(self, inputs, watermarks, flush):
+        (batch,) = inputs
+        self._buffer.add(_coerce(batch, self._columnar))
+        if flush:
+            return self._operator.process(self._buffer.drain()), {}
+        if self._temporal_expr is None:
+            return self._empty(), {}
+        (bounds,) = watermarks
+        low = lower_bound(self._temporal_expr, bounds)
+        if low is None:
+            return self._empty(), {}
+        ready = self._buffer.take_below(low)
+        # Future groups all have temporal key >= low; bound every output
+        # column derivable from it.  (Other group-by columns of retained
+        # rows may predate the current input bounds, so only the
+        # temporal column is safe to propagate.)
+        watermark = _bound_outputs(self._outputs, {self._temporal_name: low})
+        if len(ready) == 0:
+            return self._empty(), watermark
+        return self._operator.process(ready), watermark
+
+    def _empty(self):
+        if self._columnar:
+            return self._operator.process(ColumnBatch({}, 0))
+        return []
+
+
+class StreamingJoin(StreamingNode):
+    """Buffer-and-release wrapper around the (row-engine) join operator.
+
+    Both sides buffer until the temporal equality's lower bound passes a
+    key value; the rows below the bound on *both* sides then join as one
+    batch.  Matches cannot cross temporal-key values, so inner matches
+    and outer-join padding decided inside a released bucket are final.
+    Joins emit no watermark — in the workload catalogs they are plan
+    roots, and anything downstream drains at the flush.
+    """
+
+    def __init__(self, operator: JoinOp, node: AnalyzedNode):
+        equality = next((eq for eq in node.equalities if eq.temporal), None)
+        self._operator = operator
+        self._left_expr = equality.left if equality is not None else None
+        self._right_expr = equality.right if equality is not None else None
+        self._left = RowBuffer(
+            compile_expr(self._left_expr) if self._left_expr is not None else None
+        )
+        self._right = RowBuffer(
+            compile_expr(self._right_expr)
+            if self._right_expr is not None
+            else None
+        )
+
+    def buffered_rows(self) -> int:
+        return len(self._left) + len(self._right)
+
+    def step(self, inputs, watermarks, flush):
+        left_in, right_in = (ensure_rows(batch) for batch in inputs)
+        self._left.add(left_in)
+        self._right.add(right_in)
+        if flush:
+            left, right = self._left.drain(), self._right.drain()
+        else:
+            if self._left_expr is None:
+                return [], {}
+            bounds_left, bounds_right = watermarks
+            low_left = lower_bound(self._left_expr, bounds_left)
+            low_right = lower_bound(self._right_expr, bounds_right)
+            if low_left is None or low_right is None:
+                return [], {}
+            bound = min(low_left, low_right)
+            left = self._left.take_below(bound)
+            right = self._right.take_below(bound)
+        if not left and not right:
+            return [], {}
+        return self._operator.process(left, right), {}

@@ -1,6 +1,13 @@
 """Synthetic packet traces replacing the paper's proprietary capture."""
 
-from .generator import Trace, TraceConfig, four_tap_trace, generate_trace, merge_taps
+from .generator import (
+    Trace,
+    TraceConfig,
+    four_tap_trace,
+    generate_trace,
+    merge_taps,
+    slice_by_epoch,
+)
 from .io import load_trace, save_trace
 from .stats import TraceStatistics, packet_statistics, trace_statistics
 from .packet import (
@@ -37,6 +44,7 @@ __all__ = [
     "merge_taps",
     "packet_statistics",
     "save_trace",
+    "slice_by_epoch",
     "sort_by_time",
     "trace_statistics",
 ]

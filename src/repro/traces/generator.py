@@ -255,6 +255,57 @@ def _sorted_by_time(columns: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
     return {name: column[order] for name, column in columns.items()}
 
 
+def slice_by_epoch(batch, column: str = "time"):
+    """Split a batch into ``[(epoch value, sub-batch), ...]``, ascending.
+
+    ``batch`` is either a row list or a
+    :class:`~repro.engine.columnar.ColumnBatch`; the slices use the same
+    representation.  Generated traces arrive sorted by the epoch column,
+    in which case the columnar slices are zero-copy array views; unsorted
+    input is stably sorted by the epoch value first, so within-epoch
+    order is preserved either way.
+    """
+    from ..engine.columnar import ColumnBatch
+
+    if isinstance(batch, ColumnBatch):
+        return _slice_columns(batch, column)
+    groups: Dict[object, list] = {}
+    for row in batch:
+        groups.setdefault(row[column], []).append(row)
+    return sorted(groups.items())
+
+
+def _slice_columns(batch, column: str):
+    from ..engine.columnar import ColumnBatch
+
+    if len(batch) == 0:
+        return []
+    values = np.asarray(batch.column(column))
+    if np.any(values[1:] < values[:-1]):
+        order = np.argsort(values, kind="stable")
+        batch = batch.select(order)
+        values = values[order]
+    edges = np.flatnonzero(np.diff(values)) + 1
+    starts = np.concatenate(([0], edges))
+    stops = np.concatenate((edges, [len(values)]))
+    slices = []
+    for start, stop in zip(starts, stops):
+        columns = {
+            name: _slice_column(col, start, stop)
+            for name, col in batch.columns.items()
+        }
+        slices.append(
+            (values[start].item(), ColumnBatch(columns, int(stop - start)))
+        )
+    return slices
+
+
+def _slice_column(column, start: int, stop: int):
+    if isinstance(column, tuple):  # composite aggregate-state column
+        return tuple(part[start:stop] for part in column)
+    return column[start:stop]
+
+
 def merge_taps(traces: List[Trace]) -> Trace:
     """Combine concurrently captured taps into one feed (paper §6: "the
     trace was obtained by combining four different one-hour traces

@@ -196,11 +196,16 @@ def run_configuration(
     costs: CostTable = DEFAULT_COSTS,
     host_capacity: Optional[float] = None,
     engine: str = "row",
+    streaming: bool = False,
 ) -> RunOutcome:
     """Build the distributed plan for one configuration and simulate it.
 
     ``engine`` selects the simulator backend; with ``"columnar"`` the
     trace's column arrays are handed to the simulator zero-copy.
+    With ``streaming`` the simulator executes epoch by epoch
+    (:meth:`~repro.cluster.simulator.ClusterSimulator.run_streaming`),
+    producing identical totals plus a per-epoch
+    :class:`~repro.cluster.simulator.Timeline`.
     """
     placement = Placement(
         num_hosts=num_hosts,
@@ -225,7 +230,10 @@ def run_configuration(
     else:
         sources = {source.name: trace.packets for source in dag.sources()}
     splitter = configuration.splitter(placement.num_partitions)
-    result = simulator.run(sources, splitter, trace.duration_sec)
+    if streaming:
+        result = simulator.run_streaming(sources, splitter, trace.duration_sec)
+    else:
+        result = simulator.run(sources, splitter, trace.duration_sec)
     return RunOutcome(configuration, num_hosts, result, plan)
 
 
@@ -237,6 +245,7 @@ def sweep_hosts(
     costs: CostTable = DEFAULT_COSTS,
     host_capacity: Optional[float] = None,
     engine: str = "row",
+    streaming: bool = False,
 ) -> Dict[str, List[RunOutcome]]:
     """The paper's sweep: every configuration at every cluster size."""
     outcomes: Dict[str, List[RunOutcome]] = {}
@@ -250,6 +259,7 @@ def sweep_hosts(
                 costs=costs,
                 host_capacity=host_capacity,
                 engine=engine,
+                streaming=streaming,
             )
             for num_hosts in host_counts
         ]

@@ -99,6 +99,42 @@ class TestFigures:
         assert "Partitioned" in out
 
 
+class TestTimeline:
+    def test_timeline_table(self, capsys):
+        code = main(
+            [
+                "timeline",
+                "--experiment",
+                "1",
+                "--config",
+                "naive",
+                "--hosts",
+                "2",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "peak resident batch" in out
+        assert "agg recv" in out
+        assert "cpu[h1]" in out
+
+    def test_timeline_ambiguous_config(self, capsys):
+        code = main(
+            ["timeline", "--experiment", "3", "--config", "partitioned"]
+        )
+        assert code == 2
+        assert "matches" in capsys.readouterr().err
+
+    def test_figures_streaming_matches_oneshot(self, capsys):
+        args = ["figures", "--experiment", "1", "--hosts", "2", "--seed", "3"]
+        assert main(args) == 0
+        oneshot = capsys.readouterr().out
+        assert main(args + ["--streaming"]) == 0
+        assert capsys.readouterr().out == oneshot
+
+
 class TestParserErrors:
     def test_missing_command(self):
         with pytest.raises(SystemExit):

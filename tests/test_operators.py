@@ -257,6 +257,47 @@ class TestJoin:
         with pytest.raises(ValueError):
             NullPadOp(node, "middle")
 
+    ARITHMETIC_OUTER = (
+        "SELECT S1.tb, S1.cnt + S2.cnt as total "
+        "FROM flows S1 LEFT OUTER JOIN flows S2 "
+        "ON S1.srcIP = S2.srcIP and S2.tb = S1.tb + 1"
+    )
+
+    def test_padded_null_arithmetic_yields_null(self, catalog):
+        node = self._join(catalog, self.ARITHMETIC_OUTER)
+        out = JoinOp(node).process([{"tb": 3, "srcIP": 1, "cnt": 2}], [])
+        assert out == [{"tb": 3, "total": None}]
+
+    def test_matched_row_type_error_raises(self, catalog):
+        """Regression: NULL-propagation is for padded rows only.  A type
+        error while projecting a fully-matched pair is a real bug and must
+        not be silently converted to NULL."""
+        node = self._join(catalog, self.ARITHMETIC_OUTER)
+        left = [{"tb": 0, "srcIP": 1, "cnt": None}]  # corrupt input
+        right = [{"tb": 1, "srcIP": 1, "cnt": 7}]
+        with pytest.raises(TypeError):
+            JoinOp(node).process(left, right)
+
+    def test_pad_schema_covers_equalities_and_residual(self, catalog):
+        """Regression: the padding schema must include each side's own
+        equality columns and anything the residual references, so every
+        key a padded merged row can be asked for exists (as NULL)."""
+        from repro.engine.operators import _input_columns
+
+        node = self._join(
+            catalog,
+            "SELECT S1.tb "
+            "FROM flows S1 FULL OUTER JOIN flows S2 "
+            "ON S1.srcIP = S2.srcIP and S2.tb = S1.tb + 1 "
+            "and S2.cnt > S1.cnt",
+        )
+        # right key columns appear only in the equalities / residual
+        assert _input_columns(node, 0) == ["cnt", "srcIP", "tb"]
+        assert _input_columns(node, 1) == ["cnt", "srcIP", "tb"]
+        # an unmatched right row pads the full left schema
+        out = JoinOp(node).process([], [{"tb": 5, "srcIP": 9, "cnt": 1}])
+        assert out == [{"tb": None}]
+
 
 class TestBuildOperator:
     def test_variants(self, catalog):

@@ -82,6 +82,40 @@ class TestWindowSpec:
     def test_no_panes_no_windows(self):
         assert WindowSpec(2, 1).window_ends_covering([]) == []
 
+    def test_single_pane_slide_one(self):
+        # every window intersecting pane 5: ends 5..5+w-1
+        assert WindowSpec(3, 1).window_ends_covering([5]) == [5, 6, 7]
+
+    def test_single_pane_with_alignment(self):
+        spec = WindowSpec(window_panes=4, slide_panes=3)
+        ends = spec.window_ends_covering([4])
+        # aligned ends satisfy (e+1) % 3 == 0 and the window [e-3, e]
+        # must actually contain pane 4
+        assert ends == [5]
+        for end in ends:
+            assert (end + 1) % spec.slide_panes == 0
+            assert end - spec.window_panes + 1 <= 4 <= end
+
+    def test_tumbling_degenerate_one_window_per_pane(self):
+        spec = WindowSpec(window_panes=2, slide_panes=2)
+        ends = spec.window_ends_covering([0, 1, 2, 3, 4, 5])
+        assert ends == [1, 3, 5]  # disjoint windows tile the pane range
+
+    def test_slide_greater_than_one_skips_unaligned_ends(self):
+        spec = WindowSpec(window_panes=3, slide_panes=2)
+        ends = spec.window_ends_covering([2])
+        assert ends == [3]  # end 2 is unaligned, end 5's window starts at 3
+        assert WindowSpec(3, 2).window_ends_covering([0, 1]) == [1, 3]
+
+    def test_sparse_panes_cover_the_gap(self):
+        # Ends between distant panes are reported; windows that contain
+        # no live pane simply aggregate nothing downstream.
+        spec = WindowSpec(window_panes=2, slide_panes=1)
+        ends = spec.window_ends_covering([0, 10])
+        assert ends == list(range(0, 12))
+        for pane in (0, 10):
+            assert any(e - 1 <= pane <= e for e in ends)
+
 
 class TestSlidingEvaluation:
     def test_matches_oracle_slide_one(self, flows_node):

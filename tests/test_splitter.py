@@ -37,6 +37,40 @@ class TestRoundRobin:
         with pytest.raises(ValueError):
             RoundRobinSplitter(0)
 
+    def test_offset_continues_the_cursor(self):
+        """Splitting a stream chunk by chunk with running offsets must
+        reproduce the whole-stream assignment — the invariant epoch-sliced
+        streaming relies on."""
+        splitter = RoundRobinSplitter(3)
+        data = rows(20)
+        whole = splitter.split(data)
+        chunked = [[] for _ in range(3)]
+        offset = 0
+        for size in (7, 0, 5, 8):
+            chunk = data[offset : offset + size]
+            for partition, batch in enumerate(splitter.split(chunk, offset=offset)):
+                chunked[partition].extend(batch)
+            offset += size
+        assert chunked == whole
+
+    def test_offset_starts_mid_cycle(self):
+        splitter = RoundRobinSplitter(3)
+        assign = splitter.assigner(offset=4)
+        assert [assign({}) for _ in range(4)] == [1, 2, 0, 1]
+
+    def test_vectorized_offset_matches_rows(self):
+        import numpy as np
+
+        from repro.engine.columnar import ColumnBatch
+
+        splitter = RoundRobinSplitter(4)
+        data = rows(13)
+        batch = ColumnBatch.from_rows(data)
+        indices = splitter.assign_indices(batch, offset=6)
+        assign = splitter.assigner(offset=6)
+        assert list(indices) == [assign(row) for row in data]
+        assert indices.dtype == np.int64
+
 
 class TestHashSplitter:
     def test_key_locality(self):
@@ -66,6 +100,13 @@ class TestHashSplitter:
         splitter = HashSplitter(4, PartitioningSet.of("len"))
         histogram = partition_histogram(splitter, rows(50))
         assert sum(histogram.values()) == 50
+
+    def test_offset_is_ignored(self):
+        # Content hashing is position-independent: any offset yields the
+        # same assignment, so epoch slicing cannot perturb it.
+        splitter = HashSplitter(4, PartitioningSet.of("srcIP"))
+        data = rows(30)
+        assert splitter.split(data, offset=11) == splitter.split(data)
 
     def test_reasonable_balance_on_trace(self, small_trace):
         """The paper's premise: hashing on flow keys spreads load well."""

@@ -1,0 +1,266 @@
+"""Epoch-sliced streaming execution: parity, bounded memory, timelines.
+
+The contract under test: ``ClusterSimulator.run_streaming`` produces the
+*same simulation* as ``run`` — identical output multisets, per-node tuple
+counts, per-host per-category CPU charges, and per-link network counters —
+while only ever holding one epoch's worth of tuples at a node boundary,
+and additionally reporting per-epoch metric series.
+"""
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.cluster import ClusterSimulator, HashSplitter, RoundRobinSplitter
+from repro.distopt import DistributedOptimizer, Placement
+from repro.distopt.plan_ir import DistributedPlan
+from repro.engine import batches_equal
+from repro.engine.streaming import lower_bound, mapped_watermark, merge_watermarks
+from repro.expr.expressions import Attr, Binary, Const, Func
+from repro.partitioning import PartitioningSet
+from repro.workloads import (
+    complex_catalog,
+    subnet_jitter_catalog,
+    suspicious_flows_catalog,
+)
+
+WORKLOADS = {
+    "suspicious": (suspicious_flows_catalog, None),
+    "jitter": (subnet_jitter_catalog, ("subnet_stats", "tcp_flows", "jitter")),
+    "complex": (complex_catalog, ("flows", "heavy_flows", "flow_pairs")),
+}
+
+PS_CHOICES = [
+    None,
+    PartitioningSet.of("srcIP"),
+    PartitioningSet.of("srcIP & 0xFFF0", "destIP"),
+    PartitioningSet.of("srcIP", "destIP", "srcPort", "destPort"),
+]
+
+
+class TestLowerBound:
+    def test_plain_attribute(self):
+        assert lower_bound(Attr("time"), {"time": 7}) == 7
+
+    def test_unbounded_attribute(self):
+        assert lower_bound(Attr("time"), {}) is None
+
+    def test_constant(self):
+        assert lower_bound(Const(4), {}) == 4
+
+    def test_integer_division_floors(self):
+        # matches the evaluator: 7 / 2 over ints is floor division
+        expr = Binary("/", Attr("time"), Const(2))
+        assert lower_bound(expr, {"time": 7}) == 3
+
+    def test_addition(self):
+        expr = Binary("+", Attr("tb"), Const(1))
+        assert lower_bound(expr, {"tb": 5}) == 6
+
+    def test_scaling_by_negative_constant_is_unknown(self):
+        expr = Binary("*", Attr("time"), Const(-1))
+        assert lower_bound(expr, {"time": 5}) is None
+
+    def test_mask_is_unknown(self):
+        expr = Binary("&", Attr("srcIP"), Const(0xFF00))
+        assert lower_bound(expr, {"srcIP": 10}) is None
+
+    def test_function_is_unknown(self):
+        assert lower_bound(Func("NOT", (Attr("time"),)), {"time": 1}) is None
+
+    def test_infinity_marks_drained_stream(self):
+        expr = Binary("/", Attr("time"), Const(2))
+        assert lower_bound(expr, {"time": math.inf}) == math.inf
+
+    def test_merge_keeps_common_columns_at_min(self):
+        merged = merge_watermarks([{"time": 3, "tb": 1}, {"time": 5}])
+        assert merged == {"time": 3}
+        assert merge_watermarks([]) == {}
+
+    def test_mapped_watermark_binds_outputs(self):
+        fn = mapped_watermark(
+            [("tb", Binary("/", Attr("time"), Const(2))), ("ip", Attr("srcIP"))]
+        )
+        assert fn([{"time": 8}]) == {"tb": 4}
+
+
+def _run(engine, dag, packets, hosts, ps, deliver, streaming):
+    placement = Placement(hosts, 2)
+    plan = DistributedOptimizer(dag, placement, ps, deliver=deliver).optimize()
+    sim = ClusterSimulator(dag, plan, stream_rate=1000, engine=engine)
+    if ps is None:
+        splitter = RoundRobinSplitter(placement.num_partitions)
+    else:
+        splitter = HashSplitter(placement.num_partitions, ps)
+    run = sim.run_streaming if streaming else sim.run
+    return run({"TCP": packets}, splitter, 10.0)
+
+
+def assert_same_simulation(oneshot, stream):
+    """Streaming must be observationally identical to the one-shot run."""
+    assert set(oneshot.outputs) == set(stream.outputs)
+    for name in oneshot.outputs:
+        assert batches_equal(oneshot.outputs[name], stream.outputs[name]), name
+    assert oneshot.node_output_counts == stream.node_output_counts
+    for ref, got in zip(oneshot.hosts, stream.hosts):
+        assert got.cpu_units == pytest.approx(ref.cpu_units, abs=1e-9)
+        assert set(ref.by_category) == set(got.by_category)
+        for category, units in ref.by_category.items():
+            assert got.by_category[category] == pytest.approx(
+                units, abs=1e-9
+            ), category
+    assert oneshot.network.tuples_received == stream.network.tuples_received
+    assert oneshot.network.link_tuples == stream.network.link_tuples
+    for host, total in oneshot.network.bytes_received.items():
+        # float summation order differs between one big and many small adds
+        assert stream.network.bytes_received[host] == pytest.approx(total)
+
+
+@pytest.mark.parametrize("engine", ("row", "columnar"))
+@pytest.mark.parametrize("hosts", [1, 3])
+@pytest.mark.parametrize("ps", PS_CHOICES, ids=str)
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_streaming_matches_oneshot(workload, ps, hosts, engine, tiny_trace):
+    catalog_fn, deliver = WORKLOADS[workload]
+    _, dag = catalog_fn()
+    oneshot = _run(engine, dag, tiny_trace.packets, hosts, ps, deliver, False)
+    stream = _run(engine, dag, tiny_trace.packets, hosts, ps, deliver, True)
+    assert_same_simulation(oneshot, stream)
+
+
+@pytest.mark.parametrize("engine", ("row", "columnar"))
+def test_streaming_memory_bounded_by_epoch(engine, tiny_trace):
+    """No resident batch ever exceeds the largest single epoch."""
+    epoch_sizes = Counter(p["time"] for p in tiny_trace.packets)
+    largest_epoch = max(epoch_sizes.values())
+    _, dag = suspicious_flows_catalog()
+    stream = _run(engine, dag, tiny_trace.packets, 3, PS_CHOICES[1], None, True)
+    assert stream.peak_batch_rows <= largest_epoch
+    assert stream.peak_batch_rows < len(tiny_trace.packets)
+
+
+@pytest.mark.parametrize("engine", ("row", "columnar"))
+def test_streaming_memory_complex_workload(engine, tiny_trace):
+    """The complex workload buckets time/2, so state may span two epochs
+    — but never more, and never the whole trace."""
+    epoch_sizes = Counter(p["time"] for p in tiny_trace.packets)
+    largest_epoch = max(epoch_sizes.values())
+    catalog_fn, deliver = WORKLOADS["complex"]
+    _, dag = catalog_fn()
+    stream = _run(engine, dag, tiny_trace.packets, 3, PS_CHOICES[1], deliver, True)
+    assert stream.peak_batch_rows <= 2 * largest_epoch
+    assert stream.peak_batch_rows < len(tiny_trace.packets)
+
+
+class TestTimeline:
+    @pytest.fixture(scope="class")
+    def stream(self, tiny_trace):
+        _, dag = suspicious_flows_catalog()
+        return _run("row", dag, tiny_trace.packets, 3, PS_CHOICES[1], None, True)
+
+    def test_one_entry_per_epoch(self, stream, tiny_trace):
+        timeline = stream.timeline
+        assert timeline.epochs == sorted({p["time"] for p in tiny_trace.packets})
+        for series in timeline.host_cpu:
+            assert len(series) == timeline.num_epochs
+        for series in timeline.link_tuples.values():
+            assert len(series) == timeline.num_epochs
+
+    def test_series_sum_to_run_totals(self, stream):
+        timeline = stream.timeline
+        for host in stream.hosts:
+            assert sum(timeline.host_cpu_series(host.index)) == pytest.approx(
+                host.cpu_units
+            )
+        for link, series in timeline.link_tuples.items():
+            assert sum(series) == stream.network.link_tuples[link]
+        for link, series in timeline.link_bytes.items():
+            assert sum(series) >= 0.0
+        received = timeline.tuples_received_series(stream.aggregator)
+        assert sum(received) == stream.network.tuples_received.get(
+            stream.aggregator, 0
+        )
+
+    def test_render_is_a_table(self, stream):
+        rendered = stream.timeline.render(stream.aggregator)
+        lines = rendered.splitlines()
+        assert len(lines) == stream.timeline.num_epochs + 1
+        assert "agg recv" in lines[0]
+
+    def test_oneshot_has_no_timeline(self, tiny_trace):
+        _, dag = suspicious_flows_catalog()
+        oneshot = _run("row", dag, tiny_trace.packets, 1, None, None, False)
+        assert oneshot.timeline is None
+        assert oneshot.peak_batch_rows is None
+
+
+# -- outer-join + NULLPAD plans ------------------------------------------------
+
+
+OUTER_JOIN = (
+    "SELECT S1.tb as tb, S1.srcIP as ip, S1.cnt + S2.cnt as total "
+    "FROM flows S1 FULL OUTER JOIN flows S2 "
+    "ON S1.srcIP = S2.srcIP and S2.tb = S1.tb + 1"
+)
+
+
+def _outer_join_plan(catalog_factory):
+    """A hand-built partitioned outer-join plan exercising NULLPAD.
+
+    Three partitions on three hosts: partition 0 computes the pair-wise
+    join locally, partition 1 has only the left side (NULLPAD left) and
+    partition 2 only the right side (NULLPAD right); a merge at the
+    aggregator unions the three result streams.  The ``S1.cnt + S2.cnt``
+    output exercises NULL arithmetic on every padded row.
+    """
+    catalog = catalog_factory()
+    catalog.define_query(
+        "flows",
+        "SELECT tb, srcIP, COUNT(*) as cnt FROM TCP GROUP BY time as tb, srcIP",
+    )
+    catalog.define_query("pairs", OUTER_JOIN)
+    from repro.plan import QueryDag
+
+    dag = QueryDag.from_catalog(catalog)
+    plan = DistributedPlan(num_hosts=3, partitions_per_host=1)
+    sources = [plan.add_source("TCP", p) for p in range(3)]
+    flows = [
+        plan.add_op("flows", [src.node_id], host=p)
+        for p, src in enumerate(sources)
+    ]
+    join = plan.add_op(
+        "pairs", [flows[0].node_id, flows[0].node_id], host=0
+    )
+    pad_left = plan.add_nullpad(flows[1].node_id, "left", host=1, query="pairs")
+    pad_right = plan.add_nullpad(flows[2].node_id, "right", host=2, query="pairs")
+    merge = plan.add_merge(
+        [join.node_id, pad_left.node_id, pad_right.node_id], host=0
+    )
+    plan.producers["pairs"] = [merge.node_id]
+    plan.delivery["pairs"] = merge.node_id
+    return dag, plan
+
+
+@pytest.mark.parametrize("engine", ("row", "columnar"))
+def test_outer_join_nullpad_streaming_parity(engine, catalog_factory, tiny_trace):
+    dag, plan = _outer_join_plan(catalog_factory)
+    splitter = RoundRobinSplitter(plan.num_partitions)
+    sim = ClusterSimulator(dag, plan, stream_rate=1000, engine=engine)
+    oneshot = sim.run({"TCP": tiny_trace.packets}, splitter, 10.0)
+    stream = sim.run_streaming({"TCP": tiny_trace.packets}, splitter, 10.0)
+    assert_same_simulation(oneshot, stream)
+    rows = stream.outputs["pairs"]
+    padded = [r for r in rows if r["total"] is None]
+    joined = [r for r in rows if r["total"] is not None]
+    assert padded and joined  # both the NULL-arithmetic and matched paths ran
+
+
+def test_outer_join_engine_parity(catalog_factory, tiny_trace):
+    dag, plan = _outer_join_plan(catalog_factory)
+    splitter = RoundRobinSplitter(plan.num_partitions)
+    results = {}
+    for engine in ("row", "columnar"):
+        sim = ClusterSimulator(dag, plan, stream_rate=1000, engine=engine)
+        results[engine] = sim.run({"TCP": tiny_trace.packets}, splitter, 10.0)
+    assert_same_simulation(results["row"], results["columnar"])
