@@ -9,12 +9,7 @@ and report when the aggregator stops being the bottleneck.
 Run:  python examples/capacity_planning.py
 """
 
-from repro import (
-    QueryDag,
-    choose_partitioning,
-    four_tap_trace,
-    run_configuration,
-)
+from repro import choose_partitioning, four_tap_trace, run_configuration
 from repro.partitioning import ExpressionWhitelist, tcp_header_splitter
 from repro.workloads import Configuration, complex_catalog, measure_selectivities
 from repro.workloads.experiments import (

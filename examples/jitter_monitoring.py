@@ -18,7 +18,6 @@ from repro import (
     Catalog,
     FieldsConstraint,
     QueryDag,
-    TraceConfig,
     choose_partitioning,
     compatible_set,
     four_tap_trace,

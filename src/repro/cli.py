@@ -73,12 +73,45 @@ def _load_script_catalog(path: str) -> Catalog:
     return catalog
 
 
+def _host_list(text: str) -> tuple:
+    """Parse a comma-separated ``--hosts`` list with a friendly error."""
+    try:
+        counts = tuple(int(part) for part in text.split(","))
+    except ValueError:
+        counts = ()
+    if not counts or any(count <= 0 for count in counts):
+        raise argparse.ArgumentTypeError(
+            f"expected a comma-separated list of positive cluster sizes "
+            f"(e.g. '1,2,4'), got {text!r}"
+        )
+    return counts
+
+
+def _simulation_flags() -> argparse.ArgumentParser:
+    """Flags shared by every command that runs the simulator."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--hosts",
+        type=_host_list,
+        default=None,
+        help="comma-separated cluster sizes, e.g. '1,2,4'",
+    )
+    common.add_argument("--seed", type=int, default=7)
+    common.add_argument(
+        "--engine",
+        choices=("row", "columnar"),
+        default="columnar",
+        help="execution backend (identical results; columnar is faster)",
+    )
+    return common
+
+
 def cmd_figures(args) -> int:
     catalog_fn, configs_fn, trace_fn = _EXPERIMENTS[args.experiment]
     trace = four_tap_trace(trace_fn(seed=args.seed))
     _, dag = catalog_fn()
     capacity = experiment_capacity(args.experiment, trace)
-    host_counts = tuple(int(h) for h in args.hosts.split(","))
+    host_counts = args.hosts
     outcomes = sweep_hosts(
         dag,
         trace,
@@ -118,6 +151,14 @@ def cmd_timeline(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if len(args.hosts) != 1:
+        print(
+            f"timeline runs one cluster size; --hosts got {len(args.hosts)} "
+            f"values: {','.join(str(h) for h in args.hosts)}",
+            file=sys.stderr,
+        )
+        return 2
+    (num_hosts,) = args.hosts
     configuration = matches[0]
     trace = four_tap_trace(trace_fn(seed=args.seed))
     _, dag = catalog_fn()
@@ -125,15 +166,16 @@ def cmd_timeline(args) -> int:
         dag,
         trace,
         configuration,
-        args.hosts,
+        num_hosts,
         host_capacity=experiment_capacity(args.experiment, trace),
         engine=args.engine,
         streaming=True,
+        record_events=args.events_out is not None,
     )
     result = outcome.result
     print(
         f"experiment {args.experiment}, {configuration.name!r}, "
-        f"{args.hosts} host(s), engine {args.engine}"
+        f"{num_hosts} host(s), engine {args.engine}"
     )
     print(result.summary())
     print(
@@ -142,6 +184,10 @@ def cmd_timeline(args) -> int:
     )
     print()
     print(result.timeline.render(result.aggregator))
+    if args.events_out is not None:
+        with open(args.events_out, "w") as handle:
+            count = outcome.simulator.metrics.dump_events(handle)
+        print(f"\n{count} events written to {args.events_out}")
     return 0
 
 
@@ -198,39 +244,36 @@ def build_parser() -> argparse.ArgumentParser:
         description="Query-aware stream partitioning toolkit (Johnson et al., 2008)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
+    simulation_flags = _simulation_flags()
 
     figures = commands.add_parser(
-        "figures", help="regenerate one paper experiment's figures"
+        "figures",
+        help="regenerate one paper experiment's figures",
+        parents=[simulation_flags],
     )
     figures.add_argument("--experiment", type=int, choices=(1, 2, 3), required=True)
-    figures.add_argument("--hosts", default="1,2,3,4", help="comma-separated sizes")
-    figures.add_argument("--seed", type=int, default=7)
-    figures.add_argument(
-        "--engine",
-        choices=("row", "columnar"),
-        default="columnar",
-        help="execution backend (identical results; columnar is faster)",
-    )
     figures.add_argument(
         "--streaming",
         action="store_true",
         help="execute epoch by epoch (identical figures, bounded memory)",
     )
-    figures.set_defaults(func=cmd_figures)
+    figures.set_defaults(func=cmd_figures, hosts=(1, 2, 3, 4))
 
     timeline = commands.add_parser(
-        "timeline", help="per-epoch series from a streaming run"
+        "timeline",
+        help="per-epoch series from a streaming run",
+        parents=[simulation_flags],
     )
     timeline.add_argument("--experiment", type=int, choices=(1, 2, 3), required=True)
     timeline.add_argument(
         "--config", required=True, help="configuration name (substring match)"
     )
-    timeline.add_argument("--hosts", type=int, default=4)
-    timeline.add_argument("--seed", type=int, default=7)
     timeline.add_argument(
-        "--engine", choices=("row", "columnar"), default="columnar"
+        "--events-out",
+        default=None,
+        help="write the run's JSON-lines event trace to this path",
     )
-    timeline.set_defaults(func=cmd_timeline)
+    timeline.set_defaults(func=cmd_timeline, hosts=(4,))
 
     analyze = commands.add_parser(
         "analyze", help="choose a partitioning for a GSQL script"

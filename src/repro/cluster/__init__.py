@@ -4,7 +4,7 @@ from .balance import BalanceReport, compare_balance, partition_balance
 from .costs import CAPACITY_PER_TUPLE_BUDGET, DEFAULT_COSTS, CostTable, default_capacity
 from .host import Host
 from .network import NetworkMeter
-from .simulator import ClusterSimulator, SimulationResult
+from .simulator import ClusterSimulator, SimulationResult, Timeline
 from .splitter import HashSplitter, RoundRobinSplitter, Splitter, partition_histogram
 
 __all__ = [
@@ -21,6 +21,7 @@ __all__ = [
     "RoundRobinSplitter",
     "SimulationResult",
     "Splitter",
+    "Timeline",
     "default_capacity",
     "partition_histogram",
 ]

@@ -1,164 +1,45 @@
-"""The cluster simulator: runs a distributed plan over a packet trace.
+"""The cluster simulator: a thin facade over the layered runtime.
 
 Replaces the paper's live 4-host Gigascope cluster.  The simulator is
 deterministic: it executes every physical operator of a
 :class:`~repro.distopt.plan_ir.DistributedPlan` with real row semantics,
 while charging CPU cost units to hosts and counting tuples that cross host
 boundaries — the two quantities the paper's evaluation figures report.
+
+The actual machinery lives in :mod:`repro.runtime`:
+
+* an :class:`~repro.runtime.backend.EngineBackend` compiles plan nodes
+  into operators (row vs. columnar resolved once, at compile time);
+* an :class:`~repro.runtime.session.ExecutionSession` drives the unified
+  epoch loop (one-shot execution is the single-epoch degenerate case);
+* a :class:`~repro.runtime.metrics.MetricsRecorder` owns every counter
+  and assembles the per-epoch :class:`~repro.runtime.metrics.Timeline`.
+
+This module keeps the stable public surface: ``ClusterSimulator`` with
+``run``/``run_streaming``, plus re-exported ``SimulationResult``,
+``Timeline``, and ``ENGINES``.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence
 
-from ..distopt.plan_ir import DistKind, DistNode, DistributedPlan, Variant
-from ..engine.aggregates import states_width
-from ..engine.columnar import (
-    ColumnarMergeOp,
-    ColumnBatch,
-    build_columnar_operator,
-    ensure_columns,
-    ensure_rows,
-)
-from ..engine.operators import Batch, MergeOp, NullPadOp, build_operator
-from ..engine.streaming import (
-    StatelessStreamingNode,
-    StreamingAggregate,
-    StreamingJoin,
-    StreamingNode,
-    Watermark,
-    ColumnBuffer,
-    RowBuffer,
-    mapped_watermark,
-    merge_watermarks,
-    unknown_watermark,
-)
-from ..expr.evaluator import compile_expr
-from ..expr.expressions import Attr
-from ..expr.vectorizer import UnsupportedExpression, vectorize_expr
-from ..gsql.analyzer import NodeKind
+from ..distopt.plan_ir import DistributedPlan
 from ..plan.dag import QueryDag
-from ..traces.generator import slice_by_epoch
+from ..runtime.backend import ENGINES, create_backend
+from ..runtime.metrics import MetricsRecorder, Timeline
+from ..runtime.session import ExecutionSession, SimulationResult
 from .costs import DEFAULT_COSTS, CostTable, default_capacity
 from .host import Host
 from .network import NetworkMeter
 from .splitter import Splitter
 
-ENGINES = ("row", "columnar")
-
-Link = Tuple[int, int]
-
-
-@dataclass
-class Timeline:
-    """Per-epoch metric series collected by a streaming run.
-
-    ``epochs`` holds the epoch-key values in execution order; every
-    series has one entry per epoch.  Flush work (buffers drained after
-    the last epoch) is folded into the final bucket, so each series sums
-    to the corresponding run total.
-    """
-
-    epochs: List[object]
-    host_cpu: List[List[float]]  # [host index][epoch index] -> cpu units
-    link_tuples: Dict[Link, List[int]]
-    link_bytes: Dict[Link, List[float]]
-
-    @property
-    def num_epochs(self) -> int:
-        return len(self.epochs)
-
-    def host_cpu_series(self, host: int) -> List[float]:
-        return self.host_cpu[host]
-
-    def tuples_received_series(self, host: int) -> List[int]:
-        """Tuples arriving at ``host`` over the LAN, per epoch."""
-        series = [0] * len(self.epochs)
-        for (_, dst), counts in self.link_tuples.items():
-            if dst == host:
-                series = [total + c for total, c in zip(series, counts)]
-        return series
-
-    def render(self, aggregator: int) -> str:
-        """A terminal table: per-epoch CPU per host and aggregator traffic."""
-        hosts = range(len(self.host_cpu))
-        header = "epoch".rjust(8) + "".join(
-            f"{f'cpu[h{h}]':>12}" for h in hosts
-        ) + f"{'agg recv':>12}"
-        lines = [header]
-        received = self.tuples_received_series(aggregator)
-        for index, epoch in enumerate(self.epochs):
-            cells = "".join(
-                f"{self.host_cpu[h][index]:12.1f}" for h in hosts
-            )
-            lines.append(f"{epoch!s:>8}{cells}{received[index]:12d}")
-        return "\n".join(lines)
-
-
-@dataclass
-class SimulationResult:
-    """Everything one run produces: loads, traffic, and query outputs."""
-
-    hosts: List[Host]
-    network: NetworkMeter
-    outputs: Dict[str, Batch]
-    duration_sec: float
-    aggregator: int
-    splitter_description: str = ""
-    node_output_counts: Dict[str, int] = field(default_factory=dict)
-    # Streaming-mode extras: per-epoch series and the largest batch that
-    # was ever resident at a node boundary.  None for one-shot runs.
-    timeline: Optional[Timeline] = None
-    peak_batch_rows: Optional[int] = None
-
-    # -- the paper's metrics -------------------------------------------------
-
-    def cpu_load(self, host: int) -> float:
-        return self.hosts[host].load_percent(self.duration_sec)
-
-    def aggregator_cpu_load(self) -> float:
-        """Figure 8/10/13 metric: CPU load on the aggregator node (%)."""
-        return self.cpu_load(self.aggregator)
-
-    def aggregator_network_load(self) -> float:
-        """Figure 9/11/14 metric: packets/sec received by the aggregator."""
-        return self.network.tuples_per_sec(self.aggregator, self.duration_sec)
-
-    def leaf_cpu_loads(self) -> List[float]:
-        """Per-host loads for the non-aggregator hosts."""
-        return [
-            self.cpu_load(host.index)
-            for host in self.hosts
-            if host.index != self.aggregator
-        ]
-
-    def mean_leaf_cpu_load(self) -> float:
-        """Average load across the non-aggregator hosts — the §6.1
-        leaf-load series.  On a single-host cluster the one host plays
-        both roles, so its load is reported."""
-        loads = self.leaf_cpu_loads()
-        if not loads:
-            return self.cpu_load(self.aggregator)
-        return sum(loads) / len(loads)
-
-    def mean_host_cpu_load(self) -> float:
-        """Average load across *all* hosts, aggregator included.  For the
-        paper's leaf-only series use :meth:`mean_leaf_cpu_load`."""
-        loads = [self.cpu_load(host.index) for host in self.hosts]
-        return sum(loads) / len(loads)
-
-    def summary(self) -> str:
-        lines = [f"duration {self.duration_sec:.0f}s, splitter: {self.splitter_description}"]
-        for host in self.hosts:
-            role = "aggregator" if host.index == self.aggregator else "leaf"
-            net = self.network.tuples_per_sec(host.index, self.duration_sec)
-            lines.append(
-                f"host {host.index} ({role}): CPU {self.cpu_load(host.index):6.1f}%  "
-                f"net {net:10.1f} tuples/s"
-            )
-        return "\n".join(lines)
+__all__ = [
+    "ENGINES",
+    "ClusterSimulator",
+    "SimulationResult",
+    "Timeline",
+]
 
 
 class ClusterSimulator:
@@ -172,6 +53,7 @@ class ClusterSimulator:
         costs: CostTable = DEFAULT_COSTS,
         host_capacity: Optional[float] = None,
         engine: str = "row",
+        record_events: bool = False,
     ):
         """``stream_rate`` is the total input rate in tuples/second; the
         default host capacity derives from it (see costs.py) so loads are
@@ -179,28 +61,27 @@ class ClusterSimulator:
 
         ``engine`` selects the execution backend: ``"row"`` (dict tuples,
         the reference semantics) or ``"columnar"`` (NumPy batch kernels;
-        nodes without a vectorized kernel — joins, NULLPAD — transparently
-        fall back to the row operator).  Both backends produce identical
-        outputs and identical CPU/network accounting; the cost model
-        charges simulated per-tuple work, not wall-clock time.
+        nodes without a vectorized kernel — joins, NULLPAD — are resolved
+        to the row operator at plan-compile time).  Both backends produce
+        identical outputs and identical CPU/network accounting; the cost
+        model charges simulated per-tuple work, not wall-clock time.
+
+        With ``record_events`` the metrics recorder keeps a structured
+        event trace (see :meth:`MetricsRecorder.dump_events`).
         """
         if engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
-        self._dag = dag
-        self._plan = plan
-        self._costs = costs
         self._engine = engine
         capacity = host_capacity if host_capacity is not None else default_capacity(
             stream_rate
         )
         self._hosts = [Host(i, capacity) for i in range(plan.num_hosts)]
-        self._width_cache: Dict[str, float] = {}
-        # Built operators are cached per (kind, query, variant, pad side):
-        # the plan instantiates one OP per host for the same query node, and
-        # every run re-executes them all — without the cache each execution
-        # re-ran build_operator, recompiling every expression.
-        self._row_operators: Dict[tuple, object] = {}
-        self._columnar_operators: Dict[tuple, object] = {}
+        self._recorder = MetricsRecorder(
+            self._hosts, NetworkMeter(), costs, record_events=record_events
+        )
+        self._session = ExecutionSession(
+            dag, plan, create_backend(engine, dag), self._recorder
+        )
 
     @property
     def engine(self) -> str:
@@ -210,6 +91,14 @@ class ClusterSimulator:
     def hosts(self) -> List[Host]:
         return self._hosts
 
+    @property
+    def session(self) -> ExecutionSession:
+        return self._session
+
+    @property
+    def metrics(self) -> MetricsRecorder:
+        return self._recorder
+
     def run(
         self,
         source_rows: Mapping[str, Sequence[dict]],
@@ -217,30 +106,7 @@ class ClusterSimulator:
         duration_sec: float,
     ) -> SimulationResult:
         """Split the trace, execute the plan, and collect metrics."""
-        for host in self._hosts:
-            host.reset()
-        network = NetworkMeter()
-        partitions = self._split_sources(source_rows, splitter)
-        outputs: Dict[str, Batch] = {}
-        counts: Dict[str, int] = {}
-        for node in self._plan.topological():
-            batch = self._execute_node(node, outputs, partitions, network)
-            outputs[node.node_id] = batch
-            counts[node.node_id] = len(batch)
-        # Delivered outputs are always row batches, whichever backend ran.
-        delivered = {
-            name: ensure_rows(outputs[node_id])
-            for name, node_id in self._plan.delivery.items()
-        }
-        return SimulationResult(
-            hosts=self._hosts,
-            network=network,
-            outputs=delivered,
-            duration_sec=duration_sec,
-            aggregator=self._plan.aggregator,
-            splitter_description=splitter.describe(),
-            node_output_counts=counts,
-        )
+        return self._session.execute(source_rows, splitter, duration_sec)
 
     def run_streaming(
         self,
@@ -264,398 +130,10 @@ class ClusterSimulator:
         splitting to reproduce the one-shot assignment (generated traces
         are); hash splitting is order-independent.
         """
-        for host in self._hosts:
-            host.reset()
-        network = NetworkMeter()
-        self._check_splitter(splitter)
-        columnar = self._engine == "columnar"
-        slices: Dict[str, Dict[object, Batch]] = {}
-        for stream, rows in source_rows.items():
-            batch = ensure_columns(rows) if columnar else ensure_rows(rows)
-            slices[stream] = dict(slice_by_epoch(batch, epoch_column))
-        epochs = sorted(
-            {epoch for per_stream in slices.values() for epoch in per_stream}
+        return self._session.execute(
+            source_rows,
+            splitter,
+            duration_sec,
+            streaming=True,
+            epoch_column=epoch_column,
         )
-        order = self._plan.topological()
-        streaming_nodes: Dict[str, StreamingNode] = {}
-        watermarks: Dict[str, Watermark] = {}
-        delivered: Dict[str, Batch] = {
-            name: [] for name in self._plan.delivery
-        }
-        counts: Dict[str, int] = {node.node_id: 0 for node in order}
-        offsets: Dict[str, int] = {stream: 0 for stream in slices}
-        peak = 0
-        # One step per epoch, plus a final flush draining every buffer
-        # (its charges fold into the last epoch's bucket).
-        for index in range(len(epochs) + 1):
-            flush = index == len(epochs)
-            if flush:
-                next_bound: object = math.inf
-                partitions = {
-                    stream: self._empty_partitions() for stream in slices
-                }
-            else:
-                epoch = epochs[index]
-                next_bound = (
-                    epochs[index + 1] if index + 1 < len(epochs) else math.inf
-                )
-                for host in self._hosts:
-                    host.begin_epoch()
-                network.begin_epoch()
-                partitions = {}
-                for stream, per_epoch in slices.items():
-                    piece = per_epoch.get(epoch)
-                    if piece is None or len(piece) == 0:
-                        partitions[stream] = self._empty_partitions()
-                        continue
-                    peak = max(peak, len(piece))
-                    partitions[stream] = self._split_step(
-                        piece, splitter, offsets[stream]
-                    )
-                    offsets[stream] += len(piece)
-            step_outputs: Dict[str, Batch] = {}
-            for node in order:
-                batch = self._execute_streaming_node(
-                    node,
-                    step_outputs,
-                    partitions,
-                    network,
-                    watermarks,
-                    streaming_nodes,
-                    next_bound,
-                    flush,
-                    epoch_column,
-                )
-                step_outputs[node.node_id] = batch
-                counts[node.node_id] += len(batch)
-                peak = max(peak, len(batch))
-            for snode in streaming_nodes.values():
-                peak = max(peak, snode.buffered_rows())
-            for name, node_id in self._plan.delivery.items():
-                delivered[name].extend(ensure_rows(step_outputs[node_id]))
-        return SimulationResult(
-            hosts=self._hosts,
-            network=network,
-            outputs=delivered,
-            duration_sec=duration_sec,
-            aggregator=self._plan.aggregator,
-            splitter_description=splitter.describe(),
-            node_output_counts=counts,
-            timeline=self._build_timeline(epochs, network),
-            peak_batch_rows=peak,
-        )
-
-    # -- internals --------------------------------------------------------------
-
-    def _check_splitter(self, splitter: Splitter) -> None:
-        if splitter.num_partitions != self._plan.num_partitions:
-            raise ValueError(
-                f"splitter produces {splitter.num_partitions} partitions but the "
-                f"plan expects {self._plan.num_partitions}"
-            )
-
-    def _split_sources(
-        self, source_rows: Mapping[str, Sequence[dict]], splitter: Splitter
-    ) -> Dict[str, List[Batch]]:
-        self._check_splitter(splitter)
-        return {
-            stream: self._split_step(rows, splitter, 0)
-            for stream, rows in source_rows.items()
-        }
-
-    def _split_step(self, rows, splitter: Splitter, offset: int) -> List[Batch]:
-        """Partition one batch (vectorized when possible), continuing any
-        stateful splitter cursor at ``offset``."""
-        if self._engine != "columnar":
-            return splitter.split(ensure_rows(rows), offset=offset)
-        batch = ensure_columns(rows)
-        try:
-            return splitter.split_columns(batch, offset=offset)
-        except UnsupportedExpression:
-            return [
-                ColumnBatch.from_rows(part)
-                for part in splitter.split(ensure_rows(rows), offset=offset)
-            ]
-
-    def _empty_partitions(self) -> List[Batch]:
-        if self._engine == "columnar":
-            return [ColumnBatch({}, 0) for _ in range(self._plan.num_partitions)]
-        return [[] for _ in range(self._plan.num_partitions)]
-
-    def _build_timeline(self, epochs: List[object], network: NetworkMeter) -> Timeline:
-        link_tuples: Dict[Link, List[int]] = {}
-        link_bytes: Dict[Link, List[float]] = {}
-        for link in network.link_tuples:
-            link_tuples[link] = [
-                bucket.get(link, 0) for bucket in network.epoch_link_tuples
-            ]
-            link_bytes[link] = [
-                bucket.get(link, 0.0) for bucket in network.epoch_link_bytes
-            ]
-        return Timeline(
-            epochs=list(epochs),
-            host_cpu=[list(host.epoch_cpu) for host in self._hosts],
-            link_tuples=link_tuples,
-            link_bytes=link_bytes,
-        )
-
-    def _execute_node(
-        self,
-        node: DistNode,
-        outputs: Dict[str, Batch],
-        partitions: Dict[str, List[Batch]],
-        network: NetworkMeter,
-    ) -> Batch:
-        costs = self._costs
-        host = self._hosts[node.host]
-        if node.kind is DistKind.SOURCE:
-            (partition,) = node.partitions
-            batch = partitions[node.stream][partition]
-            # NIC delivery of the partition to its host.
-            host.charge(len(batch) * costs.receive_local, "ingest")
-            return batch
-        input_batches = self._ingest_inputs(node, outputs, network)
-        result = self._apply(node, input_batches)
-        self._charge_processing(node, input_batches, result, host)
-        return result
-
-    def _ingest_inputs(
-        self,
-        node: DistNode,
-        outputs: Dict[str, Batch],
-        network: NetworkMeter,
-    ) -> List[Batch]:
-        """Collect a node's inputs, charging by origin and metering the
-        network — identical for one-shot and streaming steps."""
-        costs = self._costs
-        host = self._hosts[node.host]
-        input_batches: List[Batch] = []
-        for child_id in node.inputs:
-            child = self._plan.node(child_id)
-            batch = outputs[child_id]
-            count = len(batch)
-            if child.host != node.host:
-                width = self._output_width(child)
-                network.record(child.host, node.host, count, width)
-                self._hosts[child.host].charge(count * costs.send_remote, "send")
-                host.charge(count * costs.receive_remote, "ingest-remote")
-            else:
-                host.charge(count * costs.receive_local, "ingest")
-            input_batches.append(batch)
-        return input_batches
-
-    def _execute_streaming_node(
-        self,
-        node: DistNode,
-        step_outputs: Dict[str, Batch],
-        partitions: Dict[str, List[Batch]],
-        network: NetworkMeter,
-        watermarks: Dict[str, Watermark],
-        streaming_nodes: Dict[str, StreamingNode],
-        next_bound: object,
-        flush: bool,
-        epoch_column: str,
-    ) -> Batch:
-        costs = self._costs
-        host = self._hosts[node.host]
-        if node.kind is DistKind.SOURCE:
-            (partition,) = node.partitions
-            batch = partitions[node.stream][partition]
-            host.charge(len(batch) * costs.receive_local, "ingest")
-            # Every later step carries strictly later epochs (inf once the
-            # trace is fully delivered).
-            watermarks[node.node_id] = {epoch_column: next_bound}
-            return batch
-        input_batches = self._ingest_inputs(node, step_outputs, network)
-        snode = streaming_nodes.get(node.node_id)
-        if snode is None:
-            snode = self._build_streaming_node(node)
-            streaming_nodes[node.node_id] = snode
-        input_watermarks = [watermarks[child_id] for child_id in node.inputs]
-        result, watermark = snode.step(input_batches, input_watermarks, flush)
-        watermarks[node.node_id] = watermark
-        self._charge_processing(node, input_batches, result, host)
-        return result
-
-    def _build_streaming_node(self, node: DistNode) -> StreamingNode:
-        columnar = self._engine == "columnar"
-        if node.kind is DistKind.MERGE:
-            operator = (
-                self._columnar_operator(node) if columnar else self._row_operator(node)
-            )
-            return StatelessStreamingNode(operator, merge_watermarks, columnar)
-        if node.kind is DistKind.NULLPAD:
-            # NULLPAD has no vectorized kernel and its padding decision is
-            # join-local, so its temporal bound is not derivable: unknown
-            # watermark, everything downstream drains at the flush.
-            return StatelessStreamingNode(
-                self._row_operator(node), unknown_watermark, False
-            )
-        analyzed = self._dag.node(node.query)
-        if analyzed.kind is NodeKind.JOIN:
-            return StreamingJoin(self._row_operator(node), analyzed)
-        if analyzed.kind is NodeKind.AGGREGATION:
-            return self._build_streaming_aggregate(node, analyzed)
-        operator = self._columnar_operator(node) if columnar else None
-        use_columnar = operator is not None
-        if operator is None:
-            operator = self._row_operator(node)
-        if analyzed.kind is NodeKind.SELECTION:
-            outputs = list(
-                zip((c.name for c in analyzed.columns), analyzed.select_exprs)
-            )
-            return StatelessStreamingNode(
-                operator, mapped_watermark(outputs), use_columnar
-            )
-        if analyzed.kind is NodeKind.UNION:
-            return StatelessStreamingNode(operator, merge_watermarks, use_columnar)
-        raise ValueError(f"unexpected node kind {analyzed.kind!r}")
-
-    def _build_streaming_aggregate(self, node: DistNode, analyzed) -> StreamingNode:
-        # The first temporal group-by column gates release: its value over
-        # the *input* rows is the buffer's temporal key.  SUPER inputs are
-        # partial rows that already carry the column by name; FULL/SUB
-        # evaluate the group-by expression over raw input.
-        temporal = next((g for g in analyzed.group_by if g.is_temporal), None)
-        if temporal is None:
-            filter_expr = None
-        elif node.variant is Variant.SUPER:
-            filter_expr = Attr(temporal.name)
-        else:
-            filter_expr = temporal.expr
-        if node.variant is Variant.SUB:
-            # Sub-aggregates emit group-by columns plus opaque partial
-            # states; only the group-by columns carry bounds.
-            outputs = [(g.name, Attr(g.name)) for g in analyzed.group_by]
-        else:
-            outputs = list(
-                zip((c.name for c in analyzed.columns), analyzed.select_exprs)
-            )
-        operator = (
-            self._columnar_operator(node) if self._engine == "columnar" else None
-        )
-        use_columnar = operator is not None
-        key_fn = None
-        if use_columnar and filter_expr is not None:
-            try:
-                key_fn = vectorize_expr(filter_expr)
-            except UnsupportedExpression:
-                use_columnar = False
-        if use_columnar:
-            buffer = ColumnBuffer(key_fn)
-        else:
-            operator = self._row_operator(node)
-            buffer = RowBuffer(
-                compile_expr(filter_expr) if filter_expr is not None else None
-            )
-        return StreamingAggregate(
-            operator,
-            buffer,
-            temporal.name if temporal is not None else None,
-            filter_expr,
-            outputs,
-            use_columnar,
-        )
-
-    def _apply(self, node: DistNode, inputs: List[Batch]) -> Batch:
-        if self._engine == "columnar":
-            operator = self._columnar_operator(node)
-            if operator is not None:
-                return operator.process(*(ensure_columns(b) for b in inputs))
-            # Row fallback for this node (e.g. a join): convert at the edge.
-            inputs = [ensure_rows(b) for b in inputs]
-        return self._row_operator(node).process(*inputs)
-
-    def _operator_key(self, node: DistNode) -> tuple:
-        return (node.kind, node.query, node.variant, node.pad_side)
-
-    def _row_operator(self, node: DistNode):
-        key = self._operator_key(node)
-        operator = self._row_operators.get(key)
-        if operator is None:
-            if node.kind is DistKind.MERGE:
-                operator = MergeOp()
-            elif node.kind is DistKind.NULLPAD:
-                operator = NullPadOp(self._dag.node(node.query), node.pad_side)
-            else:
-                operator = build_operator(
-                    self._dag.node(node.query), node.variant.value
-                )
-            self._row_operators[key] = operator
-        return operator
-
-    def _columnar_operator(self, node: DistNode):
-        """The cached vectorized operator, or None for row fallback."""
-        key = self._operator_key(node)
-        if key in self._columnar_operators:
-            return self._columnar_operators[key]
-        if node.kind is DistKind.MERGE:
-            operator = ColumnarMergeOp()
-        elif node.kind is DistKind.NULLPAD:
-            operator = None  # outer-join padding reuses the row join projection
-        else:
-            operator = build_columnar_operator(
-                self._dag.node(node.query), node.variant.value
-            )
-        self._columnar_operators[key] = operator
-        return operator
-
-    def _charge_processing(
-        self, node: DistNode, inputs: List[Batch], result: Batch, host: Host
-    ) -> None:
-        costs = self._costs
-        n_in = sum(len(batch) for batch in inputs)
-        n_out = len(result)
-        if node.kind is DistKind.MERGE:
-            host.charge(n_in * costs.merge, "merge")
-            return
-        if node.kind is DistKind.NULLPAD:
-            host.charge(n_in * costs.selection + n_out * costs.emit, "nullpad")
-            return
-        analyzed = self._dag.node(node.query)
-        if analyzed.kind is NodeKind.SELECTION:
-            host.charge(n_in * costs.selection + n_out * costs.emit, "selection")
-        elif analyzed.kind is NodeKind.AGGREGATION:
-            if node.variant is Variant.SUPER:
-                host.charge(
-                    n_in * costs.super_merge + n_out * costs.emit, "super-aggregate"
-                )
-            else:
-                category = (
-                    "sub-aggregate" if node.variant is Variant.SUB else "aggregate"
-                )
-                host.charge(
-                    n_in * costs.aggregate_update + n_out * costs.emit, category
-                )
-        elif analyzed.kind is NodeKind.JOIN:
-            host.charge(n_in * costs.join_probe + n_out * costs.emit, "join")
-        elif analyzed.kind is NodeKind.UNION:
-            host.charge(n_in * costs.merge, "union")
-        else:
-            raise ValueError(f"unexpected node kind {analyzed.kind!r}")
-
-    def _output_width(self, node: DistNode) -> float:
-        """Approximate bytes per tuple of a dist node's output stream."""
-        cached = self._width_cache.get(node.node_id)
-        if cached is not None:
-            return cached
-        width = self._compute_width(node)
-        self._width_cache[node.node_id] = width
-        return width
-
-    def _compute_width(self, node: DistNode) -> float:
-        if node.kind is DistKind.SOURCE:
-            return float(self._source_width(node.stream))
-        if node.kind is DistKind.MERGE:
-            widths = [self._output_width(self._plan.node(c)) for c in node.inputs]
-            return max(widths) if widths else 0.0
-        analyzed = self._dag.node(node.query)
-        if node.kind is DistKind.NULLPAD:
-            return float(analyzed.schema.tuple_width())
-        if node.variant is Variant.SUB:
-            gb_width = sum(g.ctype.width for g in analyzed.group_by)
-            return float(gb_width + states_width(analyzed.aggregates))
-        return float(analyzed.schema.tuple_width())
-
-    def _source_width(self, stream: str) -> int:
-        return self._dag.node(stream).schema.tuple_width()

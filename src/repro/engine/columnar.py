@@ -27,7 +27,7 @@ the per-row Python tuples the row engine's SUPER operator expects.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 

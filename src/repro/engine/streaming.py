@@ -39,8 +39,8 @@ from ..expr.evaluator import compile_expr
 from ..expr.expressions import Attr, Binary, Const, ScalarExpr
 from ..expr.vectorizer import materialize
 from ..gsql.analyzer import AnalyzedNode
-from .columnar import ColumnBatch, ensure_columns, ensure_rows
-from .operators import Batch, JoinOp, Row
+from .columnar import ColumnBatch
+from .operators import Batch, Row
 
 Number = Union[int, float]
 #: Maps column name -> inclusive lower bound on that column in all rows
@@ -204,7 +204,13 @@ class ColumnBuffer:
 
 
 class StreamingNode:
-    """One distributed-plan node kept alive across epoch steps."""
+    """One distributed-plan node kept alive across epoch steps.
+
+    Wrappers take a *compiled* operator — any object exposing the
+    :class:`~repro.runtime.backend.CompiledOperator` surface (``process``,
+    ``coerce``, ``empty``, ``columnar``) — so the row-vs-columnar choice
+    is fixed before the node ever sees a batch.
+    """
 
     def step(
         self,
@@ -225,10 +231,6 @@ class StreamingNode:
         return 0
 
 
-def _coerce(batch, columnar: bool):
-    return ensure_columns(batch) if columnar else ensure_rows(batch)
-
-
 class StatelessStreamingNode(StreamingNode):
     """Row-wise node: run the pure operator on each step's batch as-is."""
 
@@ -236,15 +238,12 @@ class StatelessStreamingNode(StreamingNode):
         self,
         operator,
         watermark_fn: Callable[[Sequence[Watermark]], Watermark],
-        columnar: bool = False,
     ):
         self._operator = operator
         self._watermark_fn = watermark_fn
-        self._columnar = columnar
 
     def step(self, inputs, watermarks, flush):
-        batches = [_coerce(batch, self._columnar) for batch in inputs]
-        return self._operator.process(*batches), self._watermark_fn(watermarks)
+        return self._operator.process(*inputs), self._watermark_fn(watermarks)
 
 
 class StreamingAggregate(StreamingNode):
@@ -265,21 +264,19 @@ class StreamingAggregate(StreamingNode):
         temporal_name: Optional[str],
         temporal_expr: Optional[ScalarExpr],
         outputs: Sequence[Tuple[str, ScalarExpr]],
-        columnar: bool = False,
     ):
         self._operator = operator
         self._buffer = buffer
         self._temporal_name = temporal_name
         self._temporal_expr = temporal_expr
         self._outputs = list(outputs)
-        self._columnar = columnar
 
     def buffered_rows(self) -> int:
         return len(self._buffer)
 
     def step(self, inputs, watermarks, flush):
         (batch,) = inputs
-        self._buffer.add(_coerce(batch, self._columnar))
+        self._buffer.add(self._operator.coerce(batch))
         if flush:
             return self._operator.process(self._buffer.drain()), {}
         if self._temporal_expr is None:
@@ -299,9 +296,7 @@ class StreamingAggregate(StreamingNode):
         return self._operator.process(ready), watermark
 
     def _empty(self):
-        if self._columnar:
-            return self._operator.process(ColumnBatch({}, 0))
-        return []
+        return self._operator.empty()
 
 
 class StreamingJoin(StreamingNode):
@@ -315,7 +310,7 @@ class StreamingJoin(StreamingNode):
     roots, and anything downstream drains at the flush.
     """
 
-    def __init__(self, operator: JoinOp, node: AnalyzedNode):
+    def __init__(self, operator, node: AnalyzedNode):
         equality = next((eq for eq in node.equalities if eq.temporal), None)
         self._operator = operator
         self._left_expr = equality.left if equality is not None else None
@@ -333,7 +328,7 @@ class StreamingJoin(StreamingNode):
         return len(self._left) + len(self._right)
 
     def step(self, inputs, watermarks, flush):
-        left_in, right_in = (ensure_rows(batch) for batch in inputs)
+        left_in, right_in = (self._operator.coerce(batch) for batch in inputs)
         self._left.add(left_in)
         self._right.add(right_in)
         if flush:

@@ -66,7 +66,7 @@ class Parser:
     def parse_script(self) -> List[object]:
         """Parse a whole script: a mix of DEFINE and bare query statements."""
         statements: List[object] = []
-        while not self._peek().kind is TokenKind.EOF:
+        while self._peek().kind is not TokenKind.EOF:
             statements.append(self.parse_statement())
             while self._peek().is_op(";"):
                 self._advance()

@@ -1,0 +1,46 @@
+"""The layered execution runtime.
+
+Three layers, each with one responsibility:
+
+* :mod:`repro.runtime.backend` — engine backends.  An
+  :class:`~repro.runtime.backend.EngineBackend` compiles plan nodes into
+  :class:`~repro.runtime.backend.CompiledOperator` objects, deciding
+  *once per node* (at plan-compile time) whether the node runs on the
+  vectorized columnar kernel or the reference row operator.
+* :mod:`repro.runtime.session` — the unified epoch driver.
+  :class:`~repro.runtime.session.ExecutionSession` executes a distributed
+  plan one epoch at a time; a one-shot run is the degenerate single-epoch
+  case, so splitting, ingest, watermark flushing, and cost charging exist
+  in exactly one loop.
+* :mod:`repro.runtime.metrics` — the observability spine.
+  :class:`~repro.runtime.metrics.MetricsRecorder` owns every per-host,
+  per-link, per-epoch, and per-node counter, assembles the
+  :class:`~repro.runtime.metrics.Timeline`, and can emit a JSON-lines
+  event trace for offline inspection.
+
+:class:`~repro.cluster.simulator.ClusterSimulator` remains the
+backwards-compatible facade over these layers.
+"""
+
+from .backend import (
+    ColumnarBackend,
+    CompiledOperator,
+    EngineBackend,
+    RowBackend,
+    create_backend,
+)
+from .metrics import MetricsRecorder, NodeStats, Timeline
+from .session import ExecutionSession, SimulationResult
+
+__all__ = [
+    "ColumnarBackend",
+    "CompiledOperator",
+    "EngineBackend",
+    "ExecutionSession",
+    "MetricsRecorder",
+    "NodeStats",
+    "RowBackend",
+    "SimulationResult",
+    "Timeline",
+    "create_backend",
+]

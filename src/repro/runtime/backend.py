@@ -1,0 +1,303 @@
+"""Engine backends: plan nodes compiled to operators, once, up front.
+
+An :class:`EngineBackend` turns every :class:`~repro.distopt.plan_ir.DistNode`
+into a :class:`CompiledOperator` — the operator object bound to the input
+representation it expects.  The decision which representation a node runs
+on (vectorized columnar kernel vs. reference row operator) is made *here,
+at plan-compile time*: :meth:`ColumnarBackend.compile_node` resolves nodes
+without a vectorized kernel (joins, NULLPAD, unregistered UDAFs,
+un-lowerable expressions) to the row operator once, so the execution loop
+never re-checks capability per batch.
+
+Backends also own the operator cache (a plan instantiates one copy per
+host of the same logical operator) and the construction of the stateful
+:class:`~repro.engine.streaming.StreamingNode` wrappers, which need the
+same capability decisions for their buffers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from ..distopt.plan_ir import DistKind, DistNode, Variant
+from ..engine.columnar import (
+    ColumnarMergeOp,
+    ColumnBatch,
+    build_columnar_operator,
+    ensure_columns,
+    ensure_rows,
+)
+from ..engine.operators import Batch, MergeOp, NullPadOp, build_operator
+from ..engine.streaming import (
+    ColumnBuffer,
+    RowBuffer,
+    StatelessStreamingNode,
+    StreamingAggregate,
+    StreamingJoin,
+    StreamingNode,
+    mapped_watermark,
+    merge_watermarks,
+    unknown_watermark,
+)
+from ..expr.evaluator import compile_expr
+from ..expr.expressions import Attr, ScalarExpr
+from ..expr.vectorizer import UnsupportedExpression, vectorize_expr
+from ..gsql.analyzer import NodeKind
+from ..plan.dag import QueryDag
+
+if TYPE_CHECKING:
+    from ..cluster.splitter import Splitter
+
+ENGINES = ("row", "columnar")
+
+
+class CompiledOperator:
+    """One plan node's operator, bound to its input representation.
+
+    ``columnar`` records the backend's compile-time choice; ``process``
+    only coerces inputs to that fixed representation — there is no
+    per-batch capability check or fallback left to make.
+    """
+
+    __slots__ = ("operator", "columnar")
+
+    def __init__(self, operator, columnar: bool):
+        self.operator = operator
+        self.columnar = columnar
+
+    def coerce(self, batch) -> Batch:
+        """Convert a batch to this operator's input representation."""
+        return ensure_columns(batch) if self.columnar else ensure_rows(batch)
+
+    def process(self, *inputs) -> Batch:
+        return self.operator.process(*(self.coerce(batch) for batch in inputs))
+
+    def empty(self) -> Batch:
+        """An empty output batch (columnar kernels emit typed columns)."""
+        if self.columnar:
+            return self.operator.process(ColumnBatch({}, 0))
+        return []
+
+
+def _operator_key(node: DistNode) -> tuple:
+    return (node.kind, node.query, node.variant, node.pad_side)
+
+
+class EngineBackend:
+    """Compiles plan nodes for one execution engine.
+
+    The protocol an :class:`~repro.runtime.session.ExecutionSession`
+    drives:
+
+    * :meth:`compile_node` — the node's :class:`CompiledOperator`, cached
+      per ``(kind, query, variant, pad_side)``;
+    * :meth:`supports` — whether the node runs on this backend's *native*
+      representation (False means it was resolved to a row fallback);
+    * :meth:`streaming_node` — a fresh stateful wrapper for epoch-driven
+      execution (one per run, state lives across epochs);
+    * :meth:`prepare` / :meth:`split` / :meth:`empty_partitions` — source
+      batches in the backend's canonical representation.
+    """
+
+    name: str
+
+    def __init__(self, dag: QueryDag):
+        self._dag = dag
+        self._cache: Dict[tuple, CompiledOperator] = {}
+
+    # -- compilation ----------------------------------------------------------
+
+    def compile_node(self, node: DistNode) -> CompiledOperator:
+        key = _operator_key(node)
+        compiled = self._cache.get(key)
+        if compiled is None:
+            compiled = self._compile(node)
+            self._cache[key] = compiled
+        return compiled
+
+    @property
+    def cached_operators(self) -> Dict[tuple, CompiledOperator]:
+        """The compile cache, keyed by ``(kind, query, variant, pad_side)``
+        — one entry per *logical* operator, shared by every host's copy."""
+        return self._cache
+
+    def supports(self, node: DistNode) -> bool:
+        raise NotImplementedError
+
+    def _compile(self, node: DistNode) -> CompiledOperator:
+        raise NotImplementedError
+
+    # -- batch representation -------------------------------------------------
+
+    def prepare(self, rows) -> Batch:
+        """Coerce source data to the backend's canonical batch form."""
+        raise NotImplementedError
+
+    def split(self, batch, splitter: "Splitter", offset: int) -> List[Batch]:
+        """Partition one batch, continuing a stateful cursor at ``offset``."""
+        raise NotImplementedError
+
+    def empty_partitions(self, count: int) -> List[Batch]:
+        raise NotImplementedError
+
+    # -- streaming-node construction ------------------------------------------
+
+    def streaming_node(self, node: DistNode) -> StreamingNode:
+        """A fresh stateful wrapper for ``node`` (buffers start empty)."""
+        compiled = self.compile_node(node)
+        if node.kind is DistKind.MERGE:
+            return StatelessStreamingNode(compiled, merge_watermarks)
+        if node.kind is DistKind.NULLPAD:
+            # NULLPAD's padding decision is join-local, so its temporal
+            # bound is not derivable: unknown watermark, everything
+            # downstream drains at the flush.
+            return StatelessStreamingNode(compiled, unknown_watermark)
+        analyzed = self._dag.node(node.query)
+        if analyzed.kind is NodeKind.JOIN:
+            return StreamingJoin(compiled, analyzed)
+        if analyzed.kind is NodeKind.AGGREGATION:
+            return self._streaming_aggregate(node, analyzed)
+        if analyzed.kind is NodeKind.SELECTION:
+            outputs = list(
+                zip((c.name for c in analyzed.columns), analyzed.select_exprs)
+            )
+            return StatelessStreamingNode(compiled, mapped_watermark(outputs))
+        if analyzed.kind is NodeKind.UNION:
+            return StatelessStreamingNode(compiled, merge_watermarks)
+        raise ValueError(f"unexpected node kind {analyzed.kind!r}")
+
+    def _streaming_aggregate(self, node: DistNode, analyzed) -> StreamingNode:
+        # The first temporal group-by column gates release: its value over
+        # the *input* rows is the buffer's temporal key.  SUPER inputs are
+        # partial rows that already carry the column by name; FULL/SUB
+        # evaluate the group-by expression over raw input.
+        temporal = next((g for g in analyzed.group_by if g.is_temporal), None)
+        if temporal is None:
+            filter_expr = None
+        elif node.variant is Variant.SUPER:
+            filter_expr = Attr(temporal.name)
+        else:
+            filter_expr = temporal.expr
+        if node.variant is Variant.SUB:
+            # Sub-aggregates emit group-by columns plus opaque partial
+            # states; only the group-by columns carry bounds.
+            outputs = [(g.name, Attr(g.name)) for g in analyzed.group_by]
+        else:
+            outputs = list(
+                zip((c.name for c in analyzed.columns), analyzed.select_exprs)
+            )
+        compiled, buffer = self._aggregate_parts(node, filter_expr)
+        return StreamingAggregate(
+            compiled,
+            buffer,
+            temporal.name if temporal is not None else None,
+            filter_expr,
+            outputs,
+        )
+
+    def _aggregate_parts(self, node: DistNode, filter_expr: Optional[ScalarExpr]):
+        """The (compiled operator, buffer) pair for a streaming aggregate."""
+        raise NotImplementedError
+
+
+class RowBackend(EngineBackend):
+    """The reference engine: one Python dict per tuple."""
+
+    name = "row"
+
+    def supports(self, node: DistNode) -> bool:
+        return True
+
+    def _compile(self, node: DistNode) -> CompiledOperator:
+        if node.kind is DistKind.MERGE:
+            operator = MergeOp()
+        elif node.kind is DistKind.NULLPAD:
+            operator = NullPadOp(self._dag.node(node.query), node.pad_side)
+        else:
+            operator = build_operator(self._dag.node(node.query), node.variant.value)
+        return CompiledOperator(operator, columnar=False)
+
+    def prepare(self, rows) -> Batch:
+        return ensure_rows(rows)
+
+    def split(self, batch, splitter: "Splitter", offset: int) -> List[Batch]:
+        return splitter.split(ensure_rows(batch), offset=offset)
+
+    def empty_partitions(self, count: int) -> List[Batch]:
+        return [[] for _ in range(count)]
+
+    def _aggregate_parts(self, node: DistNode, filter_expr: Optional[ScalarExpr]):
+        key_fn = compile_expr(filter_expr) if filter_expr is not None else None
+        return self.compile_node(node), RowBuffer(key_fn)
+
+
+class ColumnarBackend(EngineBackend):
+    """NumPy batch kernels, with row fallback resolved at compile time.
+
+    Coverage is per node, not per plan: nodes without a vectorized kernel
+    compile to the shared :class:`RowBackend`'s operator, so the two
+    engines execute the same plan topology with the same per-node tuple
+    counts and representation conversion happens only at the edges of
+    fallback nodes.
+    """
+
+    name = "columnar"
+
+    def __init__(self, dag: QueryDag):
+        super().__init__(dag)
+        self._row = RowBackend(dag)
+
+    def supports(self, node: DistNode) -> bool:
+        return self.compile_node(node).columnar
+
+    def _compile(self, node: DistNode) -> CompiledOperator:
+        if node.kind is DistKind.MERGE:
+            return CompiledOperator(ColumnarMergeOp(), columnar=True)
+        if node.kind is DistKind.NULLPAD:
+            # Outer-join padding reuses the row join projection.
+            return self._row.compile_node(node)
+        operator = build_columnar_operator(
+            self._dag.node(node.query), node.variant.value
+        )
+        if operator is None:
+            return self._row.compile_node(node)
+        return CompiledOperator(operator, columnar=True)
+
+    def prepare(self, rows) -> Batch:
+        return ensure_columns(rows)
+
+    def split(self, batch, splitter: "Splitter", offset: int) -> List[Batch]:
+        columns = ensure_columns(batch)
+        try:
+            return splitter.split_columns(columns, offset=offset)
+        except UnsupportedExpression:
+            return [
+                ColumnBatch.from_rows(part)
+                for part in splitter.split(ensure_rows(batch), offset=offset)
+            ]
+
+    def empty_partitions(self, count: int) -> List[Batch]:
+        return [ColumnBatch({}, 0) for _ in range(count)]
+
+    def _aggregate_parts(self, node: DistNode, filter_expr: Optional[ScalarExpr]):
+        compiled = self.compile_node(node)
+        key_fn: Optional[Callable] = None
+        if compiled.columnar and filter_expr is not None:
+            try:
+                key_fn = vectorize_expr(filter_expr)
+            except UnsupportedExpression:
+                # The temporal key cannot be extracted vectorized: the
+                # whole node downgrades to the row operator + row buffer.
+                compiled = self._row.compile_node(node)
+        if compiled.columnar:
+            return compiled, ColumnBuffer(key_fn)
+        return self._row._aggregate_parts(node, filter_expr)
+
+
+def create_backend(engine: str, dag: QueryDag) -> EngineBackend:
+    """Backend for an engine name (``"row"`` or ``"columnar"``)."""
+    if engine == "row":
+        return RowBackend(dag)
+    if engine == "columnar":
+        return ColumnarBackend(dag)
+    raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")

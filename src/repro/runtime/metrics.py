@@ -1,0 +1,268 @@
+"""The observability spine: every counter one run produces, in one place.
+
+:class:`MetricsRecorder` owns the accounting that execution emits — CPU
+cost-unit charges per host, tuples/bytes per network link, per-epoch
+buckets, and per-node rows/bytes/wall-time counters — and assembles the
+per-epoch :class:`Timeline` after a streaming run.  The
+:class:`~repro.cluster.host.Host` and
+:class:`~repro.cluster.network.NetworkMeter` objects remain the stores
+(results expose them directly, and their numbers are byte-identical to
+the pre-runtime layout); the recorder is the single writer that
+coordinates them.
+
+With ``record_events=True`` the recorder additionally keeps a structured
+event trace (one dict per epoch boundary / node step / link transfer)
+that :meth:`MetricsRecorder.dump_events` writes as JSON lines for
+offline inspection.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from ..distopt.plan_ir import DistKind, DistNode, Variant
+from ..gsql.analyzer import NodeKind
+
+if TYPE_CHECKING:
+    from ..cluster.costs import CostTable
+    from ..cluster.host import Host
+    from ..cluster.network import NetworkMeter
+
+Link = Tuple[int, int]
+
+#: Event-trace phase label for the final buffer-draining step.
+FLUSH_PHASE = "flush"
+
+
+@dataclass
+class Timeline:
+    """Per-epoch metric series collected by a streaming run.
+
+    ``epochs`` holds the epoch-key values in execution order; every
+    series has one entry per epoch.  Flush work (buffers drained after
+    the last epoch) is folded into the final bucket, so each series sums
+    to the corresponding run total.
+    """
+
+    epochs: List[object]
+    host_cpu: List[List[float]]  # [host index][epoch index] -> cpu units
+    link_tuples: Dict[Link, List[int]]
+    link_bytes: Dict[Link, List[float]]
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self.epochs)
+
+    def host_cpu_series(self, host: int) -> List[float]:
+        return self.host_cpu[host]
+
+    def tuples_received_series(self, host: int) -> List[int]:
+        """Tuples arriving at ``host`` over the LAN, per epoch."""
+        series = [0] * len(self.epochs)
+        for (_, dst), counts in self.link_tuples.items():
+            if dst == host:
+                series = [total + c for total, c in zip(series, counts)]
+        return series
+
+    def render(self, aggregator: int) -> str:
+        """A terminal table: per-epoch CPU per host and aggregator traffic."""
+        hosts = range(len(self.host_cpu))
+        header = "epoch".rjust(8) + "".join(
+            f"{f'cpu[h{h}]':>12}" for h in hosts
+        ) + f"{'agg recv':>12}"
+        lines = [header]
+        received = self.tuples_received_series(aggregator)
+        for index, epoch in enumerate(self.epochs):
+            cells = "".join(
+                f"{self.host_cpu[h][index]:12.1f}" for h in hosts
+            )
+            lines.append(f"{epoch!s:>8}{cells}{received[index]:12d}")
+        return "\n".join(lines)
+
+
+@dataclass
+class NodeStats:
+    """Cumulative per-node execution counters (all epochs of one run)."""
+
+    rows_in: int = 0
+    rows_out: int = 0
+    bytes_out: float = 0.0
+    wall_seconds: float = 0.0
+    steps: int = 0
+
+
+class MetricsRecorder:
+    """Single writer for all host, network, epoch, and node accounting."""
+
+    def __init__(
+        self,
+        hosts: List["Host"],
+        network: "NetworkMeter",
+        costs: "CostTable",
+        record_events: bool = False,
+    ):
+        self.hosts = hosts
+        self.network = network
+        self.costs = costs
+        self.record_events = record_events
+        self.node_stats: Dict[str, NodeStats] = {}
+        self.events: List[dict] = []
+        self._phase: object = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every counter; a session calls this at the top of a run."""
+        for host in self.hosts:
+            host.reset()
+        self.network.reset()
+        self.node_stats.clear()
+        self.events.clear()
+        self._phase = None
+
+    def begin_epoch(self, epoch: object) -> None:
+        """Open a per-epoch bucket on every host and the network meter."""
+        self._phase = epoch
+        for host in self.hosts:
+            host.begin_epoch()
+        self.network.begin_epoch()
+        if self.record_events:
+            self.events.append({"event": "epoch", "epoch": epoch})
+
+    def begin_flush(self) -> None:
+        """Mark the flush step.  No new bucket: flush work folds into the
+        last epoch's bucket, keeping every series summing to run totals."""
+        self._phase = FLUSH_PHASE
+        if self.record_events:
+            self.events.append({"event": "epoch", "epoch": FLUSH_PHASE})
+
+    # -- charging primitives ---------------------------------------------------
+
+    def charge(self, host: int, units: float, category: str) -> None:
+        self.hosts[host].charge(units, category)
+
+    def record_transfer(
+        self, src_host: int, dst_host: int, tuples: int, width: float
+    ) -> None:
+        """Meter ``tuples`` rows of ``width`` bytes crossing src -> dst,
+        charging the serialization/deserialization overhead to both ends."""
+        self.network.record(src_host, dst_host, tuples, width)
+        self.charge(src_host, tuples * self.costs.send_remote, "send")
+        self.charge(dst_host, tuples * self.costs.receive_remote, "ingest-remote")
+        if self.record_events and tuples:
+            self.events.append(
+                {
+                    "event": "transfer",
+                    "epoch": self._phase,
+                    "src": src_host,
+                    "dst": dst_host,
+                    "tuples": tuples,
+                    "bytes": tuples * width,
+                }
+            )
+
+    def charge_local_ingest(self, host: int, tuples: int) -> None:
+        self.charge(host, tuples * self.costs.receive_local, "ingest")
+
+    def charge_processing(
+        self,
+        node: DistNode,
+        analyzed_kind: Optional[NodeKind],
+        rows_in: int,
+        rows_out: int,
+    ) -> None:
+        """Attribute one node step's operator work to its host.
+
+        ``analyzed_kind`` is the analyzed query-node kind for OP nodes and
+        None for the purely physical MERGE/NULLPAD nodes.
+        """
+        costs = self.costs
+        host = self.hosts[node.host]
+        if node.kind is DistKind.MERGE:
+            host.charge(rows_in * costs.merge, "merge")
+            return
+        if node.kind is DistKind.NULLPAD:
+            host.charge(rows_in * costs.selection + rows_out * costs.emit, "nullpad")
+            return
+        if analyzed_kind is NodeKind.SELECTION:
+            host.charge(
+                rows_in * costs.selection + rows_out * costs.emit, "selection"
+            )
+        elif analyzed_kind is NodeKind.AGGREGATION:
+            if node.variant is Variant.SUPER:
+                host.charge(
+                    rows_in * costs.super_merge + rows_out * costs.emit,
+                    "super-aggregate",
+                )
+            else:
+                category = (
+                    "sub-aggregate" if node.variant is Variant.SUB else "aggregate"
+                )
+                host.charge(
+                    rows_in * costs.aggregate_update + rows_out * costs.emit,
+                    category,
+                )
+        elif analyzed_kind is NodeKind.JOIN:
+            host.charge(rows_in * costs.join_probe + rows_out * costs.emit, "join")
+        elif analyzed_kind is NodeKind.UNION:
+            host.charge(rows_in * costs.merge, "union")
+        else:
+            raise ValueError(f"unexpected node kind {analyzed_kind!r}")
+
+    # -- per-node counters -----------------------------------------------------
+
+    def record_node_step(
+        self,
+        node_id: str,
+        rows_in: int,
+        rows_out: int,
+        width: float,
+        wall_seconds: float,
+    ) -> None:
+        stats = self.node_stats.get(node_id)
+        if stats is None:
+            stats = self.node_stats[node_id] = NodeStats()
+        stats.rows_in += rows_in
+        stats.rows_out += rows_out
+        stats.bytes_out += rows_out * width
+        stats.wall_seconds += wall_seconds
+        stats.steps += 1
+        if self.record_events:
+            self.events.append(
+                {
+                    "event": "node",
+                    "epoch": self._phase,
+                    "node": node_id,
+                    "rows_in": rows_in,
+                    "rows_out": rows_out,
+                    "wall_us": round(wall_seconds * 1e6, 3),
+                }
+            )
+
+    # -- assembly --------------------------------------------------------------
+
+    def build_timeline(self, epochs: List[object]) -> Timeline:
+        """Fold the hosts' and meter's epoch buckets into per-link series."""
+        link_tuples: Dict[Link, List[int]] = {}
+        link_bytes: Dict[Link, List[float]] = {}
+        for link in self.network.link_tuples:
+            link_tuples[link] = [
+                bucket.get(link, 0) for bucket in self.network.epoch_link_tuples
+            ]
+            link_bytes[link] = [
+                bucket.get(link, 0.0) for bucket in self.network.epoch_link_bytes
+            ]
+        return Timeline(
+            epochs=list(epochs),
+            host_cpu=[list(host.epoch_cpu) for host in self.hosts],
+            link_tuples=link_tuples,
+            link_bytes=link_bytes,
+        )
+
+    def dump_events(self, handle) -> int:
+        """Write the recorded event trace as JSON lines; returns the count."""
+        for event in self.events:
+            handle.write(json.dumps(event, default=str) + "\n")
+        return len(self.events)

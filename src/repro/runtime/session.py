@@ -1,0 +1,341 @@
+"""The unified epoch driver: one loop for one-shot and streaming runs.
+
+:class:`ExecutionSession` executes a :class:`~repro.distopt.plan_ir.DistributedPlan`
+over source batches, always epoch by epoch: a streaming run slices the
+sources on the temporal column and steps once per epoch (plus a final
+flush draining every buffer), while a one-shot run is the *degenerate
+single-epoch case* — the whole trace is one slice whose watermark jumps
+straight to infinity, so every buffer drains in the first step and the
+flush is a no-op.  Splitting, ingest, watermark plumbing, and cost
+charging therefore exist in exactly one place, and future backpressure or
+fault-injection hooks have a single loop to instrument.
+
+Operators come pre-compiled from the :class:`~repro.runtime.backend.EngineBackend`
+(row/columnar resolution happens at session construction, never per
+batch); all accounting flows through the
+:class:`~repro.runtime.metrics.MetricsRecorder`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, TYPE_CHECKING
+
+from ..distopt.plan_ir import DistKind, DistNode, DistributedPlan, Variant
+from ..engine.aggregates import states_width
+from ..engine.columnar import ensure_rows
+from ..engine.operators import Batch
+from ..engine.streaming import StreamingNode, Watermark
+from ..plan.dag import QueryDag
+from ..traces.generator import slice_by_epoch
+from .backend import EngineBackend
+from .metrics import MetricsRecorder, Timeline
+
+if TYPE_CHECKING:
+    from ..cluster.host import Host
+    from ..cluster.network import NetworkMeter
+    from ..cluster.splitter import Splitter
+
+#: Epoch key of the single slice a one-shot run pushes through the loop.
+_WHOLE_TRACE = object()
+
+
+@dataclass
+class SimulationResult:
+    """Everything one run produces: loads, traffic, and query outputs."""
+
+    hosts: List["Host"]
+    network: "NetworkMeter"
+    outputs: Dict[str, Batch]
+    duration_sec: float
+    aggregator: int
+    splitter_description: str = ""
+    node_output_counts: Dict[str, int] = field(default_factory=dict)
+    # Streaming-mode extras: per-epoch series and the largest batch that
+    # was ever resident at a node boundary.  None for one-shot runs.
+    timeline: Optional[Timeline] = None
+    peak_batch_rows: Optional[int] = None
+    # Per-node observability counters from the MetricsRecorder.
+    node_stats: Dict[str, object] = field(default_factory=dict)
+
+    # -- the paper's metrics -------------------------------------------------
+
+    def cpu_load(self, host: int) -> float:
+        return self.hosts[host].load_percent(self.duration_sec)
+
+    def aggregator_cpu_load(self) -> float:
+        """Figure 8/10/13 metric: CPU load on the aggregator node (%)."""
+        return self.cpu_load(self.aggregator)
+
+    def aggregator_network_load(self) -> float:
+        """Figure 9/11/14 metric: packets/sec received by the aggregator."""
+        return self.network.tuples_per_sec(self.aggregator, self.duration_sec)
+
+    def leaf_cpu_loads(self) -> List[float]:
+        """Per-host loads for the non-aggregator hosts."""
+        return [
+            self.cpu_load(host.index)
+            for host in self.hosts
+            if host.index != self.aggregator
+        ]
+
+    def mean_leaf_cpu_load(self) -> float:
+        """Average load across the non-aggregator hosts — the §6.1
+        leaf-load series.  On a single-host cluster the one host plays
+        both roles, so its load is reported."""
+        loads = self.leaf_cpu_loads()
+        if not loads:
+            return self.cpu_load(self.aggregator)
+        return sum(loads) / len(loads)
+
+    def mean_host_cpu_load(self) -> float:
+        """Average load across *all* hosts, aggregator included.  For the
+        paper's leaf-only series use :meth:`mean_leaf_cpu_load`."""
+        loads = [self.cpu_load(host.index) for host in self.hosts]
+        return sum(loads) / len(loads)
+
+    def summary(self) -> str:
+        lines = [f"duration {self.duration_sec:.0f}s, splitter: {self.splitter_description}"]
+        for host in self.hosts:
+            role = "aggregator" if host.index == self.aggregator else "leaf"
+            net = self.network.tuples_per_sec(host.index, self.duration_sec)
+            lines.append(
+                f"host {host.index} ({role}): CPU {self.cpu_load(host.index):6.1f}%  "
+                f"net {net:10.1f} tuples/s"
+            )
+        return "\n".join(lines)
+
+
+class ExecutionSession:
+    """Drives a compiled plan over source batches, epoch by epoch."""
+
+    def __init__(
+        self,
+        dag: QueryDag,
+        plan: DistributedPlan,
+        backend: EngineBackend,
+        recorder: MetricsRecorder,
+    ):
+        self._dag = dag
+        self._plan = plan
+        self._backend = backend
+        self._recorder = recorder
+        self._width_cache: Dict[str, float] = {}
+        # Compile every live plan node up front: row-vs-columnar fallback
+        # is decided here, once, never in the execution loop.
+        for node in plan.topological():
+            if node.kind is not DistKind.SOURCE:
+                backend.compile_node(node)
+
+    @property
+    def backend(self) -> EngineBackend:
+        return self._backend
+
+    @property
+    def recorder(self) -> MetricsRecorder:
+        return self._recorder
+
+    def execute(
+        self,
+        source_rows: Mapping[str, Sequence[dict]],
+        splitter: "Splitter",
+        duration_sec: float,
+        streaming: bool = False,
+        epoch_column: str = "time",
+    ) -> SimulationResult:
+        """Split, execute, and meter the plan; one epoch per step.
+
+        With ``streaming`` each source is sliced by ``epoch_column`` and
+        per-epoch accounting buckets feed a :class:`Timeline`; without it
+        the whole trace forms a single slice and no buckets open, so the
+        result carries totals only (``timeline``/``peak_batch_rows`` stay
+        None).  Either way a final flush step drains every buffer.
+        """
+        self._check_splitter(splitter)
+        recorder = self._recorder
+        backend = self._backend
+        recorder.reset()
+        prepared = {
+            stream: backend.prepare(rows) for stream, rows in source_rows.items()
+        }
+        if streaming:
+            slices: Dict[str, Dict[object, Batch]] = {
+                stream: dict(slice_by_epoch(batch, epoch_column))
+                for stream, batch in prepared.items()
+            }
+            epochs: List[object] = sorted(
+                {epoch for per_stream in slices.values() for epoch in per_stream}
+            )
+        else:
+            slices = {
+                stream: {_WHOLE_TRACE: batch}
+                for stream, batch in prepared.items()
+            }
+            epochs = [_WHOLE_TRACE]
+        order = self._plan.topological()
+        # Streaming wrappers hold buffers across steps: fresh per run.
+        streaming_nodes: Dict[str, StreamingNode] = {
+            node.node_id: backend.streaming_node(node)
+            for node in order
+            if node.kind is not DistKind.SOURCE
+        }
+        watermarks: Dict[str, Watermark] = {}
+        delivered: Dict[str, Batch] = {name: [] for name in self._plan.delivery}
+        counts: Dict[str, int] = {node.node_id: 0 for node in order}
+        offsets: Dict[str, int] = {stream: 0 for stream in slices}
+        num_partitions = self._plan.num_partitions
+        peak = 0
+        # One step per epoch, plus a final flush draining every buffer
+        # (its charges fold into the last epoch's bucket).
+        for index in range(len(epochs) + 1):
+            flush = index == len(epochs)
+            if flush:
+                recorder.begin_flush()
+                next_bound: object = math.inf
+                partitions = {
+                    stream: backend.empty_partitions(num_partitions)
+                    for stream in slices
+                }
+            else:
+                epoch = epochs[index]
+                next_bound = (
+                    epochs[index + 1] if index + 1 < len(epochs) else math.inf
+                )
+                if streaming:
+                    recorder.begin_epoch(epoch)
+                partitions = {}
+                for stream, per_epoch in slices.items():
+                    piece = per_epoch.get(epoch)
+                    if piece is None or len(piece) == 0:
+                        partitions[stream] = backend.empty_partitions(num_partitions)
+                        continue
+                    peak = max(peak, len(piece))
+                    partitions[stream] = backend.split(
+                        piece, splitter, offsets[stream]
+                    )
+                    offsets[stream] += len(piece)
+            step_outputs: Dict[str, Batch] = {}
+            for node in order:
+                batch = self._step_node(
+                    node,
+                    streaming_nodes,
+                    step_outputs,
+                    partitions,
+                    watermarks,
+                    next_bound,
+                    flush,
+                    epoch_column,
+                )
+                step_outputs[node.node_id] = batch
+                counts[node.node_id] += len(batch)
+                peak = max(peak, len(batch))
+            for snode in streaming_nodes.values():
+                peak = max(peak, snode.buffered_rows())
+            for name, node_id in self._plan.delivery.items():
+                delivered[name].extend(ensure_rows(step_outputs[node_id]))
+        return SimulationResult(
+            hosts=recorder.hosts,
+            network=recorder.network,
+            outputs=delivered,
+            duration_sec=duration_sec,
+            aggregator=self._plan.aggregator,
+            splitter_description=splitter.describe(),
+            node_output_counts=counts,
+            timeline=recorder.build_timeline(epochs) if streaming else None,
+            peak_batch_rows=peak if streaming else None,
+            node_stats=dict(recorder.node_stats),
+        )
+
+    # -- internals --------------------------------------------------------------
+
+    def _check_splitter(self, splitter: "Splitter") -> None:
+        if splitter.num_partitions != self._plan.num_partitions:
+            raise ValueError(
+                f"splitter produces {splitter.num_partitions} partitions but the "
+                f"plan expects {self._plan.num_partitions}"
+            )
+
+    def _step_node(
+        self,
+        node: DistNode,
+        streaming_nodes: Dict[str, StreamingNode],
+        step_outputs: Dict[str, Batch],
+        partitions: Dict[str, List[Batch]],
+        watermarks: Dict[str, Watermark],
+        next_bound: object,
+        flush: bool,
+        epoch_column: str,
+    ) -> Batch:
+        recorder = self._recorder
+        if node.kind is DistKind.SOURCE:
+            (partition,) = node.partitions
+            batch = partitions[node.stream][partition]
+            # NIC delivery of the partition to its host.
+            recorder.charge_local_ingest(node.host, len(batch))
+            # Every later step carries strictly later epochs (inf once the
+            # trace is fully delivered).
+            watermarks[node.node_id] = {epoch_column: next_bound}
+            return batch
+        inputs = self._ingest_inputs(node, step_outputs)
+        snode = streaming_nodes[node.node_id]
+        input_watermarks = [watermarks[child_id] for child_id in node.inputs]
+        started = time.perf_counter()
+        result, watermark = snode.step(inputs, input_watermarks, flush)
+        wall = time.perf_counter() - started
+        watermarks[node.node_id] = watermark
+        rows_in = sum(len(batch) for batch in inputs)
+        analyzed_kind = (
+            self._dag.node(node.query).kind if node.kind is DistKind.OP else None
+        )
+        recorder.charge_processing(node, analyzed_kind, rows_in, len(result))
+        recorder.record_node_step(
+            node.node_id, rows_in, len(result), self._output_width(node), wall
+        )
+        return result
+
+    def _ingest_inputs(
+        self, node: DistNode, step_outputs: Dict[str, Batch]
+    ) -> List[Batch]:
+        """Collect a node's inputs, charging by origin and metering the
+        network — identical for one-shot and streaming steps."""
+        recorder = self._recorder
+        inputs: List[Batch] = []
+        for child_id in node.inputs:
+            child = self._plan.node(child_id)
+            batch = step_outputs[child_id]
+            count = len(batch)
+            if child.host != node.host:
+                recorder.record_transfer(
+                    child.host, node.host, count, self._output_width(child)
+                )
+            else:
+                recorder.charge_local_ingest(node.host, count)
+            inputs.append(batch)
+        return inputs
+
+    # -- output widths -----------------------------------------------------------
+
+    def _output_width(self, node: DistNode) -> float:
+        """Approximate bytes per tuple of a dist node's output stream."""
+        cached = self._width_cache.get(node.node_id)
+        if cached is not None:
+            return cached
+        width = self._compute_width(node)
+        self._width_cache[node.node_id] = width
+        return width
+
+    def _compute_width(self, node: DistNode) -> float:
+        if node.kind is DistKind.SOURCE:
+            return float(self._dag.node(node.stream).schema.tuple_width())
+        if node.kind is DistKind.MERGE:
+            widths = [self._output_width(self._plan.node(c)) for c in node.inputs]
+            return max(widths) if widths else 0.0
+        analyzed = self._dag.node(node.query)
+        if node.kind is DistKind.NULLPAD:
+            return float(analyzed.schema.tuple_width())
+        if node.variant is Variant.SUB:
+            gb_width = sum(g.ctype.width for g in analyzed.group_by)
+            return float(gb_width + states_width(analyzed.aggregates))
+        return float(analyzed.schema.tuple_width())

@@ -177,6 +177,9 @@ class RunOutcome:
     num_hosts: int
     result: SimulationResult
     plan: DistributedPlan
+    # The simulator that produced the result, for post-run inspection
+    # (metrics recorder, event trace, compiled-operator cache).
+    simulator: Optional[ClusterSimulator] = None
 
     @property
     def aggregator_cpu(self) -> float:
@@ -197,6 +200,7 @@ def run_configuration(
     host_capacity: Optional[float] = None,
     engine: str = "row",
     streaming: bool = False,
+    record_events: bool = False,
 ) -> RunOutcome:
     """Build the distributed plan for one configuration and simulate it.
 
@@ -205,7 +209,9 @@ def run_configuration(
     With ``streaming`` the simulator executes epoch by epoch
     (:meth:`~repro.cluster.simulator.ClusterSimulator.run_streaming`),
     producing identical totals plus a per-epoch
-    :class:`~repro.cluster.simulator.Timeline`.
+    :class:`~repro.cluster.simulator.Timeline`.  ``record_events`` keeps
+    the :class:`~repro.runtime.metrics.MetricsRecorder` event trace for
+    offline inspection (``outcome.simulator.metrics.dump_events``).
     """
     placement = Placement(
         num_hosts=num_hosts,
@@ -224,6 +230,7 @@ def run_configuration(
         costs=costs,
         host_capacity=host_capacity,
         engine=engine,
+        record_events=record_events,
     )
     if engine == "columnar":
         sources = {source.name: trace.column_batch() for source in dag.sources()}
@@ -234,7 +241,7 @@ def run_configuration(
         result = simulator.run_streaming(sources, splitter, trace.duration_sec)
     else:
         result = simulator.run(sources, splitter, trace.duration_sec)
-    return RunOutcome(configuration, num_hosts, result, plan)
+    return RunOutcome(configuration, num_hosts, result, plan, simulator)
 
 
 def sweep_hosts(

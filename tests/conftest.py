@@ -4,7 +4,6 @@ import pytest
 
 from repro.gsql.catalog import Catalog
 from repro.gsql.schema import tcp_schema
-from repro.plan import QueryDag
 from repro.traces import TraceConfig, generate_trace
 from repro.workloads import (
     complex_catalog,

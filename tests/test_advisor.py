@@ -1,6 +1,5 @@
 """The deployment advisor (repro.advisor)."""
 
-import pytest
 
 from repro.advisor import DeploymentAdvisor
 from repro.partitioning import FieldsConstraint, PartitioningSet

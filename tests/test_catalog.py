@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.gsql.catalog import Catalog
 from repro.gsql.errors import (
     DuplicateDefinitionError,
     UnknownStreamError,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster.costs import DEFAULT_COSTS, CostTable, default_capacity
+from repro.cluster.costs import DEFAULT_COSTS, default_capacity
 from repro.cluster.host import Host
 from repro.cluster.network import NetworkMeter
 

@@ -1,7 +1,6 @@
 """Columnar backend unit tests: batches, kernels, splitting, caching."""
 
 import numpy as np
-import pytest
 
 from repro.cluster import ClusterSimulator, HashSplitter, RoundRobinSplitter
 from repro.distopt import DistributedOptimizer, Placement
@@ -188,17 +187,16 @@ class TestOperatorCaching:
         placement = Placement(3, 2)
         plan = DistributedOptimizer(dag, placement, ps).optimize()
         splitter = HashSplitter(placement.num_partitions, ps)
-        for engine, cache_name in (
-            ("row", "_row_operators"),
-            ("columnar", "_columnar_operators"),
-        ):
+        for engine in ("row", "columnar"):
             sim = ClusterSimulator(dag, plan, stream_rate=1000, engine=engine)
-            sim.run({"TCP": tiny_trace.packets}, splitter, duration_sec=10.0)
-            cache = dict(getattr(sim, cache_name))
+            # Compilation is eager: the session resolves every plan node
+            # to a CompiledOperator at construction time.
+            cache = dict(sim.session.backend.cached_operators)
             assert cache, engine
             # distinct (kind, query, variant) keys, far fewer than plan nodes
             assert len(cache) < len(list(plan.topological()))
             sim.run({"TCP": tiny_trace.packets}, splitter, duration_sec=10.0)
-            after = getattr(sim, cache_name)
-            for key, operator in cache.items():
-                assert after[key] is operator, key
+            sim.run({"TCP": tiny_trace.packets}, splitter, duration_sec=10.0)
+            after = sim.session.backend.cached_operators
+            for key, compiled in cache.items():
+                assert after[key] is compiled, key

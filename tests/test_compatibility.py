@@ -3,7 +3,6 @@
 import pytest
 
 from repro.engine import batches_equal, run_centralized
-from repro.gsql.analyzer import NodeKind
 from repro.partitioning import (
     PartitioningSet,
     compatible_set,

@@ -18,11 +18,7 @@ from repro.gsql.catalog import Catalog
 from repro.gsql.schema import tcp_schema
 from repro.partitioning import PartitioningSet
 from repro.plan import QueryDag
-from repro.workloads import (
-    complex_catalog,
-    subnet_jitter_catalog,
-    suspicious_flows_catalog,
-)
+from repro.workloads import complex_catalog
 
 
 def run_distributed(dag, trace_packets, hosts, ps, merge_local=True, deliver=None):

@@ -20,7 +20,7 @@ from repro.expr import (
     reconcile,
     single_attr,
 )
-from repro.expr.expressions import Const, binary, const
+from repro.expr.expressions import binary, const
 
 
 class TestIsFunctionOf:

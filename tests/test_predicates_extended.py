@@ -1,9 +1,8 @@
 """IN lists, BETWEEN ranges, and modulo partitioning expressions."""
 
-import pytest
 
 from repro.engine.operators import SelectionOp
-from repro.expr import evaluate, is_function_of, parse_scalar, reconcile
+from repro.expr import is_function_of, parse_scalar, reconcile
 from repro.gsql import ast_nodes as ast
 from repro.gsql.parser import parse_expression, parse_query
 

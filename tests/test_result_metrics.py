@@ -1,0 +1,102 @@
+"""Direct unit tests for the result-side reporting surface.
+
+:class:`Timeline.render`, :class:`SimulationResult.summary`, and the
+CPU-load helpers are exercised on hand-built hosts/meters/series, so
+their arithmetic and formatting are pinned independently of any
+simulator run.
+"""
+
+import pytest
+
+from repro.cluster.host import Host
+from repro.cluster.network import NetworkMeter
+from repro.runtime import SimulationResult, Timeline
+
+
+def _result(cpu_units, aggregator=0, duration=10.0, capacity=100.0):
+    hosts = [
+        Host(index, capacity, cpu_units=units)
+        for index, units in enumerate(cpu_units)
+    ]
+    network = NetworkMeter()
+    return SimulationResult(
+        hosts=hosts,
+        network=network,
+        outputs={},
+        duration_sec=duration,
+        aggregator=aggregator,
+        splitter_description="hash(srcIP) over 4 partitions",
+    )
+
+
+class TestCpuLoadHelpers:
+    def test_cpu_load_is_percent_of_capacity_seconds(self):
+        # 500 units over 10 s on a 100 units/s host -> 50 %.
+        result = _result([500.0])
+        assert result.cpu_load(0) == pytest.approx(50.0)
+        assert result.aggregator_cpu_load() == pytest.approx(50.0)
+
+    def test_leaf_loads_exclude_the_aggregator(self):
+        result = _result([100.0, 200.0, 400.0], aggregator=1)
+        assert result.leaf_cpu_loads() == pytest.approx([10.0, 40.0])
+
+    def test_mean_leaf_load_averages_non_aggregators(self):
+        result = _result([100.0, 200.0, 400.0], aggregator=1)
+        assert result.mean_leaf_cpu_load() == pytest.approx(25.0)
+
+    def test_mean_leaf_load_single_host_falls_back_to_aggregator(self):
+        # One host plays both roles; its own load is reported.
+        result = _result([300.0])
+        assert result.leaf_cpu_loads() == []
+        assert result.mean_leaf_cpu_load() == pytest.approx(30.0)
+
+    def test_mean_host_load_includes_the_aggregator(self):
+        result = _result([100.0, 200.0, 400.0, 500.0], aggregator=0)
+        assert result.mean_host_cpu_load() == pytest.approx(30.0)
+
+
+class TestSummary:
+    def test_summary_reports_each_host_with_role(self):
+        result = _result([500.0, 100.0], aggregator=0)
+        result.network.record(1, 0, 40, 8.0)
+        lines = result.summary().splitlines()
+        assert "splitter: hash(srcIP) over 4 partitions" in lines[0]
+        assert "host 0 (aggregator)" in lines[1]
+        assert "50.0%" in lines[1]
+        assert "4.0 tuples/s" in lines[1]  # 40 tuples / 10 s
+        assert "host 1 (leaf)" in lines[2]
+        assert "10.0%" in lines[2]
+
+
+class TestTimeline:
+    def _timeline(self):
+        return Timeline(
+            epochs=[3, 4],
+            host_cpu=[[1.5, 2.5], [4.0, 8.0]],
+            link_tuples={(1, 0): [5, 7], (0, 1): [2, 0]},
+            link_bytes={(1, 0): [20.0, 28.0], (0, 1): [8.0, 0.0]},
+        )
+
+    def test_series_accessors(self):
+        timeline = self._timeline()
+        assert timeline.num_epochs == 2
+        assert timeline.host_cpu_series(1) == [4.0, 8.0]
+        # Per-destination sums across incoming links.
+        assert timeline.tuples_received_series(0) == [5, 7]
+        assert timeline.tuples_received_series(1) == [2, 0]
+
+    def test_render_tabulates_epochs_hosts_and_traffic(self):
+        rendered = self._timeline().render(aggregator=0)
+        lines = rendered.splitlines()
+        assert len(lines) == 3  # header + one row per epoch
+        header = lines[0]
+        for column in ("epoch", "cpu[h0]", "cpu[h1]", "agg recv"):
+            assert column in header
+        assert lines[1].split() == ["3", "1.5", "4.0", "5"]
+        assert lines[2].split() == ["4", "2.5", "8.0", "7"]
+
+    def test_render_empty_timeline_is_header_only(self):
+        timeline = Timeline(epochs=[], host_cpu=[[], []], link_tuples={}, link_bytes={})
+        rendered = timeline.render(aggregator=0)
+        assert rendered.splitlines() == [rendered]
+        assert "agg recv" in rendered

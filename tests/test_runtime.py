@@ -1,0 +1,226 @@
+"""The layered runtime: backends, the unified session, and the recorder.
+
+The load-bearing contract: row-vs-columnar resolution happens once, at
+plan-compile time — the execution loop never consults operator-builder
+capability per batch — and every counter flows through the
+MetricsRecorder while staying identical to the facade-era numbers.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster import ClusterSimulator, HashSplitter, RoundRobinSplitter
+from repro.cluster.costs import DEFAULT_COSTS
+from repro.cluster.host import Host
+from repro.cluster.network import NetworkMeter
+from repro.distopt import DistributedOptimizer, Placement
+from repro.distopt.plan_ir import DistKind
+from repro.partitioning import PartitioningSet
+from repro.runtime import backend as backend_module
+from repro.runtime.backend import ColumnarBackend, RowBackend, create_backend
+from repro.runtime.metrics import MetricsRecorder
+
+from tests.test_streaming import assert_same_simulation
+
+
+def _complex_plan(dag, hosts=3, ps=PartitioningSet.of("srcIP")):
+    placement = Placement(hosts, 2)
+    deliver = ["flows", "heavy_flows", "flow_pairs"]
+    plan = DistributedOptimizer(dag, placement, ps, deliver=deliver).optimize()
+    return plan, HashSplitter(placement.num_partitions, ps)
+
+
+def _nodes_by_kind(dag, plan):
+    """Map node-kind labels to one representative dist node each."""
+    picked = {}
+    for node in plan.topological():
+        if node.kind is DistKind.SOURCE:
+            continue
+        if node.kind in (DistKind.MERGE, DistKind.NULLPAD):
+            picked[node.kind.value] = node
+        else:
+            picked[dag.node(node.query).kind.value] = node
+    return picked
+
+
+class TestCompileTimeResolution:
+    def test_columnar_backend_resolves_join_to_row_at_compile(self, complex_dag):
+        plan, _ = _complex_plan(complex_dag)
+        columnar = ColumnarBackend(complex_dag)
+        kinds = _nodes_by_kind(complex_dag, plan)
+        join = kinds["join"]
+        compiled = columnar.compile_node(join)
+        assert compiled.columnar is False
+        assert columnar.supports(join) is False
+        # The fallback shares the row backend's compiled operator.
+        assert compiled is columnar._row.compile_node(join)
+
+    def test_columnar_backend_keeps_native_kernels(self, complex_dag):
+        plan, _ = _complex_plan(complex_dag)
+        columnar = ColumnarBackend(complex_dag)
+        kinds = _nodes_by_kind(complex_dag, plan)
+        for label in ("aggregation", "merge"):
+            assert columnar.supports(kinds[label]) is True, label
+
+    def test_row_backend_supports_everything(self, complex_dag):
+        plan, _ = _complex_plan(complex_dag)
+        row = RowBackend(complex_dag)
+        for node in plan.topological():
+            if node.kind is not DistKind.SOURCE:
+                assert row.supports(node)
+
+    def test_create_backend_rejects_unknown_engine(self, complex_dag):
+        with pytest.raises(ValueError):
+            create_backend("simd", complex_dag)
+
+    @pytest.mark.parametrize("engine", ("row", "columnar"))
+    @pytest.mark.parametrize("streaming", (False, True))
+    def test_no_per_batch_fallback_path_executes(
+        self, engine, streaming, complex_dag, tiny_trace, monkeypatch
+    ):
+        """After session construction, execution never consults the
+        operator builders again: the row-vs-columnar decision is frozen
+        into CompiledOperators at plan-compile time."""
+        plan, splitter = _complex_plan(complex_dag)
+        sim = ClusterSimulator(complex_dag, plan, stream_rate=1000, engine=engine)
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("operator compilation during execution")
+
+        monkeypatch.setattr(backend_module, "build_operator", forbidden)
+        monkeypatch.setattr(backend_module, "build_columnar_operator", forbidden)
+        monkeypatch.setattr(
+            type(sim.session.backend), "supports", forbidden, raising=True
+        )
+        run = sim.run_streaming if streaming else sim.run
+        result = run({"TCP": tiny_trace.packets}, splitter, 10.0)
+        assert set(result.outputs) == {"flows", "heavy_flows", "flow_pairs"}
+        assert sum(result.node_output_counts.values()) > 0
+
+    def test_session_wrappers_share_one_driver(self, complex_dag, tiny_trace):
+        """run()/run_streaming() are wrappers over ExecutionSession.execute;
+        driving the session directly reproduces them exactly."""
+        plan, splitter = _complex_plan(complex_dag)
+        sim = ClusterSimulator(complex_dag, plan, stream_rate=1000)
+        facade = sim.run({"TCP": tiny_trace.packets}, splitter, 10.0)
+        direct = sim.session.execute({"TCP": tiny_trace.packets}, splitter, 10.0)
+        assert_same_simulation(facade, direct)
+
+
+class TestNodeStats:
+    @pytest.fixture(scope="class")
+    def run(self, tiny_trace):
+        from repro.workloads import suspicious_flows_catalog
+
+        _, dag = suspicious_flows_catalog()
+        placement = Placement(3, 2)
+        ps = PartitioningSet.of("srcIP")
+        plan = DistributedOptimizer(dag, placement, ps).optimize()
+        sim = ClusterSimulator(dag, plan, stream_rate=1000, engine="columnar")
+        splitter = HashSplitter(placement.num_partitions, ps)
+        result = sim.run_streaming({"TCP": tiny_trace.packets}, splitter, 10.0)
+        return plan, result
+
+    def test_rows_out_match_output_counts(self, run):
+        plan, result = run
+        for node in plan.topological():
+            if node.kind is DistKind.SOURCE:
+                continue
+            stats = result.node_stats[node.node_id]
+            assert stats.rows_out == result.node_output_counts[node.node_id]
+
+    def test_counters_accumulate_over_steps(self, run):
+        plan, result = run
+        epochs = result.timeline.num_epochs
+        for node_id, stats in result.node_stats.items():
+            assert stats.steps == epochs + 1, node_id  # every epoch + flush
+            assert stats.rows_in >= 0
+            assert stats.bytes_out >= 0.0
+            assert stats.wall_seconds >= 0.0
+
+
+class TestMetricsRecorder:
+    def _recorder(self, hosts=2, **kwargs):
+        return MetricsRecorder(
+            [Host(i, 1000.0) for i in range(hosts)],
+            NetworkMeter(),
+            DEFAULT_COSTS,
+            **kwargs,
+        )
+
+    def test_transfer_meters_and_charges_both_ends(self):
+        recorder = self._recorder()
+        recorder.record_transfer(0, 1, 10, 4.0)
+        assert recorder.network.link_tuples[(0, 1)] == 10
+        assert recorder.network.bytes_received[1] == 40.0
+        assert recorder.hosts[0].by_category == {
+            "send": 10 * DEFAULT_COSTS.send_remote
+        }
+        assert recorder.hosts[1].by_category == {
+            "ingest-remote": 10 * DEFAULT_COSTS.receive_remote
+        }
+
+    def test_reset_zeroes_everything(self):
+        recorder = self._recorder(record_events=True)
+        recorder.begin_epoch(0)
+        recorder.record_transfer(0, 1, 5, 2.0)
+        recorder.record_node_step("n", 5, 3, 2.0, 0.001)
+        recorder.reset()
+        assert recorder.network.total_tuples() == 0
+        assert all(host.cpu_units == 0.0 for host in recorder.hosts)
+        assert recorder.node_stats == {}
+        assert recorder.events == []
+
+    def test_flush_folds_into_last_epoch_bucket(self):
+        recorder = self._recorder()
+        recorder.begin_epoch(0)
+        recorder.charge(0, 1.0, "work")
+        recorder.begin_flush()
+        recorder.charge(0, 2.0, "work")
+        timeline = recorder.build_timeline([0])
+        assert timeline.host_cpu[0] == [3.0]
+
+    def test_unexpected_kind_rejected(self, complex_dag):
+        plan, _ = _complex_plan(complex_dag)
+        recorder = self._recorder(hosts=3)
+        op_node = next(
+            n for n in plan.topological() if n.kind is DistKind.OP
+        )
+        with pytest.raises(ValueError):
+            recorder.charge_processing(op_node, None, 1, 1)
+
+    def test_event_trace_is_json_lines(self, suspicious_dag, tiny_trace, tmp_path):
+        placement = Placement(2, 2)
+        plan = DistributedOptimizer(suspicious_dag, placement, None).optimize()
+        sim = ClusterSimulator(
+            suspicious_dag, plan, stream_rate=1000, record_events=True
+        )
+        sim.run_streaming(
+            {"TCP": tiny_trace.packets},
+            RoundRobinSplitter(placement.num_partitions),
+            10.0,
+        )
+        path = tmp_path / "events.jsonl"
+        with open(path, "w") as handle:
+            count = sim.metrics.dump_events(handle)
+        lines = path.read_text().splitlines()
+        assert len(lines) == count > 0
+        events = [json.loads(line) for line in lines]
+        kinds = {event["event"] for event in events}
+        assert kinds == {"epoch", "node", "transfer"}
+        # Every node step is attributed to an epoch (or the flush phase).
+        node_events = [e for e in events if e["event"] == "node"]
+        assert node_events and all("epoch" in e for e in node_events)
+        assert any(e["epoch"] == "flush" for e in events)
+
+    def test_events_off_by_default(self, suspicious_dag, tiny_trace):
+        placement = Placement(2, 2)
+        plan = DistributedOptimizer(suspicious_dag, placement, None).optimize()
+        sim = ClusterSimulator(suspicious_dag, plan, stream_rate=1000)
+        sim.run_streaming(
+            {"TCP": tiny_trace.packets},
+            RoundRobinSplitter(placement.num_partitions),
+            10.0,
+        )
+        assert sim.metrics.events == []

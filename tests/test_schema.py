@@ -14,7 +14,6 @@ from repro.gsql.types import (
     BOOL,
     FLOAT,
     IP,
-    TIME,
     UINT,
     UINT8,
     UINT16,

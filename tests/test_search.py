@@ -1,6 +1,5 @@
 """The §4.2.2 dynamic-programming search for an optimal partitioning set."""
 
-import pytest
 
 from repro.partitioning import (
     CostModel,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.traces import (
     ATTACK_PATTERN,
-    TraceConfig,
     generate_trace,
     load_trace,
     save_trace,

@@ -1,6 +1,5 @@
 """The partition-aware distributed optimizer (§5): plan shapes per rule."""
 
-import pytest
 
 from repro.distopt import DistributedOptimizer, Placement, render_plan
 from repro.distopt.plan_ir import DistKind, Variant
