@@ -118,6 +118,35 @@ def test_streaming_simulation_throughput(benchmark, trace, engine):
     assert result.timeline is not None and result.timeline.num_epochs > 0
 
 
+@pytest.mark.parametrize("engine", ENGINES)
+def test_streaming_bounded_queue_throughput(benchmark, trace, engine):
+    """Streaming through bounded drop-newest ingest queues under overload.
+
+    The budget sits well below the per-host offered rate, so the queue
+    admission/shedding path (take_prefix splits, drop accounting) runs on
+    every epoch — this benchmark tracks its overhead.
+    """
+    from repro.cluster import ClusterSimulator, QueuePolicy
+    from repro.distopt import DistributedOptimizer, Placement
+
+    _, dag = suspicious_flows_catalog()
+    placement = Placement(2, 2)
+    ps = PartitioningSet.of("srcIP")
+    plan = DistributedOptimizer(dag, placement, ps).optimize()
+    sim = ClusterSimulator(dag, plan, stream_rate=trace.rate, engine=engine)
+    splitter = HashSplitter(placement.num_partitions, ps)
+    sources = {
+        "TCP": trace.column_batch() if engine == "columnar" else trace.packets
+    }
+    policy = QueuePolicy(int(trace.rate) // 4, "drop-newest")
+    result = benchmark(
+        sim.run_streaming, sources, splitter, trace.duration_sec,
+        queue_policy=policy,
+    )
+    assert sum(s.total_dropped for s in result.flow_stats.values()) > 0
+    assert all(s.conserves() for s in result.flow_stats.values())
+
+
 def _best_of(fn, *args, repeats=5):
     best = float("inf")
     for _ in range(repeats):

@@ -25,6 +25,7 @@ from typing import List, Optional
 
 from .distopt import DistributedOptimizer, Placement, render_plan
 from .gsql.catalog import Catalog
+from .runtime.flowcontrol import BLOCK, QUEUE_MODES, Fault, FaultPlan, QueuePolicy
 from .gsql.schema import tcp_schema
 from .partitioning import FieldsConstraint, PartitioningSet, choose_partitioning
 from .plan import QueryDag
@@ -85,6 +86,14 @@ def _host_list(text: str) -> tuple:
             f"(e.g. '1,2,4'), got {text!r}"
         )
     return counts
+
+
+def _fault_spec(text: str) -> Fault:
+    """Parse a ``--fault`` spec with a friendly error."""
+    try:
+        return Fault.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _simulation_flags() -> argparse.ArgumentParser:
@@ -160,6 +169,12 @@ def cmd_timeline(args) -> int:
         return 2
     (num_hosts,) = args.hosts
     configuration = matches[0]
+    queue_policy = (
+        QueuePolicy(args.queue_limit, args.queue_policy)
+        if args.queue_limit is not None
+        else None
+    )
+    faults = FaultPlan(tuple(args.fault)) if args.fault else None
     trace = four_tap_trace(trace_fn(seed=args.seed))
     _, dag = catalog_fn()
     outcome = run_configuration(
@@ -171,6 +186,8 @@ def cmd_timeline(args) -> int:
         engine=args.engine,
         streaming=True,
         record_events=args.events_out is not None,
+        queue_policy=queue_policy,
+        faults=faults,
     )
     result = outcome.result
     print(
@@ -182,6 +199,17 @@ def cmd_timeline(args) -> int:
         f"peak resident batch: {result.peak_batch_rows} rows over "
         f"{result.timeline.num_epochs} epochs"
     )
+    if queue_policy is not None:
+        print(f"ingest queue: {queue_policy.describe()}")
+    if result.flow_stats:
+        print("\ningest per host (rows):")
+        print(f"{'host':>6} {'in':>10} {'delivered':>10} {'dropped':>10}")
+        for host in sorted(result.flow_stats):
+            stats = result.flow_stats[host]
+            print(
+                f"{host:>6} {stats.total_in:>10} "
+                f"{stats.total_delivered:>10} {stats.total_dropped:>10}"
+            )
     print()
     print(result.timeline.render(result.aggregator))
     if args.events_out is not None:
@@ -272,6 +300,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--events-out",
         default=None,
         help="write the run's JSON-lines event trace to this path",
+    )
+    timeline.add_argument(
+        "--queue-limit",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="bound each host's ingest queue to ROWS rows per epoch",
+    )
+    timeline.add_argument(
+        "--queue-policy",
+        choices=QUEUE_MODES,
+        default=BLOCK,
+        help="overflow handling for --queue-limit (default: block, lossless)",
+    )
+    timeline.add_argument(
+        "--fault",
+        action="append",
+        type=_fault_spec,
+        default=None,
+        metavar="KIND:HOST:FIRST[-LAST][:DELAY]",
+        help="inject a host fault, e.g. 'skip:1:2-4', 'delay:0:1-3:2', "
+        "'duplicate:2:5'; repeatable",
     )
     timeline.set_defaults(func=cmd_timeline, hosts=(4,))
 

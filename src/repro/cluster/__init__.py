@@ -4,7 +4,13 @@ from .balance import BalanceReport, compare_balance, partition_balance
 from .costs import CAPACITY_PER_TUPLE_BUDGET, DEFAULT_COSTS, CostTable, default_capacity
 from .host import Host
 from .network import NetworkMeter
-from .simulator import ClusterSimulator, SimulationResult, Timeline
+from .simulator import (
+    ClusterSimulator,
+    FaultPlan,
+    QueuePolicy,
+    SimulationResult,
+    Timeline,
+)
 from .splitter import HashSplitter, RoundRobinSplitter, Splitter, partition_histogram
 
 __all__ = [
@@ -15,9 +21,11 @@ __all__ = [
     "ClusterSimulator",
     "CostTable",
     "DEFAULT_COSTS",
+    "FaultPlan",
     "HashSplitter",
     "Host",
     "NetworkMeter",
+    "QueuePolicy",
     "RoundRobinSplitter",
     "SimulationResult",
     "Splitter",

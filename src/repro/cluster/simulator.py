@@ -27,6 +27,7 @@ from typing import List, Mapping, Optional, Sequence
 from ..distopt.plan_ir import DistributedPlan
 from ..plan.dag import QueryDag
 from ..runtime.backend import ENGINES, create_backend
+from ..runtime.flowcontrol import FaultPlan, QueuePolicy
 from ..runtime.metrics import MetricsRecorder, Timeline
 from ..runtime.session import ExecutionSession, SimulationResult
 from .costs import DEFAULT_COSTS, CostTable, default_capacity
@@ -37,6 +38,8 @@ from .splitter import Splitter
 __all__ = [
     "ENGINES",
     "ClusterSimulator",
+    "FaultPlan",
+    "QueuePolicy",
     "SimulationResult",
     "Timeline",
 ]
@@ -114,6 +117,8 @@ class ClusterSimulator:
         splitter: Splitter,
         duration_sec: float,
         epoch_column: str = "time",
+        queue_policy: Optional[QueuePolicy] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> SimulationResult:
         """Execute the plan one epoch at a time with bounded memory.
 
@@ -126,6 +131,15 @@ class ClusterSimulator:
         per-epoch series and :attr:`SimulationResult.peak_batch_rows`
         records the largest batch resident at any node boundary.
 
+        ``queue_policy`` bounds every host's per-epoch ingest
+        (:class:`~repro.runtime.flowcontrol.QueuePolicy`: ``block`` defers
+        losslessly under backpressure, the drop modes shed load into
+        :attr:`SimulationResult.flow_stats` drop counters) and ``faults``
+        injects host misbehaviour
+        (:class:`~repro.runtime.flowcontrol.FaultPlan`: skipped epochs,
+        delayed delivery, duplicate delivery).  With neither set the
+        delivery path is the historical unbounded, reliable one.
+
         Sources must arrive sorted by the epoch column for round-robin
         splitting to reproduce the one-shot assignment (generated traces
         are); hash splitting is order-independent.
@@ -136,4 +150,6 @@ class ClusterSimulator:
             duration_sec,
             streaming=True,
             epoch_column=epoch_column,
+            queue_policy=queue_policy,
+            faults=faults,
         )

@@ -17,6 +17,13 @@ Three layers, each with one responsibility:
   per-link, per-epoch, and per-node counter, assembles the
   :class:`~repro.runtime.metrics.Timeline`, and can emit a JSON-lines
   event trace for offline inspection.
+* :mod:`repro.runtime.flowcontrol` — backpressure and fault injection.
+  A :class:`~repro.runtime.flowcontrol.QueuePolicy` bounds each host's
+  per-epoch ingest (block / drop-newest / drop-oldest) and a
+  :class:`~repro.runtime.flowcontrol.FaultPlan` injects host skips,
+  delayed delivery, and duplicate delivery; drops and faults are charged
+  to the recorder as per-epoch, per-host counters and ``drop``/``fault``
+  events.
 
 :class:`~repro.cluster.simulator.ClusterSimulator` remains the
 backwards-compatible facade over these layers.
@@ -29,18 +36,43 @@ from .backend import (
     RowBackend,
     create_backend,
 )
-from .metrics import MetricsRecorder, NodeStats, Timeline
+from .flowcontrol import (
+    BLOCK,
+    DROP_NEWEST,
+    DROP_OLDEST,
+    FAULT_KINDS,
+    QUEUE_MODES,
+    Fault,
+    FaultPlan,
+    IngestController,
+    QueuePolicy,
+    QueuedIngestController,
+    create_ingest_controller,
+)
+from .metrics import HostFlowStats, MetricsRecorder, NodeStats, Timeline
 from .session import ExecutionSession, SimulationResult
 
 __all__ = [
+    "BLOCK",
     "ColumnarBackend",
     "CompiledOperator",
+    "DROP_NEWEST",
+    "DROP_OLDEST",
     "EngineBackend",
     "ExecutionSession",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultPlan",
+    "HostFlowStats",
+    "IngestController",
     "MetricsRecorder",
     "NodeStats",
+    "QUEUE_MODES",
+    "QueuePolicy",
+    "QueuedIngestController",
     "RowBackend",
     "SimulationResult",
     "Timeline",
     "create_backend",
+    "create_ingest_controller",
 ]

@@ -17,7 +17,7 @@ same capability decisions for their buffers.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from ..distopt.plan_ir import DistKind, DistNode, Variant
 from ..engine.columnar import (
@@ -140,6 +140,12 @@ class EngineBackend:
     def empty_partitions(self, count: int) -> List[Batch]:
         raise NotImplementedError
 
+    def concat(self, batches: Sequence[Batch]) -> Batch:
+        """Concatenate batches in the backend's canonical representation,
+        preserving order — the ingest queues use this to reassemble
+        deliveries that were split or deferred by flow control."""
+        raise NotImplementedError
+
     # -- streaming-node construction ------------------------------------------
 
     def streaming_node(self, node: DistNode) -> StreamingNode:
@@ -226,6 +232,12 @@ class RowBackend(EngineBackend):
     def empty_partitions(self, count: int) -> List[Batch]:
         return [[] for _ in range(count)]
 
+    def concat(self, batches: Sequence[Batch]) -> Batch:
+        merged: Batch = []
+        for batch in batches:
+            merged.extend(ensure_rows(batch))
+        return merged
+
     def _aggregate_parts(self, node: DistNode, filter_expr: Optional[ScalarExpr]):
         key_fn = compile_expr(filter_expr) if filter_expr is not None else None
         return self.compile_node(node), RowBuffer(key_fn)
@@ -278,6 +290,9 @@ class ColumnarBackend(EngineBackend):
 
     def empty_partitions(self, count: int) -> List[Batch]:
         return [ColumnBatch({}, 0) for _ in range(count)]
+
+    def concat(self, batches: Sequence[Batch]) -> Batch:
+        return ColumnBatch.concat([ensure_columns(batch) for batch in batches])
 
     def _aggregate_parts(self, node: DistNode, filter_expr: Optional[ScalarExpr]):
         compiled = self.compile_node(node)

@@ -19,7 +19,7 @@ offline inspection.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..distopt.plan_ir import DistKind, DistNode, Variant
@@ -93,6 +93,51 @@ class NodeStats:
     steps: int = 0
 
 
+@dataclass
+class HostFlowStats:
+    """Per-epoch ingest-queue accounting for one host.
+
+    Populated only by streaming runs with flow control or fault injection
+    active; every list has one entry per epoch (flush work folds into the
+    last bucket, with the final backlog *replacing* the last ``rows_queued``
+    entry so the conservation recurrence keeps holding).  ``rows_in``
+    counts rows arriving at the host's queue in that epoch — including
+    duplicates injected by faults and rows lost to a ``skip`` fault at
+    the NIC, which appear again in ``rows_dropped``.
+    """
+
+    rows_in: List[int] = field(default_factory=list)
+    rows_delivered: List[int] = field(default_factory=list)
+    rows_dropped: List[int] = field(default_factory=list)
+    rows_queued: List[int] = field(default_factory=list)
+
+    @property
+    def total_in(self) -> int:
+        return sum(self.rows_in)
+
+    @property
+    def total_delivered(self) -> int:
+        return sum(self.rows_delivered)
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(self.rows_dropped)
+
+    def conserves(self) -> bool:
+        """Per epoch: prior backlog + rows_in == delivered + dropped +
+        backlog, and the final flush leaves no backlog behind."""
+        backlog = 0
+        for index in range(len(self.rows_in)):
+            if backlog + self.rows_in[index] != (
+                self.rows_delivered[index]
+                + self.rows_dropped[index]
+                + self.rows_queued[index]
+            ):
+                return False
+            backlog = self.rows_queued[index]
+        return backlog == 0
+
+
 class MetricsRecorder:
     """Single writer for all host, network, epoch, and node accounting."""
 
@@ -108,6 +153,8 @@ class MetricsRecorder:
         self.costs = costs
         self.record_events = record_events
         self.node_stats: Dict[str, NodeStats] = {}
+        self.flow_stats: Dict[int, HostFlowStats] = {}
+        self.fault_counts: Dict[Tuple[int, str], int] = {}
         self.events: List[dict] = []
         self._phase: object = None
 
@@ -119,6 +166,8 @@ class MetricsRecorder:
             host.reset()
         self.network.reset()
         self.node_stats.clear()
+        self.flow_stats.clear()
+        self.fault_counts.clear()
         self.events.clear()
         self._phase = None
 
@@ -238,6 +287,63 @@ class MetricsRecorder:
                     "rows_in": rows_in,
                     "rows_out": rows_out,
                     "wall_us": round(wall_seconds * 1e6, 3),
+                }
+            )
+
+    # -- flow control ----------------------------------------------------------
+
+    def record_ingest(
+        self,
+        host: int,
+        rows_in: int,
+        rows_delivered: int,
+        rows_dropped: int,
+        rows_queued: int,
+    ) -> None:
+        """One host's ingest-queue accounting for the current step.
+
+        Called once per host per epoch step by the ingest controller.
+        Flush-step work folds into the last epoch's bucket — except the
+        backlog, which the flush value replaces (the queue state at the
+        end of the run, normally zero).
+        """
+        stats = self.flow_stats.get(host)
+        if stats is None:
+            stats = self.flow_stats[host] = HostFlowStats()
+        if self._phase == FLUSH_PHASE and stats.rows_in:
+            stats.rows_in[-1] += rows_in
+            stats.rows_delivered[-1] += rows_delivered
+            stats.rows_dropped[-1] += rows_dropped
+            stats.rows_queued[-1] = rows_queued
+        else:
+            stats.rows_in.append(rows_in)
+            stats.rows_delivered.append(rows_delivered)
+            stats.rows_dropped.append(rows_dropped)
+            stats.rows_queued.append(rows_queued)
+        if self.record_events and rows_dropped:
+            self.events.append(
+                {
+                    "event": "drop",
+                    "epoch": self._phase,
+                    "host": host,
+                    "rows": rows_dropped,
+                    "queued": rows_queued,
+                }
+            )
+
+    def record_fault(self, host: int, kind: str, rows: int) -> None:
+        """One fault firing: ``rows`` of ``host``'s input skipped,
+        delayed, or duplicated this step."""
+        key = (host, kind)
+        self.fault_counts[key] = self.fault_counts.get(key, 0) + rows
+        if self.record_events:
+            self.events.append(
+                {
+                    "event": "fault",
+                    "epoch": self._phase,
+                    "host": host,
+                    "kind": kind,
+                    "rows": rows,
                 }
             )
 

@@ -7,8 +7,10 @@ flush draining every buffer), while a one-shot run is the *degenerate
 single-epoch case* — the whole trace is one slice whose watermark jumps
 straight to infinity, so every buffer drains in the first step and the
 flush is a no-op.  Splitting, ingest, watermark plumbing, and cost
-charging therefore exist in exactly one place, and future backpressure or
-fault-injection hooks have a single loop to instrument.
+charging therefore exist in exactly one place; backpressure and fault
+injection instrument that one loop through the
+:class:`~repro.runtime.flowcontrol.IngestController` seam between the
+splitter and the hosts.
 
 Operators come pre-compiled from the :class:`~repro.runtime.backend.EngineBackend`
 (row/columnar resolution happens at session construction, never per
@@ -31,7 +33,13 @@ from ..engine.streaming import StreamingNode, Watermark
 from ..plan.dag import QueryDag
 from ..traces.generator import slice_by_epoch
 from .backend import EngineBackend
-from .metrics import MetricsRecorder, Timeline
+from .flowcontrol import (
+    FaultPlan,
+    IngestController,
+    QueuePolicy,
+    create_ingest_controller,
+)
+from .metrics import HostFlowStats, MetricsRecorder, Timeline
 
 if TYPE_CHECKING:
     from ..cluster.host import Host
@@ -59,6 +67,14 @@ class SimulationResult:
     peak_batch_rows: Optional[int] = None
     # Per-node observability counters from the MetricsRecorder.
     node_stats: Dict[str, object] = field(default_factory=dict)
+    # Per-host ingest-queue accounting; populated only when a streaming
+    # run had flow control or fault injection active.
+    flow_stats: Dict[int, HostFlowStats] = field(default_factory=dict)
+
+    def rows_dropped(self, host: int) -> int:
+        """Total rows the flow-control layer dropped for ``host``."""
+        stats = self.flow_stats.get(host)
+        return stats.total_dropped if stats is not None else 0
 
     # -- the paper's metrics -------------------------------------------------
 
@@ -144,6 +160,8 @@ class ExecutionSession:
         duration_sec: float,
         streaming: bool = False,
         epoch_column: str = "time",
+        queue_policy: Optional[QueuePolicy] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> SimulationResult:
         """Split, execute, and meter the plan; one epoch per step.
 
@@ -152,8 +170,17 @@ class ExecutionSession:
         the whole trace forms a single slice and no buckets open, so the
         result carries totals only (``timeline``/``peak_batch_rows`` stay
         None).  Either way a final flush step drains every buffer.
+
+        ``queue_policy`` bounds each host's per-epoch ingest
+        (:mod:`repro.runtime.flowcontrol`); ``faults`` injects host
+        misbehaviour.  Both require ``streaming`` — an unsliced run has
+        no epochs to meter flow against.
         """
         self._check_splitter(splitter)
+        if (queue_policy is not None or faults) and not streaming:
+            raise ValueError(
+                "flow control and fault injection require streaming execution"
+            )
         recorder = self._recorder
         backend = self._backend
         recorder.reset()
@@ -186,6 +213,12 @@ class ExecutionSession:
         counts: Dict[str, int] = {node.node_id: 0 for node in order}
         offsets: Dict[str, int] = {stream: 0 for stream in slices}
         num_partitions = self._plan.num_partitions
+        # The ingest controller sits between the splitter and the hosts:
+        # pass-through (historical behaviour) unless flow control or
+        # fault injection was requested.
+        controller = create_ingest_controller(
+            self._plan, backend, recorder, queue_policy, faults
+        )
         peak = 0
         # One step per epoch, plus a final flush draining every buffer
         # (its charges fold into the last epoch's bucket).
@@ -193,6 +226,7 @@ class ExecutionSession:
             flush = index == len(epochs)
             if flush:
                 recorder.begin_flush()
+                epoch: object = None
                 next_bound: object = math.inf
                 partitions = {
                     stream: backend.empty_partitions(num_partitions)
@@ -215,14 +249,20 @@ class ExecutionSession:
                     partitions[stream] = backend.split(
                         piece, splitter, offsets[stream]
                     )
-                    offsets[stream] += len(piece)
+            accepted = controller.begin_step(index, epoch, partitions, flush)
+            if not flush:
+                # The round-robin cursor advances by what the ingest layer
+                # *accepted*, not by what the splitter sent — rows refused
+                # at admission or lost to a skip fault never consume a slot.
+                for stream, count in accepted.items():
+                    offsets[stream] += count
             step_outputs: Dict[str, Batch] = {}
             for node in order:
                 batch = self._step_node(
                     node,
                     streaming_nodes,
                     step_outputs,
-                    partitions,
+                    controller,
                     watermarks,
                     next_bound,
                     flush,
@@ -233,6 +273,7 @@ class ExecutionSession:
                 peak = max(peak, len(batch))
             for snode in streaming_nodes.values():
                 peak = max(peak, snode.buffered_rows())
+            peak = max(peak, controller.resident_rows())
             for name, node_id in self._plan.delivery.items():
                 delivered[name].extend(ensure_rows(step_outputs[node_id]))
         return SimulationResult(
@@ -246,6 +287,7 @@ class ExecutionSession:
             timeline=recorder.build_timeline(epochs) if streaming else None,
             peak_batch_rows=peak if streaming else None,
             node_stats=dict(recorder.node_stats),
+            flow_stats=dict(recorder.flow_stats),
         )
 
     # -- internals --------------------------------------------------------------
@@ -262,7 +304,7 @@ class ExecutionSession:
         node: DistNode,
         streaming_nodes: Dict[str, StreamingNode],
         step_outputs: Dict[str, Batch],
-        partitions: Dict[str, List[Batch]],
+        controller: IngestController,
         watermarks: Dict[str, Watermark],
         next_bound: object,
         flush: bool,
@@ -271,12 +313,18 @@ class ExecutionSession:
         recorder = self._recorder
         if node.kind is DistKind.SOURCE:
             (partition,) = node.partitions
-            batch = partitions[node.stream][partition]
+            batch = controller.batch(node.stream, partition)
             # NIC delivery of the partition to its host.
             recorder.charge_local_ingest(node.host, len(batch))
             # Every later step carries strictly later epochs (inf once the
-            # trace is fully delivered).
-            watermarks[node.node_id] = {epoch_column: next_bound}
+            # trace is fully delivered) — unless the ingest layer is
+            # withholding older rows, in which case the watermark stalls
+            # at the oldest withheld epoch until they land.
+            watermarks[node.node_id] = {
+                epoch_column: controller.watermark_bound(
+                    node.stream, partition, next_bound
+                )
+            }
             return batch
         inputs = self._ingest_inputs(node, step_outputs)
         snode = streaming_nodes[node.node_id]

@@ -2,12 +2,15 @@
 
 from .experiments import (
     Configuration,
+    OverloadPoint,
     RunOutcome,
     experiment1_configurations,
     experiment2_configurations,
     experiment3_configurations,
     format_figure,
+    format_overload,
     measure_selectivities,
+    overload_sweep,
     run_configuration,
     sweep_hosts,
     trace_sources,
@@ -22,13 +25,16 @@ from .queries import (
 __all__ = [
     "COMPLEX_EPOCH_SECONDS",
     "Configuration",
+    "OverloadPoint",
     "RunOutcome",
     "complex_catalog",
     "experiment1_configurations",
     "experiment2_configurations",
     "experiment3_configurations",
     "format_figure",
+    "format_overload",
     "measure_selectivities",
+    "overload_sweep",
     "run_configuration",
     "subnet_jitter_catalog",
     "suspicious_flows_catalog",

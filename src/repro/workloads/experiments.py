@@ -13,7 +13,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..cluster.costs import DEFAULT_COSTS, CostTable
-from ..cluster.simulator import ClusterSimulator, SimulationResult
+from ..cluster.simulator import (
+    ClusterSimulator,
+    FaultPlan,
+    QueuePolicy,
+    SimulationResult,
+)
 from ..cluster.splitter import HashSplitter, RoundRobinSplitter, Splitter
 from ..distopt.placement import Placement
 from ..distopt.plan_ir import DistributedPlan
@@ -201,6 +206,8 @@ def run_configuration(
     engine: str = "row",
     streaming: bool = False,
     record_events: bool = False,
+    queue_policy: Optional[QueuePolicy] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> RunOutcome:
     """Build the distributed plan for one configuration and simulate it.
 
@@ -212,6 +219,9 @@ def run_configuration(
     :class:`~repro.cluster.simulator.Timeline`.  ``record_events`` keeps
     the :class:`~repro.runtime.metrics.MetricsRecorder` event trace for
     offline inspection (``outcome.simulator.metrics.dump_events``).
+    ``queue_policy`` and ``faults`` (streaming only) bound each host's
+    ingest and inject host misbehaviour — see
+    :meth:`~repro.cluster.simulator.ClusterSimulator.run_streaming`.
     """
     placement = Placement(
         num_hosts=num_hosts,
@@ -238,8 +248,18 @@ def run_configuration(
         sources = {source.name: trace.packets for source in dag.sources()}
     splitter = configuration.splitter(placement.num_partitions)
     if streaming:
-        result = simulator.run_streaming(sources, splitter, trace.duration_sec)
+        result = simulator.run_streaming(
+            sources,
+            splitter,
+            trace.duration_sec,
+            queue_policy=queue_policy,
+            faults=faults,
+        )
     else:
+        if queue_policy is not None or faults:
+            raise ValueError(
+                "flow control and fault injection require streaming execution"
+            )
         result = simulator.run(sources, splitter, trace.duration_sec)
     return RunOutcome(configuration, num_hosts, result, plan, simulator)
 
@@ -272,6 +292,89 @@ def sweep_hosts(
         ]
         outcomes[configuration.name] = series
     return outcomes
+
+
+@dataclass(frozen=True)
+class OverloadPoint:
+    """One point of a graceful-degradation curve: a capacity fraction."""
+
+    fraction: float
+    capacity: int  # per-host ingest budget, rows per epoch
+    rows_in: int
+    rows_delivered: int
+    rows_dropped: int
+    output_rows: int  # total delivered application output rows
+
+    @property
+    def delivered_fraction(self) -> float:
+        return self.rows_delivered / self.rows_in if self.rows_in else 1.0
+
+
+def overload_sweep(
+    dag: QueryDag,
+    trace: Trace,
+    configuration: Configuration,
+    num_hosts: int,
+    fractions: Sequence[float] = (1.0, 0.5, 0.25, 0.1),
+    mode: str = "drop-newest",
+    costs: CostTable = DEFAULT_COSTS,
+    host_capacity: Optional[float] = None,
+    engine: str = "row",
+) -> List[OverloadPoint]:
+    """The overload variant of an experiment: shrink the ingest budget.
+
+    Streams the configuration with a bounded per-host queue whose capacity
+    is ``fraction`` of the host's fair share of the offered rate
+    (``trace.rate / num_hosts`` rows per one-second epoch) and records how
+    delivery and query output degrade.  With a lossy ``mode`` the curve
+    shows graceful degradation: drops grow as capacity shrinks while every
+    epoch still completes and per-host accounting stays conserved.
+    """
+    points: List[OverloadPoint] = []
+    fair_share = trace.rate / num_hosts
+    for fraction in fractions:
+        capacity = max(1, int(fair_share * fraction))
+        outcome = run_configuration(
+            dag,
+            trace,
+            configuration,
+            num_hosts,
+            costs=costs,
+            host_capacity=host_capacity,
+            engine=engine,
+            streaming=True,
+            queue_policy=QueuePolicy(capacity, mode),
+        )
+        stats = outcome.result.flow_stats.values()
+        points.append(
+            OverloadPoint(
+                fraction=fraction,
+                capacity=capacity,
+                rows_in=sum(s.total_in for s in stats),
+                rows_delivered=sum(s.total_delivered for s in stats),
+                rows_dropped=sum(s.total_dropped for s in stats),
+                output_rows=sum(
+                    len(batch) for batch in outcome.result.outputs.values()
+                ),
+            )
+        )
+    return points
+
+
+def format_overload(title: str, points: Sequence[OverloadPoint]) -> str:
+    """Render a graceful-degradation curve as a small table."""
+    lines = [title]
+    lines.append(
+        f"{'capacity':>10} {'fraction':>9} {'rows in':>10} "
+        f"{'delivered':>10} {'dropped':>10} {'output':>8}"
+    )
+    for point in points:
+        lines.append(
+            f"{point.capacity:>10} {point.fraction:>9.2f} {point.rows_in:>10} "
+            f"{point.rows_delivered:>10} {point.rows_dropped:>10} "
+            f"{point.output_rows:>8}"
+        )
+    return "\n".join(lines)
 
 
 def measure_selectivities(dag: QueryDag, trace: Trace) -> Dict[str, float]:

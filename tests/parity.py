@@ -1,0 +1,143 @@
+"""Shared streaming-vs-one-shot parity harness.
+
+The repo's core execution contract: ``ClusterSimulator.run_streaming``
+must produce the *same simulation* as ``run`` — identical output
+multisets, per-node tuple counts, per-host per-category CPU charges, and
+per-link network counters.  This module holds the reusable pieces:
+
+* :func:`assert_same_simulation` — the observational-equivalence check
+  (used by the hand-picked cases in ``test_streaming.py`` and the
+  randomized sweep in ``test_parity_random.py``);
+* :func:`random_packets` — a seeded adversarial trace generator that
+  produces shapes the realistic generator never emits: empty epochs,
+  bursts, tiny key domains, ports colliding across hosts;
+* :func:`assert_streaming_matches_oneshot` — one randomized parity trial:
+  derive trace, cluster size, and partitioning from a seed, run both
+  modes, and compare.  Lossless flow control (a bounded ``block`` queue)
+  may be layered on — backpressure must never change the answer.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster import (
+    ClusterSimulator,
+    HashSplitter,
+    QueuePolicy,
+    RoundRobinSplitter,
+)
+from repro.distopt import DistributedOptimizer, Placement
+from repro.engine import batches_equal
+from repro.partitioning import PartitioningSet
+from repro.workloads import (
+    complex_catalog,
+    subnet_jitter_catalog,
+    suspicious_flows_catalog,
+)
+
+WORKLOADS = {
+    "suspicious": (suspicious_flows_catalog, None),
+    "jitter": (subnet_jitter_catalog, ("subnet_stats", "tcp_flows", "jitter")),
+    "complex": (complex_catalog, ("flows", "heavy_flows", "flow_pairs")),
+}
+
+PS_CHOICES = [
+    None,
+    PartitioningSet.of("srcIP"),
+    PartitioningSet.of("srcIP & 0xFFF0", "destIP"),
+    PartitioningSet.of("srcIP", "destIP", "srcPort", "destPort"),
+]
+
+
+def random_packets(seed, max_epochs=7, max_burst=70):
+    """A seeded adversarial TCP trace: time-sorted, otherwise hostile.
+
+    Epoch sizes vary wildly (including empty epochs — gaps in ``time``),
+    key domains are small enough that groups collide across hosts, and a
+    few rows reuse the exact same 4-tuple so hash partitions get hot
+    spots.  Rows are sorted by ``time`` only — the round-robin cursor
+    contract requires nothing more.
+    """
+    rng = random.Random(seed)
+    num_epochs = rng.randint(3, max_epochs)
+    num_src = rng.choice((3, 8, 24))
+    num_dst = rng.choice((2, 6))
+    packets = []
+    for epoch in range(num_epochs):
+        if rng.random() < 0.15:
+            continue  # an empty epoch: watermarks must still advance
+        burst = rng.randint(1, max_burst)
+        for _ in range(burst):
+            packets.append(
+                {
+                    "time": epoch,
+                    "timestamp": epoch * 1000 + rng.randint(0, 999),
+                    "srcIP": 0x0A000000 + rng.randrange(num_src),
+                    "destIP": 0xC0A80000 + rng.randrange(num_dst),
+                    "srcPort": rng.choice((1024, 2048, 4096, 8192)),
+                    "destPort": rng.choice((80, 443)),
+                    "protocol": 6,
+                    "flags": rng.choice((0, 2, 16)),
+                    "len": rng.randint(40, 1500),
+                }
+            )
+    packets.sort(key=lambda p: p["time"])
+    return packets
+
+
+def assert_same_simulation(oneshot, stream):
+    """Streaming must be observationally identical to the one-shot run."""
+    assert set(oneshot.outputs) == set(stream.outputs)
+    for name in oneshot.outputs:
+        assert batches_equal(oneshot.outputs[name], stream.outputs[name]), name
+    assert oneshot.node_output_counts == stream.node_output_counts
+    for ref, got in zip(oneshot.hosts, stream.hosts):
+        assert got.cpu_units == pytest.approx(ref.cpu_units, abs=1e-9)
+        assert set(ref.by_category) == set(got.by_category)
+        for category, units in ref.by_category.items():
+            assert got.by_category[category] == pytest.approx(
+                units, abs=1e-9
+            ), category
+    assert oneshot.network.tuples_received == stream.network.tuples_received
+    assert oneshot.network.link_tuples == stream.network.link_tuples
+    for host, total in oneshot.network.bytes_received.items():
+        # float summation order differs between one big and many small adds
+        assert stream.network.bytes_received[host] == pytest.approx(total)
+
+
+def assert_streaming_matches_oneshot(workload, seed, engine, queue_capacity=None):
+    """One randomized parity trial.
+
+    Everything varies with ``seed`` — the trace shape, the cluster size,
+    and the partitioning — so 50 seeds cover a broad slice of the space.
+    With ``queue_capacity`` the streaming run additionally goes through a
+    bounded ``block`` ingest queue: backpressure defers delivery across
+    epochs but loses nothing, so the equivalence must still be exact.
+    """
+    catalog_fn, deliver = WORKLOADS[workload]
+    _, dag = catalog_fn()
+    rng = random.Random(seed ^ 0x5EED)
+    packets = random_packets(seed)
+    hosts = rng.choice((1, 2, 3))
+    ps = rng.choice(PS_CHOICES)
+    placement = Placement(hosts, 2)
+    plan = DistributedOptimizer(dag, placement, ps, deliver=deliver).optimize()
+    if ps is None:
+        splitter = RoundRobinSplitter(placement.num_partitions)
+    else:
+        splitter = HashSplitter(placement.num_partitions, ps)
+    policy = None
+    if queue_capacity is not None:
+        policy = QueuePolicy(queue_capacity, "block")
+    sim = ClusterSimulator(dag, plan, stream_rate=1000, engine=engine)
+    oneshot = sim.run({"TCP": packets}, splitter, 10.0)
+    stream = sim.run_streaming(
+        {"TCP": packets}, splitter, 10.0, queue_policy=policy
+    )
+    assert_same_simulation(oneshot, stream)
+    if policy is not None:
+        for stats in stream.flow_stats.values():
+            assert stats.conserves()
+            assert stats.total_dropped == 0
+    return oneshot, stream

@@ -1,0 +1,34 @@
+"""Randomized streaming/one-shot parity sweep.
+
+Fifty seeds, each deriving a fresh adversarial trace, cluster size, and
+partitioning (see :mod:`parity`), each run on both engines.  Every fifth
+seed also routes the streaming run through a tight bounded ``block``
+ingest queue: the lossless policy defers rows across epochs under
+backpressure, and the result must still be byte-identical to one-shot.
+"""
+
+import pytest
+
+from tests.parity import assert_streaming_matches_oneshot, random_packets
+
+SEEDS = range(50)
+
+
+@pytest.mark.parametrize("engine", ("row", "columnar"))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_randomized_parity(seed, engine):
+    # rotate the three workloads; tight block queue on every fifth seed
+    workload = ("suspicious", "jitter", "complex")[seed % 3]
+    capacity = 25 if seed % 5 == 0 else None
+    assert_streaming_matches_oneshot(workload, seed, engine, capacity)
+
+
+def test_generator_is_deterministic():
+    assert random_packets(11) == random_packets(11)
+    assert random_packets(11) != random_packets(12)
+
+
+def test_generator_rows_are_time_sorted():
+    for seed in (0, 1, 2):
+        times = [p["time"] for p in random_packets(seed)]
+        assert times == sorted(times)

@@ -21,7 +21,7 @@ from repro.runtime import backend as backend_module
 from repro.runtime.backend import ColumnarBackend, RowBackend, create_backend
 from repro.runtime.metrics import MetricsRecorder
 
-from tests.test_streaming import assert_same_simulation
+from tests.parity import assert_same_simulation
 
 
 def _complex_plan(dag, hosts=3, ps=PartitioningSet.of("srcIP")):

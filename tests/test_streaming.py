@@ -15,28 +15,12 @@ import pytest
 from repro.cluster import ClusterSimulator, HashSplitter, RoundRobinSplitter
 from repro.distopt import DistributedOptimizer, Placement
 from repro.distopt.plan_ir import DistributedPlan
-from repro.engine import batches_equal
 from repro.engine.streaming import lower_bound, mapped_watermark, merge_watermarks
 from repro.expr.expressions import Attr, Binary, Const, Func
-from repro.partitioning import PartitioningSet
-from repro.workloads import (
-    complex_catalog,
-    subnet_jitter_catalog,
-    suspicious_flows_catalog,
-)
 
-WORKLOADS = {
-    "suspicious": (suspicious_flows_catalog, None),
-    "jitter": (subnet_jitter_catalog, ("subnet_stats", "tcp_flows", "jitter")),
-    "complex": (complex_catalog, ("flows", "heavy_flows", "flow_pairs")),
-}
+from repro.workloads import suspicious_flows_catalog
 
-PS_CHOICES = [
-    None,
-    PartitioningSet.of("srcIP"),
-    PartitioningSet.of("srcIP & 0xFFF0", "destIP"),
-    PartitioningSet.of("srcIP", "destIP", "srcPort", "destPort"),
-]
+from tests.parity import PS_CHOICES, WORKLOADS, assert_same_simulation
 
 
 class TestLowerBound:
@@ -95,26 +79,6 @@ def _run(engine, dag, packets, hosts, ps, deliver, streaming):
         splitter = HashSplitter(placement.num_partitions, ps)
     run = sim.run_streaming if streaming else sim.run
     return run({"TCP": packets}, splitter, 10.0)
-
-
-def assert_same_simulation(oneshot, stream):
-    """Streaming must be observationally identical to the one-shot run."""
-    assert set(oneshot.outputs) == set(stream.outputs)
-    for name in oneshot.outputs:
-        assert batches_equal(oneshot.outputs[name], stream.outputs[name]), name
-    assert oneshot.node_output_counts == stream.node_output_counts
-    for ref, got in zip(oneshot.hosts, stream.hosts):
-        assert got.cpu_units == pytest.approx(ref.cpu_units, abs=1e-9)
-        assert set(ref.by_category) == set(got.by_category)
-        for category, units in ref.by_category.items():
-            assert got.by_category[category] == pytest.approx(
-                units, abs=1e-9
-            ), category
-    assert oneshot.network.tuples_received == stream.network.tuples_received
-    assert oneshot.network.link_tuples == stream.network.link_tuples
-    for host, total in oneshot.network.bytes_received.items():
-        # float summation order differs between one big and many small adds
-        assert stream.network.bytes_received[host] == pytest.approx(total)
 
 
 @pytest.mark.parametrize("engine", ("row", "columnar"))
