@@ -18,7 +18,15 @@ import time
 import pytest
 
 from repro.cluster.splitter import HashSplitter, RoundRobinSplitter
-from repro.engine import build_columnar_operator, build_operator
+from repro.engine import (
+    ColumnBatch,
+    NullPadOp,
+    build_columnar_nullpad,
+    build_columnar_operator,
+    build_operator,
+)
+from repro.gsql.catalog import Catalog
+from repro.gsql.schema import tcp_schema
 from repro.partitioning import PartitioningSet
 from repro.traces import TraceConfig, generate_trace
 from repro.workloads import complex_catalog, suspicious_flows_catalog
@@ -34,6 +42,48 @@ def trace():
 @pytest.fixture(scope="module")
 def packets(trace):
     return trace.packets
+
+
+@pytest.fixture(scope="module")
+def join_inputs():
+    """(dag, heavy_flows rows) with a build side big enough (~2k rows)
+    that the join kernels, not per-call overhead, dominate the timing."""
+    join_trace = generate_trace(
+        TraceConfig(
+            duration=60,
+            rate=2000,
+            num_taps=1,
+            seed=13,
+            num_src_hosts=1024,
+            num_dst_hosts=64,
+        )
+    )
+    _, dag = complex_catalog()
+    flows = build_operator(dag.node("flows")).process(join_trace.packets)
+    heavy = build_operator(dag.node("heavy_flows")).process(flows)
+    return dag, heavy
+
+
+@pytest.fixture(scope="module")
+def nullpad_inputs(join_inputs):
+    """(outer-join node, live-side rows) for the NULLPAD kernels."""
+    _, heavy = join_inputs
+    catalog = Catalog()
+    catalog.add_stream(tcp_schema())
+    catalog.define_query(
+        "flows",
+        "SELECT tb, srcIP, COUNT(*) as cnt FROM TCP GROUP BY time as tb, srcIP",
+    )
+    node = catalog.define_query(
+        "pairs",
+        "SELECT S1.tb as tb, S1.srcIP as ip, S1.cnt + S2.cnt as total "
+        "FROM flows S1 FULL OUTER JOIN flows S2 "
+        "ON S1.srcIP = S2.srcIP and S2.tb = S1.tb + 1",
+    )
+    rows = [
+        {"tb": r["tb"], "srcIP": r["srcIP"], "cnt": r["max_cnt"]} for r in heavy
+    ]
+    return node, rows
 
 
 def _operator_and_input(engine, node, trace, variant="full"):
@@ -71,14 +121,31 @@ def test_selection_operator_throughput(benchmark, trace, engine):
     assert len(result) > 0
 
 
-def test_join_operator_throughput(benchmark, packets):
-    # Joins run on the row engine in both backends (columnar falls back).
-    _, dag = complex_catalog()
-    flows = build_operator(dag.node("flows")).process(packets)
-    heavy = build_operator(dag.node("heavy_flows")).process(flows)
-    join = build_operator(dag.node("flow_pairs"))
-    result = benchmark(join.process, heavy, heavy)
-    assert isinstance(result, list)
+@pytest.mark.parametrize("engine", ENGINES)
+def test_join_operator_throughput(benchmark, join_inputs, engine):
+    dag, heavy = join_inputs
+    node = dag.node("flow_pairs")
+    if engine == "row":
+        operator, data = build_operator(node), heavy
+    else:
+        operator = build_columnar_operator(node)
+        assert operator is not None
+        data = ColumnBatch.from_rows(heavy)
+    result = benchmark(operator.process, data, data)
+    assert len(result) > 0
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_nullpad_operator_throughput(benchmark, nullpad_inputs, engine):
+    node, rows = nullpad_inputs
+    if engine == "row":
+        operator, data = NullPadOp(node, "left"), rows
+    else:
+        operator = build_columnar_nullpad(node, "left")
+        assert operator is not None
+        data = ColumnBatch.from_rows(rows)
+    result = benchmark(operator.process, data)
+    assert len(result) == len(rows)  # every live row survives, padded
 
 
 @pytest.mark.parametrize("engine", ENGINES)
@@ -166,3 +233,16 @@ def test_columnar_aggregation_speedup(trace):
     col_time = _best_of(col_op.process, col_in)
     speedup = row_time / col_time
     assert speedup >= 5.0, f"columnar only {speedup:.1f}x faster than row"
+
+
+def test_columnar_join_speedup(join_inputs):
+    """The acceptance bar: the vectorized join ≥10x the row operator."""
+    dag, heavy = join_inputs
+    node = dag.node("flow_pairs")
+    row_op = build_operator(node)
+    col_op = build_columnar_operator(node)
+    col_in = ColumnBatch.from_rows(heavy)
+    row_time = _best_of(row_op.process, heavy, heavy)
+    col_time = _best_of(col_op.process, col_in, col_in)
+    speedup = row_time / col_time
+    assert speedup >= 10.0, f"columnar join only {speedup:.1f}x faster than row"

@@ -199,6 +199,16 @@ def cmd_timeline(args) -> int:
         f"peak resident batch: {result.peak_batch_rows} rows over "
         f"{result.timeline.num_epochs} epochs"
     )
+    if result.fallback_nodes:
+        labels = ", ".join(
+            f"{node_id} ({label})"
+            for node_id, label in sorted(result.fallback_nodes.items())
+        )
+        print(
+            f"row-fallback nodes ({len(result.fallback_nodes)}): {labels}"
+        )
+    else:
+        print("row-fallback nodes: none (every node compiled natively)")
     if queue_policy is not None:
         print(f"ingest queue: {queue_policy.describe()}")
     if result.flow_stats:

@@ -8,8 +8,17 @@ lexsort-based factorization with per-aggregate ``ufunc.reduceat``
 reductions, and merge becomes array concatenation.  Scalar expressions are
 lowered by :mod:`repro.expr.vectorizer`.
 
+Joins and NULL-padding are vectorized too: :class:`ColumnarJoinOp`
+factorizes both sides' key columns jointly (the same lexsort machinery
+aggregation grouping uses), probes the build side with gather indices to
+produce aligned left/right row selectors, and projects the SELECT list
+over the merged, qualified (``alias.column``) columns;
+:class:`ColumnarNullPadOp` shares the padded-projection path that lowers
+NULL-propagating arithmetic at compile time
+(:func:`repro.expr.vectorizer.vectorize_padded_output`).
+
 The two engines are interchangeable per node: anything without a
-vectorized kernel (joins, exotic UDAFs, un-lowerable expressions) makes
+vectorized kernel (exotic UDAFs, un-lowerable expressions) makes
 :func:`build_columnar_operator` return ``None`` and the cluster simulator
 falls back to the row operator for that node, converting representations
 at the boundary.  Parity is exact — for every workload catalog the
@@ -36,9 +45,11 @@ from ..expr.vectorizer import (
     materialize,
     vectorize_expr,
     vectorize_key,
+    vectorize_padded_output,
     vectorize_predicate,
 )
 from ..gsql.analyzer import AnalyzedNode, NodeKind
+from ..gsql.ast_nodes import JoinType
 from .aggregates import state_columns
 
 # A column is either one array or, for composite aggregate states, a tuple
@@ -554,14 +565,245 @@ class ColumnarSuperAggregateOp(ColumnarOperator):
         return ColumnBatch(out, num_groups)
 
 
+# -- join ----------------------------------------------------------------------
+
+
+def _join_codes(
+    left_keys: List[np.ndarray], right_keys: List[np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Factorize both sides' key tuples into one shared code space.
+
+    Concatenating each key column across the two sides and running the
+    group-by lexsort assigns every distinct key tuple one integer code;
+    splitting the code array back gives per-row codes that are equal
+    across sides exactly when the row keys are (with NumPy's usual dtype
+    promotion, so an int build key matches a float probe key the way
+    Python's ``5 == 5.0`` dict lookup does).
+    """
+    n_left = len(left_keys[0])
+    combined = [
+        np.concatenate([left, right])
+        for left, right in zip(left_keys, right_keys)
+    ]
+    length = len(combined[0])
+    order, starts, counts, _ = _group(combined, length)
+    codes = np.empty(length, dtype=np.intp)
+    codes[order] = np.repeat(np.arange(len(counts), dtype=np.intp), counts)
+    return codes[:n_left], codes[n_left:], len(counts)
+
+
+class _PaddedProjection:
+    """The join's SELECT list over rows with one side entirely NULL.
+
+    Used for outer-join unmatched rows and for the NULLPAD repair
+    operator.  Output expressions are lowered at compile time under the
+    assumption that every padded-side attribute is None (see
+    :func:`repro.expr.vectorizer.vectorize_padded_output`), so applying
+    the projection touches only the live side's columns.
+    """
+
+    def __init__(self, node: AnalyzedNode, live_index: int):
+        self._live_alias = node.input_aliases[live_index]
+        padded_prefix = node.input_aliases[1 - live_index] + "."
+
+        def is_padded(name: str) -> bool:
+            return name.startswith(padded_prefix)
+
+        self._outputs = [
+            (column.name, vectorize_padded_output(expr, is_padded))
+            for column, expr in zip(node.columns, node.select_exprs)
+        ]
+        self.output_names = [column.name for column in node.columns]
+
+    def apply(self, batch: ColumnBatch) -> ColumnBatch:
+        length = len(batch)
+        prefix = self._live_alias + "."
+        qualified = {
+            prefix + name: column for name, column in batch.columns.items()
+        }
+        out = {
+            name: materialize(fn(qualified, length), length)
+            for name, fn in self._outputs
+        }
+        return ColumnBatch(out, length)
+
+
+class ColumnarJoinOp(ColumnarOperator):
+    """Vectorized two-way equi-join (inner and outer), tumbling-window.
+
+    Mirrors :class:`~repro.engine.operators.JoinOp` bit for bit: factorize
+    the equality keys of both sides into shared codes, expand each probe
+    (left) row against its build-side (right) bucket into aligned
+    left/right row selectors, evaluate the residual predicate and the
+    SELECT projection over the merged qualified columns, and pad the
+    unmatched rows of outer sides through the NULL-propagating projection.
+    Within a key bucket, matches appear in build-side input order — the
+    same order the row engine's hash-bucket lists produce.
+    """
+
+    def __init__(self, node: AnalyzedNode):
+        if node.kind is not NodeKind.JOIN:
+            raise ValueError(f"{node.name} is not a join node")
+        left_alias, right_alias = node.input_aliases
+        self._left_alias = left_alias
+        self._right_alias = right_alias
+        self._left_key = vectorize_key([eq.left for eq in node.equalities])
+        self._right_key = vectorize_key([eq.right for eq in node.equalities])
+        self._residual = (
+            vectorize_predicate(node.residual) if node.residual is not None else None
+        )
+        self._outputs = [
+            (column.name, vectorize_expr(expr))
+            for column, expr in zip(node.columns, node.select_exprs)
+        ]
+        self._output_names = [column.name for column in node.columns]
+        # Only gather the qualified columns the residual or projection
+        # actually reads.
+        referenced = list(node.select_exprs)
+        if node.residual is not None:
+            referenced.append(node.residual)
+        self._needed = {attr for expr in referenced for attr in expr.attrs()}
+        join_type = node.join_type
+        self._pad_unmatched_left = (
+            _PaddedProjection(node, live_index=0)
+            if join_type in (JoinType.LEFT_OUTER, JoinType.FULL_OUTER)
+            else None
+        )
+        self._pad_unmatched_right = (
+            _PaddedProjection(node, live_index=1)
+            if join_type in (JoinType.RIGHT_OUTER, JoinType.FULL_OUTER)
+            else None
+        )
+
+    def process(self, *batches: ColumnBatch) -> ColumnBatch:
+        left, right = batches
+        n_left, n_right = len(left), len(right)
+        pieces: List[ColumnBatch] = []
+        if n_left and n_right:
+            matched, matched_left, matched_right = self._probe(left, right)
+            pieces.append(matched)
+        else:
+            # An empty side means no pairs at all; outer sides pad wholesale.
+            matched_left = np.zeros(n_left, dtype=bool)
+            matched_right = np.zeros(n_right, dtype=bool)
+        if self._pad_unmatched_left is not None and n_left:
+            unmatched = left.select(~matched_left)
+            if len(unmatched):
+                pieces.append(self._pad_unmatched_left.apply(unmatched))
+        if self._pad_unmatched_right is not None and n_right:
+            unmatched = right.select(~matched_right)
+            if len(unmatched):
+                pieces.append(self._pad_unmatched_right.apply(unmatched))
+        alive = [piece for piece in pieces if len(piece)]
+        if not alive:
+            return _empty_output(self._output_names)
+        return ColumnBatch.concat(alive)
+
+    def _probe(
+        self, left: ColumnBatch, right: ColumnBatch
+    ) -> Tuple[ColumnBatch, np.ndarray, np.ndarray]:
+        """All qualifying (left, right) pairs plus per-side matched flags.
+
+        A row counts as matched only when some pair containing it passes
+        the residual predicate — exactly the row engine's ``found`` /
+        ``matched_right`` bookkeeping.
+        """
+        n_left, n_right = len(left), len(right)
+        matched_left = np.zeros(n_left, dtype=bool)
+        matched_right = np.zeros(n_right, dtype=bool)
+        left_codes, right_codes, num_groups = _join_codes(
+            self._left_key(left.columns, n_left),
+            self._right_key(right.columns, n_right),
+        )
+        bucket_sizes = np.bincount(right_codes, minlength=num_groups)
+        bucket_starts = np.concatenate(
+            ([0], np.cumsum(bucket_sizes)[:-1])
+        )
+        right_order = np.argsort(right_codes, kind="stable")
+        per_left = bucket_sizes[left_codes]
+        total = int(per_left.sum())
+        if total == 0:
+            return _empty_output(self._output_names), matched_left, matched_right
+        # Expand each left row against its bucket: output i falls in left
+        # row left_sel[i]'s run; its offset within the run indexes into
+        # the bucket's slice of the code-sorted right permutation.
+        left_sel = np.repeat(np.arange(n_left), per_left)
+        run_ends = np.cumsum(per_left)
+        offset_in_run = np.arange(total) - np.repeat(run_ends - per_left, per_left)
+        right_sel = right_order[
+            np.repeat(bucket_starts[left_codes], per_left) + offset_in_run
+        ]
+        merged, length = self._merge(left, right, left_sel, right_sel)
+        if self._residual is not None:
+            mask = self._residual(merged, length)
+            kept = int(np.count_nonzero(mask))
+            if kept != length:
+                merged = _filter(merged, mask)
+                left_sel = left_sel[mask]
+                right_sel = right_sel[mask]
+                length = kept
+        matched_left[left_sel] = True
+        matched_right[right_sel] = True
+        if length == 0:
+            return _empty_output(self._output_names), matched_left, matched_right
+        out = {
+            name: materialize(fn(merged, length), length)
+            for name, fn in self._outputs
+        }
+        return ColumnBatch(out, length), matched_left, matched_right
+
+    def _merge(
+        self,
+        left: ColumnBatch,
+        right: ColumnBatch,
+        left_sel: np.ndarray,
+        right_sel: np.ndarray,
+    ) -> Tuple[Dict[str, Column], int]:
+        """Gather the referenced qualified columns of the aligned pairs."""
+        merged: Dict[str, Column] = {}
+        for alias, batch, selector in (
+            (self._left_alias, left, left_sel),
+            (self._right_alias, right, right_sel),
+        ):
+            prefix = alias + "."
+            for name, column in batch.columns.items():
+                qualified = prefix + name
+                if qualified in self._needed:
+                    merged[qualified] = _take(column, selector)
+        return merged, len(left_sel)
+
+
+class ColumnarNullPadOp(ColumnarOperator):
+    """Outer-join padding for an unmatched partition (paper §5.3).
+
+    The columnar counterpart of :class:`~repro.engine.operators.NullPadOp`:
+    ``side`` names the input whose rows are present; the opposite side is
+    all-NULL, handled entirely by the compile-time padded projection.
+    """
+
+    def __init__(self, node: AnalyzedNode, side: str):
+        if side not in ("left", "right"):
+            raise ValueError("side must be 'left' or 'right'")
+        self._projection = _PaddedProjection(
+            node, live_index=0 if side == "left" else 1
+        )
+
+    def process(self, *batches: ColumnBatch) -> ColumnBatch:
+        (batch,) = batches
+        if len(batch) == 0:
+            return _empty_output(self._projection.output_names)
+        return self._projection.apply(batch)
+
+
 def build_columnar_operator(
     node: AnalyzedNode, variant: str = "full"
 ) -> Optional[ColumnarOperator]:
     """The vectorized operator for a node, or None when it must row-fall-back.
 
-    Joins (and NULLPAD padding, which reuses the join projection) have no
-    columnar kernel yet; nodes whose expressions or aggregates cannot be
-    lowered also return None.  The cluster simulator treats None as "run
+    Every plan-node kind has a columnar kernel (selection, aggregation
+    variants, union, join); None is returned only when a node's
+    expressions or aggregates cannot be lowered (unregistered UDAFs,
+    unknown scalar functions).  The cluster simulator treats None as "run
     this node on the row engine".
     """
     try:
@@ -575,8 +817,21 @@ def build_columnar_operator(
             if variant == "super":
                 return ColumnarSuperAggregateOp(node)
             raise ValueError(f"unknown aggregation variant {variant!r}")
+        if node.kind is NodeKind.JOIN:
+            return ColumnarJoinOp(node)
         if node.kind is NodeKind.UNION:
             return ColumnarMergeOp()
     except UnsupportedExpression:
         return None
     return None
+
+
+def build_columnar_nullpad(
+    node: AnalyzedNode, side: str
+) -> Optional[ColumnarNullPadOp]:
+    """The vectorized NULLPAD operator, or None on an un-lowerable
+    projection (row fallback, like :func:`build_columnar_operator`)."""
+    try:
+        return ColumnarNullPadOp(node, side)
+    except UnsupportedExpression:
+        return None

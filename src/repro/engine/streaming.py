@@ -39,7 +39,7 @@ import numpy as np
 
 from ..expr.evaluator import compile_expr
 from ..expr.expressions import Attr, Binary, Const, ScalarExpr
-from ..expr.vectorizer import materialize
+from ..expr.vectorizer import materialize, vectorize_expr
 from ..gsql.analyzer import AnalyzedNode
 from .columnar import ColumnBatch
 from .operators import Batch, Row
@@ -327,7 +327,7 @@ class StreamingAggregate(StreamingNode):
 
 
 class StreamingJoin(StreamingNode):
-    """Buffer-and-release wrapper around the (row-engine) join operator.
+    """Buffer-and-release wrapper around a pure join operator.
 
     Both sides buffer until the temporal equality's lower bound passes a
     key value; the rows below the bound on *both* sides then join as one
@@ -335,6 +335,11 @@ class StreamingJoin(StreamingNode):
     and outer-join padding decided inside a released bucket are final.
     Joins emit no watermark — in the workload catalogs they are plan
     roots, and anything downstream drains at the flush.
+
+    Buffers follow the compiled operator's representation: a columnar
+    join keeps both sides as :class:`ColumnBuffer` (the temporal keys can
+    always be vectorized — the join kernel itself lowered them), a row
+    join as :class:`RowBuffer`.
     """
 
     def __init__(self, operator, node: AnalyzedNode):
@@ -342,14 +347,28 @@ class StreamingJoin(StreamingNode):
         self._operator = operator
         self._left_expr = equality.left if equality is not None else None
         self._right_expr = equality.right if equality is not None else None
-        self._left = RowBuffer(
-            compile_expr(self._left_expr) if self._left_expr is not None else None
-        )
-        self._right = RowBuffer(
-            compile_expr(self._right_expr)
-            if self._right_expr is not None
-            else None
-        )
+        if operator.columnar:
+            self._left = ColumnBuffer(
+                vectorize_expr(self._left_expr)
+                if self._left_expr is not None
+                else None
+            )
+            self._right = ColumnBuffer(
+                vectorize_expr(self._right_expr)
+                if self._right_expr is not None
+                else None
+            )
+        else:
+            self._left = RowBuffer(
+                compile_expr(self._left_expr)
+                if self._left_expr is not None
+                else None
+            )
+            self._right = RowBuffer(
+                compile_expr(self._right_expr)
+                if self._right_expr is not None
+                else None
+            )
 
     def buffered_rows(self) -> int:
         return len(self._left) + len(self._right)

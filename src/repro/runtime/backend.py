@@ -5,9 +5,11 @@ into a :class:`CompiledOperator` — the operator object bound to the input
 representation it expects.  The decision which representation a node runs
 on (vectorized columnar kernel vs. reference row operator) is made *here,
 at plan-compile time*: :meth:`ColumnarBackend.compile_node` resolves nodes
-without a vectorized kernel (joins, NULLPAD, unregistered UDAFs,
-un-lowerable expressions) to the row operator once, so the execution loop
-never re-checks capability per batch.
+without a vectorized kernel (unregistered UDAFs, un-lowerable
+expressions) to the row operator once, so the execution loop never
+re-checks capability per batch.  Every plan-node kind — selection,
+aggregation, merge, join, NULLPAD — now has a columnar kernel, so a
+fallback only occurs for exotic expressions.
 
 Backends also own the operator cache (a plan instantiates one copy per
 host of the same logical operator) and the construction of the stateful
@@ -23,6 +25,7 @@ from ..distopt.plan_ir import DistKind, DistNode, Variant
 from ..engine.columnar import (
     ColumnarMergeOp,
     ColumnBatch,
+    build_columnar_nullpad,
     build_columnar_operator,
     ensure_columns,
     ensure_rows,
@@ -266,11 +269,13 @@ class ColumnarBackend(EngineBackend):
         if node.kind is DistKind.MERGE:
             return CompiledOperator(ColumnarMergeOp(), columnar=True)
         if node.kind is DistKind.NULLPAD:
-            # Outer-join padding reuses the row join projection.
-            return self._row.compile_node(node)
-        operator = build_columnar_operator(
-            self._dag.node(node.query), node.variant.value
-        )
+            operator = build_columnar_nullpad(
+                self._dag.node(node.query), node.pad_side
+            )
+        else:
+            operator = build_columnar_operator(
+                self._dag.node(node.query), node.variant.value
+            )
         if operator is None:
             return self._row.compile_node(node)
         return CompiledOperator(operator, columnar=True)

@@ -155,6 +155,7 @@ class MetricsRecorder:
         self.node_stats: Dict[str, NodeStats] = {}
         self.flow_stats: Dict[int, HostFlowStats] = {}
         self.fault_counts: Dict[Tuple[int, str], int] = {}
+        self.fallback_nodes: Dict[str, str] = {}
         self.events: List[dict] = []
         self._phase: object = None
 
@@ -168,6 +169,7 @@ class MetricsRecorder:
         self.node_stats.clear()
         self.flow_stats.clear()
         self.fault_counts.clear()
+        self.fallback_nodes.clear()
         self.events.clear()
         self._phase = None
 
@@ -259,6 +261,36 @@ class MetricsRecorder:
             host.charge(rows_in * costs.merge, "union")
         else:
             raise ValueError(f"unexpected node kind {analyzed_kind!r}")
+
+    # -- compile-time decisions ------------------------------------------------
+
+    def record_compiled_node(
+        self, node_id: str, label: str, fallback: bool
+    ) -> None:
+        """One plan node's engine resolution, recorded at compile time.
+
+        ``fallback`` marks a node the engine could not run natively (on
+        the columnar backend: no vectorized kernel) and resolved to the
+        row operator.  Fallbacks are kept per node id in
+        ``fallback_nodes`` and surfaced in the event trace and the
+        ``repro timeline`` summary, so a silent row downgrade is visible
+        the moment it reappears.
+        """
+        if fallback:
+            self.fallback_nodes[node_id] = label
+        if self.record_events:
+            self.events.append(
+                {
+                    "event": "compile",
+                    "node": node_id,
+                    "label": label,
+                    "fallback": fallback,
+                }
+            )
+
+    @property
+    def fallback_count(self) -> int:
+        return len(self.fallback_nodes)
 
     # -- per-node counters -----------------------------------------------------
 

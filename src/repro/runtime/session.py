@@ -50,6 +50,15 @@ if TYPE_CHECKING:
 _WHOLE_TRACE = object()
 
 
+def _node_label(node: DistNode) -> str:
+    """A human-readable operator label for compile-event reporting."""
+    if node.kind is DistKind.MERGE:
+        return "merge"
+    if node.kind is DistKind.NULLPAD:
+        return f"nullpad[{node.pad_side}]:{node.query}"
+    return f"{node.query}/{node.variant.value}"
+
+
 @dataclass
 class SimulationResult:
     """Everything one run produces: loads, traffic, and query outputs."""
@@ -67,6 +76,10 @@ class SimulationResult:
     peak_batch_rows: Optional[int] = None
     # Per-node observability counters from the MetricsRecorder.
     node_stats: Dict[str, object] = field(default_factory=dict)
+    # Plan nodes the backend resolved to a row fallback at compile time
+    # (node id -> human-readable operator label).  Empty means every node
+    # ran on the engine's native representation.
+    fallback_nodes: Dict[str, str] = field(default_factory=dict)
     # Per-host ingest-queue accounting; populated only when a streaming
     # run had flow control or fault injection active.
     flow_stats: Dict[int, HostFlowStats] = field(default_factory=dict)
@@ -140,10 +153,17 @@ class ExecutionSession:
         self._recorder = recorder
         self._width_cache: Dict[str, float] = {}
         # Compile every live plan node up front: row-vs-columnar fallback
-        # is decided here, once, never in the execution loop.
+        # is decided here, once, never in the execution loop.  The
+        # resolution of each node is remembered so every run can replay
+        # it into the (reset) MetricsRecorder.
+        self._compiled_info: List[tuple] = []
         for node in plan.topological():
-            if node.kind is not DistKind.SOURCE:
-                backend.compile_node(node)
+            if node.kind is DistKind.SOURCE:
+                continue
+            backend.compile_node(node)
+            self._compiled_info.append(
+                (node.node_id, _node_label(node), not backend.supports(node))
+            )
 
     @property
     def backend(self) -> EngineBackend:
@@ -184,6 +204,8 @@ class ExecutionSession:
         recorder = self._recorder
         backend = self._backend
         recorder.reset()
+        for node_id, label, fallback in self._compiled_info:
+            recorder.record_compiled_node(node_id, label, fallback)
         prepared = {
             stream: backend.prepare(rows) for stream, rows in source_rows.items()
         }
@@ -287,6 +309,7 @@ class ExecutionSession:
             timeline=recorder.build_timeline(epochs) if streaming else None,
             peak_batch_rows=peak if streaming else None,
             node_stats=dict(recorder.node_stats),
+            fallback_nodes=dict(recorder.fallback_nodes),
             flow_stats=dict(recorder.flow_stats),
         )
 

@@ -136,6 +136,11 @@ def assert_streaming_matches_oneshot(workload, seed, engine, queue_capacity=None
         {"TCP": packets}, splitter, 10.0, queue_policy=policy
     )
     assert_same_simulation(oneshot, stream)
+    if engine == "columnar":
+        # Every node kind has a vectorized kernel now: the columnar
+        # backend must never silently downgrade a node to the row path.
+        assert oneshot.fallback_nodes == {}
+        assert stream.fallback_nodes == {}
     if policy is not None:
         for stats in stream.flow_stats.values():
             assert stats.conserves()

@@ -6,10 +6,15 @@ from repro.cluster import ClusterSimulator, HashSplitter, RoundRobinSplitter
 from repro.distopt import DistributedOptimizer, Placement
 from repro.engine import (
     AggregateOp,
+    ColumnarJoinOp,
+    ColumnarNullPadOp,
     ColumnBatch,
+    JoinOp,
+    NullPadOp,
     SubAggregateOp,
     SuperAggregateOp,
     batches_equal,
+    build_columnar_nullpad,
     build_columnar_operator,
     build_operator,
     ensure_columns,
@@ -134,7 +139,7 @@ class TestOperatorParity:
             )
             assert len(out) == 0 and out.to_rows() == []
 
-    def test_join_has_no_columnar_kernel(self, catalog):
+    def test_join_compiles_columnar(self, catalog):
         catalog.define_query(
             "flows",
             "SELECT tb, srcIP, COUNT(*) as cnt FROM TCP GROUP BY time as tb, srcIP",
@@ -144,7 +149,147 @@ class TestOperatorParity:
             "SELECT S1.tb, S1.srcIP FROM flows S1, flows S2 "
             "WHERE S1.srcIP = S2.srcIP and S2.tb = S1.tb + 1",
         )
-        assert build_columnar_operator(node) is None
+        assert isinstance(build_columnar_operator(node), ColumnarJoinOp)
+
+
+def _flow(tb, ip, cnt):
+    return {"tb": tb, "srcIP": ip, "cnt": cnt}
+
+
+class TestColumnarJoin:
+    """Edge cases the row join handles implicitly, asserted explicitly.
+
+    Every case runs both engines on the same inputs and compares output
+    multisets; the columnar result additionally round-trips through
+    ``to_rows`` so NULL padding and native-scalar conversion are covered.
+    """
+
+    def _node(self, catalog, join_clause, name="j"):
+        if name == "j":  # first definition in this catalog
+            catalog.define_query(
+                "flows",
+                "SELECT tb, srcIP, COUNT(*) as cnt "
+                "FROM TCP GROUP BY time as tb, srcIP",
+            )
+        return catalog.define_query(
+            name,
+            "SELECT S1.tb as tb, S1.srcIP as ip, S1.cnt + S2.cnt as total "
+            f"FROM flows S1 {join_clause} flows S2 "
+            "ON S1.srcIP = S2.srcIP and S2.tb = S1.tb",
+        )
+
+    def _parity(self, node, left, right):
+        row_out = JoinOp(node).process(list(left), list(right))
+        col_op = build_columnar_operator(node)
+        assert isinstance(col_op, ColumnarJoinOp)
+        col_out = col_op.process(
+            ColumnBatch.from_rows(left), ColumnBatch.from_rows(right)
+        ).to_rows()
+        assert batches_equal(row_out, col_out)
+        return col_out
+
+    def test_empty_build_side_inner(self, catalog):
+        node = self._node(catalog, "JOIN")
+        left = [_flow(1, 10, 3), _flow(1, 11, 4)]
+        assert self._parity(node, left, []) == []
+
+    def test_empty_build_side_left_outer_pads_every_probe_row(self, catalog):
+        node = self._node(catalog, "LEFT OUTER JOIN")
+        left = [_flow(1, 10, 3), _flow(2, 11, 4)]
+        out = self._parity(node, left, [])
+        assert len(out) == 2
+        assert all(row["total"] is None for row in out)
+
+    def test_empty_probe_side_right_outer_pads_every_build_row(self, catalog):
+        node = self._node(catalog, "RIGHT OUTER JOIN")
+        right = [_flow(1, 10, 3), _flow(2, 11, 4)]
+        out = self._parity(node, [], right)
+        assert len(out) == 2
+        assert all(row["total"] is None for row in out)
+
+    def test_both_sides_empty(self, catalog):
+        inner = self._node(catalog, "JOIN")
+        outer = self._node(catalog, "FULL OUTER JOIN", name="j_outer")
+        assert self._parity(inner, [], []) == []
+        assert self._parity(outer, [], []) == []
+
+    def test_all_rows_padded_full_outer_disjoint_keys(self, catalog):
+        node = self._node(catalog, "FULL OUTER JOIN")
+        left = [_flow(1, 10, 3), _flow(1, 11, 4)]
+        right = [_flow(2, 10, 5), _flow(2, 12, 6)]
+        out = self._parity(node, left, right)
+        assert len(out) == 4  # no key matches: every row survives padded
+        assert all(row["total"] is None for row in out)
+
+    def test_duplicate_key_collisions_cross_product(self, catalog):
+        node = self._node(catalog, "JOIN")
+        left = [_flow(1, 10, c) for c in (1, 2, 3)] + [_flow(1, 11, 9)]
+        right = [_flow(1, 10, c) for c in (10, 20)] + [_flow(1, 12, 9)]
+        out = self._parity(node, left, right)
+        assert len(out) == 6  # 3 left x 2 right rows share key (10, 1)
+        totals = sorted(row["total"] for row in out)
+        assert totals == [11, 12, 13, 21, 22, 23]
+
+    def test_duplicate_keys_full_outer_pads_once_per_unmatched_row(self, catalog):
+        node = self._node(catalog, "FULL OUTER JOIN")
+        left = [_flow(1, 10, 1), _flow(1, 10, 2), _flow(1, 11, 5)]
+        right = [_flow(1, 10, 7), _flow(1, 12, 8), _flow(1, 12, 9)]
+        out = self._parity(node, left, right)
+        matched = [row for row in out if row["total"] is not None]
+        padded = [row for row in out if row["total"] is None]
+        assert sorted(row["total"] for row in matched) == [8, 9]
+        assert len(padded) == 3  # left ip=11 once, right ip=12 twice
+
+    def test_residual_failure_still_pads_outer_rows(self, catalog):
+        # Keys match but the residual rejects the pair: the row engine
+        # counts neither side as matched, so outer joins pad both.
+        catalog.define_query(
+            "flows",
+            "SELECT tb, srcIP, COUNT(*) as cnt FROM TCP GROUP BY time as tb, srcIP",
+        )
+        node = catalog.define_query(
+            "j",
+            "SELECT S1.tb as tb, S1.srcIP as ip, S1.cnt + S2.cnt as total "
+            "FROM flows S1 FULL OUTER JOIN flows S2 "
+            "ON S1.srcIP = S2.srcIP and S2.tb = S1.tb and S1.cnt > S2.cnt",
+        )
+        left = [_flow(1, 10, 3), _flow(1, 11, 9)]
+        right = [_flow(1, 10, 5), _flow(1, 11, 2)]
+        out = self._parity(node, left, right)
+        matched = [row for row in out if row["total"] is not None]
+        padded = [row for row in out if row["total"] is None]
+        assert [row["total"] for row in matched] == [11]  # only 9 > 2
+        assert len(padded) == 2  # ip=10 pair fails 3 > 5: both sides pad
+
+
+class TestColumnarNullPad:
+    def _node(self, catalog):
+        catalog.define_query(
+            "flows",
+            "SELECT tb, srcIP, COUNT(*) as cnt FROM TCP GROUP BY time as tb, srcIP",
+        )
+        return catalog.define_query(
+            "j",
+            "SELECT S1.tb as tb, S1.srcIP as ip, S1.cnt + S2.cnt as total "
+            "FROM flows S1 FULL OUTER JOIN flows S2 "
+            "ON S1.srcIP = S2.srcIP and S2.tb = S1.tb",
+        )
+
+    def test_matches_row_nullpad_both_sides(self, catalog):
+        node = self._node(catalog)
+        rows = [_flow(1, 10, 3), _flow(2, 11, 4)]
+        for side in ("left", "right"):
+            expected = NullPadOp(node, side).process(list(rows))
+            col_op = build_columnar_nullpad(node, side)
+            assert isinstance(col_op, ColumnarNullPadOp)
+            got = col_op.process(ColumnBatch.from_rows(rows)).to_rows()
+            assert batches_equal(expected, got)
+            assert all(row["total"] is None for row in got)
+
+    def test_empty_input(self, catalog):
+        node = self._node(catalog)
+        out = build_columnar_nullpad(node, "left").process(ColumnBatch({}, 0))
+        assert len(out) == 0 and out.to_rows() == []
 
 
 class TestVectorizedSplitting:

@@ -82,6 +82,29 @@ def test_engine_parity(workload, ps, hosts, tiny_trace):
     assert_results_match(row, col)
 
 
+@pytest.mark.parametrize("streaming", (False, True), ids=("oneshot", "streaming"))
+@pytest.mark.parametrize("workload", ("complex", "jitter"))
+def test_join_workloads_compile_fully_columnar(workload, streaming, tiny_trace):
+    """The complex-query catalogs behind figures 13/14 (§6.3 flows ->
+    heavy_flows -> flow_pairs, §6.2 jitter self-join) run end-to-end
+    vectorized: zero row-fallback nodes under the columnar engine, with
+    outputs and CPU/network accounting identical to the row engine —
+    one-shot and streaming."""
+    catalog_fn, deliver = WORKLOADS[workload]
+    _, dag = catalog_fn()
+    placement = Placement(3, 2)
+    ps = PS_CHOICES[1]
+    plan = DistributedOptimizer(dag, placement, ps, deliver=deliver).optimize()
+    splitter = HashSplitter(placement.num_partitions, ps)
+    results = {}
+    for engine in ENGINES:
+        sim = ClusterSimulator(dag, plan, stream_rate=1000, engine=engine)
+        run = sim.run_streaming if streaming else sim.run
+        results[engine] = run({"TCP": tiny_trace.packets}, splitter, 10.0)
+        assert results[engine].fallback_nodes == {}, engine
+    assert_results_match(results["row"], results["columnar"])
+
+
 def test_engine_names_are_closed():
     assert ENGINES == ("row", "columnar")
     _, dag = suspicious_flows_catalog()

@@ -17,11 +17,50 @@ from repro.cluster.network import NetworkMeter
 from repro.distopt import DistributedOptimizer, Placement
 from repro.distopt.plan_ir import DistKind
 from repro.partitioning import PartitioningSet
+from repro.engine.aggregates import AggregateFunction, register_aggregate
+from repro.gsql.catalog import Catalog
+from repro.gsql.schema import tcp_schema
+from repro.plan import QueryDag
 from repro.runtime import backend as backend_module
 from repro.runtime.backend import ColumnarBackend, RowBackend, create_backend
 from repro.runtime.metrics import MetricsRecorder
 
 from tests.parity import assert_same_simulation
+
+
+class _LastValue(AggregateFunction):
+    """A UDAF with no vectorized kernel — forces a columnar row fallback."""
+
+    name = "LAST_VALUE"
+    splittable = True
+
+    def initial(self):
+        return None
+
+    def update(self, state, value):
+        return value
+
+    def merge(self, state, other):
+        return other if other is not None else state
+
+    def final(self, state):
+        return state
+
+
+register_aggregate(_LastValue())
+
+
+@pytest.fixture
+def udaf_dag():
+    """A DAG whose aggregate only the row engine can run."""
+    catalog = Catalog()
+    catalog.add_stream(tcp_schema())
+    catalog.define_query(
+        "latest",
+        "SELECT tb, srcIP, LAST_VALUE(len) as last_len FROM TCP "
+        "GROUP BY time as tb, srcIP",
+    )
+    return QueryDag.from_catalog(catalog)
 
 
 def _complex_plan(dag, hosts=3, ps=PartitioningSet.of("srcIP")):
@@ -45,23 +84,33 @@ def _nodes_by_kind(dag, plan):
 
 
 class TestCompileTimeResolution:
-    def test_columnar_backend_resolves_join_to_row_at_compile(self, complex_dag):
+    def test_columnar_backend_compiles_every_kind_natively(self, complex_dag):
+        """Joins (and with them the fig13/fig14 complex plans) no longer
+        row-fall-back: every node kind has a vectorized kernel."""
         plan, _ = _complex_plan(complex_dag)
         columnar = ColumnarBackend(complex_dag)
         kinds = _nodes_by_kind(complex_dag, plan)
-        join = kinds["join"]
-        compiled = columnar.compile_node(join)
-        assert compiled.columnar is False
-        assert columnar.supports(join) is False
-        # The fallback shares the row backend's compiled operator.
-        assert compiled is columnar._row.compile_node(join)
+        assert "join" in kinds
+        for label, node in kinds.items():
+            assert columnar.supports(node) is True, label
+            assert columnar.compile_node(node).columnar is True, label
 
-    def test_columnar_backend_keeps_native_kernels(self, complex_dag):
-        plan, _ = _complex_plan(complex_dag)
-        columnar = ColumnarBackend(complex_dag)
-        kinds = _nodes_by_kind(complex_dag, plan)
-        for label in ("aggregation", "merge"):
-            assert columnar.supports(kinds[label]) is True, label
+    def test_unvectorizable_udaf_resolves_to_row_at_compile(self, udaf_dag):
+        """The only remaining fallback reason: an aggregate with no
+        vectorized kernel.  The fallback shares the row backend's
+        compiled operator."""
+        plan = DistributedOptimizer(udaf_dag, Placement(2, 2), None).optimize()
+        columnar = ColumnarBackend(udaf_dag)
+        fallbacks = [
+            node
+            for node in plan.topological()
+            if node.kind is not DistKind.SOURCE and not columnar.supports(node)
+        ]
+        assert fallbacks
+        for node in fallbacks:
+            compiled = columnar.compile_node(node)
+            assert compiled.columnar is False
+            assert compiled is columnar._row.compile_node(node)
 
     def test_row_backend_supports_everything(self, complex_dag):
         plan, _ = _complex_plan(complex_dag)
@@ -208,11 +257,16 @@ class TestMetricsRecorder:
         assert len(lines) == count > 0
         events = [json.loads(line) for line in lines]
         kinds = {event["event"] for event in events}
-        assert kinds == {"epoch", "node", "transfer"}
+        assert kinds == {"compile", "epoch", "node", "transfer"}
+        # Compile events record each node's engine resolution; on a fully
+        # vectorizable plan none is a fallback.
+        compile_events = [e for e in events if e["event"] == "compile"]
+        assert compile_events
+        assert all(e["fallback"] is False for e in compile_events)
         # Every node step is attributed to an epoch (or the flush phase).
         node_events = [e for e in events if e["event"] == "node"]
         assert node_events and all("epoch" in e for e in node_events)
-        assert any(e["epoch"] == "flush" for e in events)
+        assert any(e.get("epoch") == "flush" for e in events)
 
     def test_events_off_by_default(self, suspicious_dag, tiny_trace):
         placement = Placement(2, 2)
@@ -224,3 +278,62 @@ class TestMetricsRecorder:
             10.0,
         )
         assert sim.metrics.events == []
+
+
+class TestFallbackObservability:
+    """Compile-time row fallbacks are counted, labelled, and traced —
+    never silent."""
+
+    def _run(self, dag, tiny_trace, engine, record_events=False):
+        placement = Placement(2, 2)
+        plan = DistributedOptimizer(dag, placement, None).optimize()
+        sim = ClusterSimulator(
+            dag, plan, stream_rate=1000, engine=engine,
+            record_events=record_events,
+        )
+        result = sim.run(
+            {"TCP": tiny_trace.packets},
+            RoundRobinSplitter(placement.num_partitions),
+            10.0,
+        )
+        return sim, result
+
+    def test_udaf_fallback_is_recorded(self, udaf_dag, tiny_trace):
+        sim, result = self._run(udaf_dag, tiny_trace, "columnar")
+        assert result.fallback_nodes
+        assert sim.metrics.fallback_count == len(result.fallback_nodes)
+        for label in result.fallback_nodes.values():
+            assert label.startswith("latest/")
+
+    def test_row_engine_reports_no_fallbacks(self, udaf_dag, tiny_trace):
+        _, result = self._run(udaf_dag, tiny_trace, "row")
+        assert result.fallback_nodes == {}
+
+    def test_fallback_appears_in_event_trace(self, udaf_dag, tiny_trace):
+        sim, result = self._run(
+            udaf_dag, tiny_trace, "columnar", record_events=True
+        )
+        compile_events = [
+            e for e in sim.metrics.events if e["event"] == "compile"
+        ]
+        flagged = {e["node"] for e in compile_events if e["fallback"]}
+        assert flagged == set(result.fallback_nodes)
+
+    def test_fallbacks_survive_recorder_reset_across_runs(
+        self, udaf_dag, tiny_trace
+    ):
+        """Each run replays the compile decisions into the freshly reset
+        recorder, so the second run reports the same fallbacks."""
+        sim, first = self._run(udaf_dag, tiny_trace, "columnar")
+        second = sim.run(
+            {"TCP": tiny_trace.packets},
+            RoundRobinSplitter(4),
+            10.0,
+        )
+        assert second.fallback_nodes == first.fallback_nodes
+
+    def test_fully_vectorized_plan_has_no_fallbacks(
+        self, complex_dag, tiny_trace
+    ):
+        _, result = self._run(complex_dag, tiny_trace, "columnar")
+        assert result.fallback_nodes == {}

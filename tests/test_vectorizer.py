@@ -12,12 +12,14 @@ from repro.expr import (
     UnsupportedExpression,
     compile_expr,
     materialize,
+    null_column,
     parse_scalar,
     vectorize_expr,
     vectorize_key,
+    vectorize_padded_output,
     vectorize_predicate,
 )
-from repro.expr.expressions import Attr, Const, Func
+from repro.expr.expressions import Attr, Binary, Const, Func, Unary
 
 COLUMNS = {
     "srcIP": np.asarray([0x0A000001, 0x0A0000F3, 0x0A000010, 0x0A000001]),
@@ -142,3 +144,84 @@ def test_row_engine_in_frozenset_optimization_semantics():
     assert fn({"len": 40}) is True or fn({"len": 40}) == True  # noqa: E712
     assert fn({"len": 1500}) == True  # noqa: E712  (1500 == 1500.0)
     assert fn({"len": 99}) == False  # noqa: E712
+
+
+# -- padded (outer-join) projection lowering -----------------------------------
+
+LIVE = {
+    "S1.len": np.asarray([40, 1500, 732, 40]),
+    "S1.time": np.asarray([0, 59, 60, 121]),
+}
+PADDED_NAMES = ("S2.len", "S2.time")
+
+
+def _is_padded(name):
+    return name.startswith("S2.")
+
+
+def _padded_rows():
+    """Merged qualified rows as the row engine's padded projection sees
+    them: live side real values, padded side all None."""
+    rows = []
+    for i in range(LENGTH):
+        row = {name: int(values[i]) for name, values in LIVE.items()}
+        row.update({name: None for name in PADDED_NAMES})
+        rows.append(row)
+    return rows
+
+
+def assert_matches_row_padded_projection(expr):
+    row_fn = compile_expr(expr)
+    expected = []
+    for row in _padded_rows():
+        try:
+            expected.append(row_fn(row))
+        except TypeError:
+            expected.append(None)  # the row projection's padded catch
+    vec = materialize(
+        vectorize_padded_output(expr, _is_padded)(LIVE, LENGTH), LENGTH
+    )
+    assert len(vec) == LENGTH
+    assert vec.tolist() == expected, str(expr)
+
+
+@pytest.mark.parametrize(
+    "expr",
+    [
+        Attr("S2.len"),  # bare padded attribute
+        Attr("S1.len"),  # live side passes through untouched
+        Binary("+", Attr("S1.len"), Attr("S2.len")),  # NULL arithmetic
+        Binary("*", Attr("S2.len"), Const(2)),
+        Unary("-", Attr("S2.len")),
+        Func("ABS", (Binary("-", Attr("S2.len"), Const(100)),)),
+        Func("MIN2", (Attr("S1.len"), Attr("S2.len"))),
+        Func("EQ", (Attr("S2.len"), Attr("S1.len"))),  # None == x is False
+        Func("NE", (Attr("S2.len"), Attr("S1.len"))),
+        Func("EQ", (Attr("S2.len"), Attr("S2.time"))),  # None == None
+        Func("GT", (Attr("S1.len"), Attr("S2.len"))),  # ordered: TypeError
+        Func("AND", (Func("GT", (Attr("S1.len"), Const(100))), Attr("S2.len"))),
+        Func("OR", (Attr("S2.len"), Func("GT", (Attr("S1.len"), Const(100))))),
+        Func("NOT", (Attr("S2.len"),)),
+        Func("IN", (Attr("S2.len"), Const(40), Const(99))),
+        Func("IN", (Attr("S1.len"), Attr("S2.len"), Const(40))),
+        Func(
+            "AND",
+            (
+                Func("GT", (Attr("S2.len"), Const(0))),
+                Func("GT", (Attr("S1.len"), Const(100))),
+            ),
+        ),  # eager row-engine args: the padded TypeError poisons the AND
+    ],
+    ids=str,
+)
+def test_padded_projection_matches_row_semantics(expr):
+    assert_matches_row_padded_projection(expr)
+
+
+def test_null_column_is_object_dtype_none():
+    column = null_column(3)
+    assert column.dtype == object
+    assert column.tolist() == [None, None, None]
+    # concat with a numeric column keeps the Nones intact
+    merged = np.concatenate([np.asarray([1, 2]), column])
+    assert merged.tolist() == [1, 2, None, None, None]
