@@ -15,6 +15,14 @@ Absolute timings are machine-dependent, so the default threshold is
 deliberately loose — the check exists to catch order-of-magnitude cliffs
 (e.g. a vectorized kernel silently falling back to rows), not 5% noise.
 
+The parallel-execution sweep (``benchmarks/bench_parallel.py`` →
+``benchmarks/results/BENCH_parallel.json``) is checked too, when
+present, with a split verdict: the ``modeled`` section (cost-model
+parallelism headroom, deterministic across machines) is *gated* like
+the engine throughputs, while the ``wall`` section (measured wall-clock
+speedups, entirely machine-dependent — a single-core runner can never
+show one) is printed informationally and never fails the check.
+
 Exit status: 0 when every benchmark holds, 1 on any regression or when an
 input file is missing or unreadable.
 """
@@ -30,6 +38,12 @@ import sys
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 CURRENT = os.path.join(REPO_ROOT, "benchmarks", "results", "BENCH_engine.json")
 BASELINE = os.path.join(REPO_ROOT, "benchmarks", "baseline", "BENCH_engine.json")
+PARALLEL_CURRENT = os.path.join(
+    REPO_ROOT, "benchmarks", "results", "BENCH_parallel.json"
+)
+PARALLEL_BASELINE = os.path.join(
+    REPO_ROOT, "benchmarks", "baseline", "BENCH_parallel.json"
+)
 
 
 def load(path: str) -> dict:
@@ -72,6 +86,65 @@ def compare(baseline: dict, current: dict, threshold: float) -> int:
     return 0
 
 
+def compare_parallel(baseline_path: str, current_path: str,
+                     threshold: float) -> int:
+    """Split verdict on BENCH_parallel.json: gate modeled, report wall.
+
+    Absent files are not an error — the parallel sweep is optional and
+    engine-only benchmark runs must keep working unchanged.
+    """
+    if not os.path.exists(current_path):
+        print("\nno parallel sweep results; skipping "
+              "(run benchmarks/bench_parallel.py to produce them)")
+        return 0
+    try:
+        with open(current_path) as handle:
+            current = json.load(handle)
+        baseline_modeled = {}
+        if os.path.exists(baseline_path):
+            with open(baseline_path) as handle:
+                baseline_modeled = json.load(handle).get("modeled", {})
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error reading parallel benchmark files: {exc}")
+        return 1
+    print("\nparallel execution sweep "
+          f"(cpu_count={current.get('cpu_count')}):")
+    regressions = []
+    modeled = current.get("modeled", {})
+    names = sorted(set(baseline_modeled) | set(modeled))
+    width = max((len(name) for name in names), default=0)
+    for name in names:
+        entry = modeled.get(name)
+        base = baseline_modeled.get(name)
+        if entry is None:
+            print(f"MISSING  {name:<{width}}  (in baseline, not in current)")
+            regressions.append(name)
+            continue
+        speedup = entry.get("speedup", 0.0)
+        if base is None:
+            print(f"NEW      {name:<{width}}  {speedup:6.2f}x modeled")
+            continue
+        base_speedup = base.get("speedup", 0.0)
+        ratio = speedup / base_speedup if base_speedup else 1.0
+        status = "ok" if ratio >= 1.0 - threshold else "REGRESSED"
+        print(f"{status:<10}{name:<{width}}  "
+              f"{base_speedup:6.2f}x -> {speedup:6.2f}x modeled "
+              f"({ratio:6.2f}x)")
+        if status != "ok":
+            regressions.append(name)
+    for name in sorted(current.get("wall", {})):
+        entry = current["wall"][name]
+        print(f"info      {name:<{width}}  "
+              f"{entry.get('inprocess_sec', 0.0):8.3f}s -> "
+              f"{entry.get('parallel_sec', 0.0):8.3f}s wall "
+              f"({entry.get('speedup', 0.0):5.2f}x, informational)")
+    if regressions:
+        print(f"\n{len(regressions)} modeled parallel metric(s) regressed "
+              f"beyond {threshold:.0%} of baseline")
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--current", default=CURRENT)
@@ -100,6 +173,9 @@ def main(argv=None) -> int:
         os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
         shutil.copyfile(args.current, args.baseline)
         print(f"baseline updated: {args.baseline}")
+        if os.path.exists(PARALLEL_CURRENT):
+            shutil.copyfile(PARALLEL_CURRENT, PARALLEL_BASELINE)
+            print(f"baseline updated: {PARALLEL_BASELINE}")
         return 0
     if not os.path.exists(args.baseline):
         print(f"no baseline at {args.baseline}; create one with --update")
@@ -110,7 +186,11 @@ def main(argv=None) -> int:
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"error reading benchmark files: {exc}")
         return 1
-    return compare(baseline, current, args.threshold)
+    status = compare(baseline, current, args.threshold)
+    parallel_status = compare_parallel(
+        PARALLEL_BASELINE, PARALLEL_CURRENT, args.threshold
+    )
+    return max(status, parallel_status)
 
 
 if __name__ == "__main__":

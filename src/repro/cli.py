@@ -112,6 +112,21 @@ def _simulation_flags() -> argparse.ArgumentParser:
         default="columnar",
         help="execution backend (identical results; columnar is faster)",
     )
+    common.add_argument(
+        "--execution",
+        choices=("inprocess", "parallel"),
+        default="inprocess",
+        help="where operators run: in this process, or one forked worker "
+        "per simulated host (identical results)",
+    )
+    common.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap the parallel worker pool at N processes "
+        "(default: one per simulated host)",
+    )
     return common
 
 
@@ -129,6 +144,8 @@ def cmd_figures(args) -> int:
         host_capacity=capacity,
         engine=args.engine,
         streaming=args.streaming,
+        execution=args.execution,
+        workers=args.workers,
     )
     print(
         format_figure(
@@ -185,15 +202,31 @@ def cmd_timeline(args) -> int:
         host_capacity=experiment_capacity(args.experiment, trace),
         engine=args.engine,
         streaming=True,
-        record_events=args.events_out is not None,
+        record_events=True,
         queue_policy=queue_policy,
         faults=faults,
+        execution=args.execution,
+        workers=args.workers,
     )
     result = outcome.result
     print(
         f"experiment {args.experiment}, {configuration.name!r}, "
-        f"{num_hosts} host(s), engine {args.engine}"
+        f"{num_hosts} host(s), engine {args.engine}, "
+        f"execution {result.execution}"
     )
+    host_pids = outcome.simulator.metrics.host_pids()
+    by_host = ", ".join(
+        f"h{host}:{'/'.join(str(pid) for pid in pids)}"
+        for host, pids in sorted(
+            (h, p) for h, p in host_pids.items() if h is not None
+        )
+    )
+    driver = host_pids.get(None)
+    if by_host:
+        print(
+            f"processes: driver {'/'.join(str(p) for p in driver or ())} — "
+            f"{by_host}"
+        )
     print(result.summary())
     print(
         f"peak resident batch: {result.peak_batch_rows} rows over "

@@ -107,9 +107,18 @@ class ClusterSimulator:
         source_rows: Mapping[str, Sequence[dict]],
         splitter: Splitter,
         duration_sec: float,
+        execution: str = "inprocess",
+        workers: Optional[int] = None,
     ) -> SimulationResult:
-        """Split the trace, execute the plan, and collect metrics."""
-        return self._session.execute(source_rows, splitter, duration_sec)
+        """Split the trace, execute the plan, and collect metrics.
+
+        ``execution``/``workers`` select where operators run — see
+        :meth:`run_streaming`; results are identical either way.
+        """
+        return self._session.execute(
+            source_rows, splitter, duration_sec,
+            execution=execution, workers=workers,
+        )
 
     def run_streaming(
         self,
@@ -119,6 +128,8 @@ class ClusterSimulator:
         epoch_column: str = "time",
         queue_policy: Optional[QueuePolicy] = None,
         faults: Optional[FaultPlan] = None,
+        execution: str = "inprocess",
+        workers: Optional[int] = None,
     ) -> SimulationResult:
         """Execute the plan one epoch at a time with bounded memory.
 
@@ -143,6 +154,14 @@ class ClusterSimulator:
         Sources must arrive sorted by the epoch column for round-robin
         splitting to reproduce the one-shot assignment (generated traces
         are); hash splitting is order-independent.
+
+        ``execution="parallel"`` runs each simulated host's pipeline in
+        its own OS process (one forked worker per host, capped at
+        ``workers``; see :mod:`repro.runtime.parallel`) with the splitter
+        routing in this process.  Outputs, accounting, and flow stats are
+        identical to in-process execution; when parallelism is impossible
+        the run falls back in-process and records the reason as an
+        ``execution`` event.
         """
         return self._session.execute(
             source_rows,
@@ -152,4 +171,6 @@ class ClusterSimulator:
             epoch_column=epoch_column,
             queue_policy=queue_policy,
             faults=faults,
+            execution=execution,
+            workers=workers,
         )

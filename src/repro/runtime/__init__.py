@@ -24,6 +24,12 @@ Three layers, each with one responsibility:
   delayed delivery, and duplicate delivery; drops and faults are charged
   to the recorder as per-epoch, per-host counters and ``drop``/``fault``
   events.
+* :mod:`repro.runtime.parallel` — multiprocess host execution.  A
+  :class:`~repro.runtime.parallel.ParallelExecutor` forks one worker
+  process per simulated host and plugs into the session's
+  :class:`~repro.runtime.session.StepExecutor` seam; columnar batches
+  travel by shared memory and the driver replays all accounting, so
+  results are identical to in-process execution.
 
 :class:`~repro.cluster.simulator.ClusterSimulator` remains the
 backwards-compatible facade over these layers.
@@ -50,10 +56,19 @@ from .flowcontrol import (
     create_ingest_controller,
 )
 from .metrics import HostFlowStats, MetricsRecorder, NodeStats, Timeline
-from .session import ExecutionSession, SimulationResult
+from .parallel import ParallelExecutor, ParallelUnavailable
+from .session import (
+    EXECUTION_MODES,
+    ExecutionSession,
+    InProcessExecutor,
+    SimulationResult,
+    StepExecutor,
+    StepOutcome,
+)
 
 __all__ = [
     "BLOCK",
+    "EXECUTION_MODES",
     "ColumnarBackend",
     "CompiledOperator",
     "DROP_NEWEST",
@@ -64,14 +79,19 @@ __all__ = [
     "Fault",
     "FaultPlan",
     "HostFlowStats",
+    "InProcessExecutor",
     "IngestController",
     "MetricsRecorder",
     "NodeStats",
+    "ParallelExecutor",
+    "ParallelUnavailable",
     "QUEUE_MODES",
     "QueuePolicy",
     "QueuedIngestController",
     "RowBackend",
     "SimulationResult",
+    "StepExecutor",
+    "StepOutcome",
     "Timeline",
     "create_backend",
     "create_ingest_controller",

@@ -60,13 +60,31 @@ class CompiledOperator:
     ``columnar`` records the backend's compile-time choice; ``process``
     only coerces inputs to that fixed representation — there is no
     per-batch capability check or fallback left to make.
+
+    Instances are picklable by *recipe*: operators hold vectorized
+    closures that cannot cross process boundaries, so pickling ships the
+    ``(engine, dag, node)`` triple that produced the operator and
+    unpickling recompiles it — the parallel runtime hands compiled
+    operators to its forked workers at pool start this way.  The dag is
+    shared (pickle memoizes it) when a whole compile cache travels in one
+    payload.
     """
 
-    __slots__ = ("operator", "columnar")
+    __slots__ = ("operator", "columnar", "recipe")
 
-    def __init__(self, operator, columnar: bool):
+    def __init__(self, operator, columnar: bool, recipe: Optional[tuple] = None):
         self.operator = operator
         self.columnar = columnar
+        self.recipe = recipe
+
+    def __reduce__(self):
+        if self.recipe is None:
+            raise TypeError(
+                "CompiledOperator without a compile recipe is not picklable "
+                "(operators capture vectorized closures); compile it through "
+                "an EngineBackend"
+            )
+        return (_rebuild_compiled, self.recipe)
 
     def coerce(self, batch) -> Batch:
         """Convert a batch to this operator's input representation."""
@@ -84,6 +102,16 @@ class CompiledOperator:
 
 def _operator_key(node: DistNode) -> tuple:
     return (node.kind, node.query, node.variant, node.pad_side)
+
+
+def _rebuild_compiled(engine: str, dag: QueryDag, node: DistNode) -> "CompiledOperator":
+    """Unpickle hook: recompile a :class:`CompiledOperator` from its recipe.
+
+    Recompilation replays the exact compile-time decision (including a
+    columnar node resolving to the row fallback), so the rebuilt operator
+    is behaviourally identical to the original.
+    """
+    return create_backend(engine, dag).compile_node(node)
 
 
 class EngineBackend:
@@ -123,6 +151,11 @@ class EngineBackend:
         """The compile cache, keyed by ``(kind, query, variant, pad_side)``
         — one entry per *logical* operator, shared by every host's copy."""
         return self._cache
+
+    @property
+    def dag(self) -> QueryDag:
+        """The analyzed query dag this backend compiles against."""
+        return self._dag
 
     def supports(self, node: DistNode) -> bool:
         raise NotImplementedError
@@ -224,7 +257,9 @@ class RowBackend(EngineBackend):
             operator = NullPadOp(self._dag.node(node.query), node.pad_side)
         else:
             operator = build_operator(self._dag.node(node.query), node.variant.value)
-        return CompiledOperator(operator, columnar=False)
+        return CompiledOperator(
+            operator, columnar=False, recipe=(self.name, self._dag, node)
+        )
 
     def prepare(self, rows) -> Batch:
         return ensure_rows(rows)
@@ -266,8 +301,9 @@ class ColumnarBackend(EngineBackend):
         return self.compile_node(node).columnar
 
     def _compile(self, node: DistNode) -> CompiledOperator:
+        recipe = (self.name, self._dag, node)
         if node.kind is DistKind.MERGE:
-            return CompiledOperator(ColumnarMergeOp(), columnar=True)
+            return CompiledOperator(ColumnarMergeOp(), columnar=True, recipe=recipe)
         if node.kind is DistKind.NULLPAD:
             operator = build_columnar_nullpad(
                 self._dag.node(node.query), node.pad_side
@@ -278,7 +314,7 @@ class ColumnarBackend(EngineBackend):
             )
         if operator is None:
             return self._row.compile_node(node)
-        return CompiledOperator(operator, columnar=True)
+        return CompiledOperator(operator, columnar=True, recipe=recipe)
 
     def prepare(self, rows) -> Batch:
         return ensure_columns(rows)

@@ -13,12 +13,17 @@ coordinates them.
 With ``record_events=True`` the recorder additionally keeps a structured
 event trace (one dict per epoch boundary / node step / link transfer)
 that :meth:`MetricsRecorder.dump_events` writes as JSON lines for
-offline inspection.
+offline inspection.  Every event carries ``host`` (the cluster host the
+event is attributed to, None for cluster-wide events) and ``pid`` (the
+OS process that did the work — the driver for routing/epoch events, a
+worker process for node steps under parallel execution), so traces from
+multiprocess runs remain attributable.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
@@ -158,6 +163,14 @@ class MetricsRecorder:
         self.fallback_nodes: Dict[str, str] = {}
         self.events: List[dict] = []
         self._phase: object = None
+        self._pid = os.getpid()
+
+    def _event(self, payload: dict, host: Optional[int] = None,
+               pid: Optional[int] = None) -> None:
+        """Append one trace event, host/pid-tagged (see module docstring)."""
+        payload["host"] = host
+        payload["pid"] = pid if pid is not None else self._pid
+        self.events.append(payload)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -180,14 +193,34 @@ class MetricsRecorder:
             host.begin_epoch()
         self.network.begin_epoch()
         if self.record_events:
-            self.events.append({"event": "epoch", "epoch": epoch})
+            self._event({"event": "epoch", "epoch": epoch})
 
     def begin_flush(self) -> None:
         """Mark the flush step.  No new bucket: flush work folds into the
         last epoch's bucket, keeping every series summing to run totals."""
         self._phase = FLUSH_PHASE
         if self.record_events:
-            self.events.append({"event": "epoch", "epoch": FLUSH_PHASE})
+            self._event({"event": "epoch", "epoch": FLUSH_PHASE})
+
+    def record_execution_mode(
+        self, mode: str, workers: Optional[int] = None, reason: Optional[str] = None
+    ) -> None:
+        """How this run executes operators, decided at session start.
+
+        ``mode`` is ``"parallel"`` (multiprocess host execution) or
+        ``"inprocess"``; ``reason`` explains a fallback (parallel was
+        requested but unavailable — single host, one worker, or no usable
+        multiprocessing start method).  Recorded as a ``compile``-style
+        setup event so a silent downgrade to serial execution is visible
+        in the trace.
+        """
+        if self.record_events:
+            event = {"event": "execution", "mode": mode}
+            if workers is not None:
+                event["workers"] = workers
+            if reason is not None:
+                event["reason"] = reason
+            self._event(event)
 
     # -- charging primitives ---------------------------------------------------
 
@@ -203,7 +236,7 @@ class MetricsRecorder:
         self.charge(src_host, tuples * self.costs.send_remote, "send")
         self.charge(dst_host, tuples * self.costs.receive_remote, "ingest-remote")
         if self.record_events and tuples:
-            self.events.append(
+            self._event(
                 {
                     "event": "transfer",
                     "epoch": self._phase,
@@ -211,7 +244,8 @@ class MetricsRecorder:
                     "dst": dst_host,
                     "tuples": tuples,
                     "bytes": tuples * width,
-                }
+                },
+                host=dst_host,
             )
 
     def charge_local_ingest(self, host: int, tuples: int) -> None:
@@ -265,7 +299,7 @@ class MetricsRecorder:
     # -- compile-time decisions ------------------------------------------------
 
     def record_compiled_node(
-        self, node_id: str, label: str, fallback: bool
+        self, node_id: str, label: str, fallback: bool, host: Optional[int] = None
     ) -> None:
         """One plan node's engine resolution, recorded at compile time.
 
@@ -279,13 +313,14 @@ class MetricsRecorder:
         if fallback:
             self.fallback_nodes[node_id] = label
         if self.record_events:
-            self.events.append(
+            self._event(
                 {
                     "event": "compile",
                     "node": node_id,
                     "label": label,
                     "fallback": fallback,
-                }
+                },
+                host=host,
             )
 
     @property
@@ -301,7 +336,12 @@ class MetricsRecorder:
         rows_out: int,
         width: float,
         wall_seconds: float,
+        host: Optional[int] = None,
+        pid: Optional[int] = None,
     ) -> None:
+        """One node step's counters.  ``host`` is the plan host executing
+        the node; ``pid`` the OS process that ran the operator (a worker
+        process under parallel execution, the driver otherwise)."""
         stats = self.node_stats.get(node_id)
         if stats is None:
             stats = self.node_stats[node_id] = NodeStats()
@@ -311,7 +351,7 @@ class MetricsRecorder:
         stats.wall_seconds += wall_seconds
         stats.steps += 1
         if self.record_events:
-            self.events.append(
+            self._event(
                 {
                     "event": "node",
                     "epoch": self._phase,
@@ -319,7 +359,9 @@ class MetricsRecorder:
                     "rows_in": rows_in,
                     "rows_out": rows_out,
                     "wall_us": round(wall_seconds * 1e6, 3),
-                }
+                },
+                host=host,
+                pid=pid,
             )
 
     # -- flow control ----------------------------------------------------------
@@ -353,14 +395,14 @@ class MetricsRecorder:
             stats.rows_dropped.append(rows_dropped)
             stats.rows_queued.append(rows_queued)
         if self.record_events and rows_dropped:
-            self.events.append(
+            self._event(
                 {
                     "event": "drop",
                     "epoch": self._phase,
-                    "host": host,
                     "rows": rows_dropped,
                     "queued": rows_queued,
-                }
+                },
+                host=host,
             )
 
     def record_fault(self, host: int, kind: str, rows: int) -> None:
@@ -369,14 +411,14 @@ class MetricsRecorder:
         key = (host, kind)
         self.fault_counts[key] = self.fault_counts.get(key, 0) + rows
         if self.record_events:
-            self.events.append(
+            self._event(
                 {
                     "event": "fault",
                     "epoch": self._phase,
-                    "host": host,
                     "kind": kind,
                     "rows": rows,
-                }
+                },
+                host=host,
             )
 
     # -- assembly --------------------------------------------------------------
@@ -398,6 +440,22 @@ class MetricsRecorder:
             link_tuples=link_tuples,
             link_bytes=link_bytes,
         )
+
+    def host_pids(self) -> Dict[Optional[int], List[int]]:
+        """Distinct executing pids per host seen in the event trace.
+
+        The None key collects cluster-wide events (epoch boundaries,
+        execution-mode records) — always the driver pid.  In-process runs
+        show one pid everywhere; parallel runs show one worker pid per
+        host plus the driver.
+        """
+        by_host: Dict[Optional[int], set] = {}
+        for event in self.events:
+            pid = event.get("pid")
+            if pid is None:
+                continue
+            by_host.setdefault(event.get("host"), set()).add(pid)
+        return {host: sorted(pids) for host, pids in by_host.items()}
 
     def dump_events(self, handle) -> int:
         """Write the recorded event trace as JSON lines; returns the count."""

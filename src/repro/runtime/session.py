@@ -16,6 +16,14 @@ Operators come pre-compiled from the :class:`~repro.runtime.backend.EngineBacken
 (row/columnar resolution happens at session construction, never per
 batch); all accounting flows through the
 :class:`~repro.runtime.metrics.MetricsRecorder`.
+
+*Where* operators run is a second seam: a :class:`StepExecutor` receives
+each step's source deliveries and steps every non-source node, while the
+session keeps splitting, flow control, and **all** cost charging —
+charges are replayed from the executor's per-node counters in plan
+order, so the in-process executor and the multiprocess
+:class:`~repro.runtime.parallel.ParallelExecutor` produce identical
+accounting by construction.
 """
 
 from __future__ import annotations
@@ -23,7 +31,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, TYPE_CHECKING
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
 from ..distopt.plan_ir import DistKind, DistNode, DistributedPlan, Variant
 from ..engine.aggregates import states_width
@@ -35,7 +43,6 @@ from ..traces.generator import slice_by_epoch
 from .backend import EngineBackend
 from .flowcontrol import (
     FaultPlan,
-    IngestController,
     QueuePolicy,
     create_ingest_controller,
 )
@@ -48,6 +55,110 @@ if TYPE_CHECKING:
 
 #: Epoch key of the single slice a one-shot run pushes through the loop.
 _WHOLE_TRACE = object()
+
+#: Valid values for ``ExecutionSession.execute(execution=...)``.
+EXECUTION_MODES = ("inprocess", "parallel")
+
+#: Per SOURCE node: the batch the ingest layer delivered this step and
+#: the watermark bound the controller derived for it.
+SourceFeed = Dict[str, Tuple[Batch, object]]
+
+
+@dataclass
+class StepOutcome:
+    """What a :class:`StepExecutor` reports back for one epoch step.
+
+    The session replays all cost charges from these counters (in plan
+    topological order, the same sub-order per node as the historical
+    inline charging), so CPU/network accounting is identical regardless
+    of *where* the operators actually ran.
+    """
+
+    #: Output rows per non-source node (sources are parent-side).
+    out_lens: Dict[str, int]
+    #: Operator wall-clock seconds per non-source node.
+    walls: Dict[str, float]
+    #: OS process that stepped each node; empty means "the driver".
+    pids: Dict[str, int]
+    #: Output batches for the nodes the session asked to be returned
+    #: (the plan's delivery nodes).
+    returns: Dict[str, Batch]
+    #: Largest buffer resident inside any streaming node after the step.
+    buffered_rows: int
+
+
+class StepExecutor:
+    """Where operators run: the seam between routing and execution.
+
+    The session owns splitting, ingest/flow control, watermark bounds for
+    sources, and *all* metric charging; an executor owns the stateful
+    streaming nodes and steps them.  One executor instance lives for one
+    run (buffers persist across its steps)."""
+
+    #: Mode label recorded in the event trace ("inprocess"/"parallel").
+    mode: str
+
+    def run_step(self, flush: bool, sources: SourceFeed) -> StepOutcome:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources (worker processes, shared memory)."""
+
+
+class InProcessExecutor(StepExecutor):
+    """Runs every node in the driver process — the historical path."""
+
+    mode = "inprocess"
+
+    def __init__(
+        self,
+        backend: EngineBackend,
+        order: Sequence[DistNode],
+        epoch_column: str,
+        return_ids: Set[str],
+    ):
+        self._order = list(order)
+        self._epoch_column = epoch_column
+        self._return_ids = set(return_ids)
+        # Streaming wrappers hold buffers across steps: fresh per run.
+        self._nodes: Dict[str, StreamingNode] = {
+            node.node_id: backend.streaming_node(node)
+            for node in self._order
+            if node.kind is not DistKind.SOURCE
+        }
+        self._watermarks: Dict[str, Watermark] = {}
+
+    def run_step(self, flush: bool, sources: SourceFeed) -> StepOutcome:
+        outputs: Dict[str, Batch] = {}
+        out_lens: Dict[str, int] = {}
+        walls: Dict[str, float] = {}
+        watermarks = self._watermarks
+        for node in self._order:
+            node_id = node.node_id
+            if node.kind is DistKind.SOURCE:
+                batch, bound = sources[node_id]
+                outputs[node_id] = batch
+                watermarks[node_id] = {self._epoch_column: bound}
+                continue
+            snode = self._nodes[node_id]
+            inputs = [outputs[child_id] for child_id in node.inputs]
+            input_watermarks = [watermarks[child_id] for child_id in node.inputs]
+            started = time.perf_counter()
+            result, watermark = snode.step(inputs, input_watermarks, flush)
+            walls[node_id] = time.perf_counter() - started
+            watermarks[node_id] = watermark
+            outputs[node_id] = result
+            out_lens[node_id] = len(result)
+        buffered = 0
+        for snode in self._nodes.values():
+            buffered = max(buffered, snode.buffered_rows())
+        return StepOutcome(
+            out_lens=out_lens,
+            walls=walls,
+            pids={},
+            returns={node_id: outputs[node_id] for node_id in self._return_ids},
+            buffered_rows=buffered,
+        )
 
 
 def _node_label(node: DistNode) -> str:
@@ -83,6 +194,10 @@ class SimulationResult:
     # Per-host ingest-queue accounting; populated only when a streaming
     # run had flow control or fault injection active.
     flow_stats: Dict[int, HostFlowStats] = field(default_factory=dict)
+    # How operators actually executed: "inprocess" or "parallel".  A run
+    # requested as parallel that fell back reports "inprocess" here (the
+    # fallback reason is in the event trace's "execution" record).
+    execution: str = "inprocess"
 
     def rows_dropped(self, host: int) -> int:
         """Total rows the flow-control layer dropped for ``host``."""
@@ -162,7 +277,7 @@ class ExecutionSession:
                 continue
             backend.compile_node(node)
             self._compiled_info.append(
-                (node.node_id, _node_label(node), not backend.supports(node))
+                (node.node_id, _node_label(node), not backend.supports(node), node.host)
             )
 
     @property
@@ -182,6 +297,8 @@ class ExecutionSession:
         epoch_column: str = "time",
         queue_policy: Optional[QueuePolicy] = None,
         faults: Optional[FaultPlan] = None,
+        execution: str = "inprocess",
+        workers: Optional[int] = None,
     ) -> SimulationResult:
         """Split, execute, and meter the plan; one epoch per step.
 
@@ -195,8 +312,22 @@ class ExecutionSession:
         (:mod:`repro.runtime.flowcontrol`); ``faults`` injects host
         misbehaviour.  Both require ``streaming`` — an unsliced run has
         no epochs to meter flow against.
+
+        ``execution`` selects where operators run: ``"inprocess"`` steps
+        every node in this process, ``"parallel"`` forks one worker per
+        simulated host (capped at ``workers``) and routes per-epoch
+        partitions to them (:mod:`repro.runtime.parallel`).  Outputs and
+        accounting are identical either way; when parallel execution is
+        impossible (single host, one worker, no start method) the run
+        falls back in-process and records the reason in the event trace.
         """
         self._check_splitter(splitter)
+        if execution not in EXECUTION_MODES:
+            raise ValueError(
+                f"execution must be one of {EXECUTION_MODES}, got {execution!r}"
+            )
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         if (queue_policy is not None or faults) and not streaming:
             raise ValueError(
                 "flow control and fault injection require streaming execution"
@@ -204,8 +335,8 @@ class ExecutionSession:
         recorder = self._recorder
         backend = self._backend
         recorder.reset()
-        for node_id, label, fallback in self._compiled_info:
-            recorder.record_compiled_node(node_id, label, fallback)
+        for node_id, label, fallback, host in self._compiled_info:
+            recorder.record_compiled_node(node_id, label, fallback, host=host)
         prepared = {
             stream: backend.prepare(rows) for stream, rows in source_rows.items()
         }
@@ -224,13 +355,7 @@ class ExecutionSession:
             }
             epochs = [_WHOLE_TRACE]
         order = self._plan.topological()
-        # Streaming wrappers hold buffers across steps: fresh per run.
-        streaming_nodes: Dict[str, StreamingNode] = {
-            node.node_id: backend.streaming_node(node)
-            for node in order
-            if node.kind is not DistKind.SOURCE
-        }
-        watermarks: Dict[str, Watermark] = {}
+        executor = self._create_executor(execution, workers, order, epoch_column)
         delivered: Dict[str, Batch] = {name: [] for name in self._plan.delivery}
         counts: Dict[str, int] = {node.node_id: 0 for node in order}
         offsets: Dict[str, int] = {stream: 0 for stream in slices}
@@ -242,62 +367,70 @@ class ExecutionSession:
             self._plan, backend, recorder, queue_policy, faults
         )
         peak = 0
-        # One step per epoch, plus a final flush draining every buffer
-        # (its charges fold into the last epoch's bucket).
-        for index in range(len(epochs) + 1):
-            flush = index == len(epochs)
-            if flush:
-                recorder.begin_flush()
-                epoch: object = None
-                next_bound: object = math.inf
-                partitions = {
-                    stream: backend.empty_partitions(num_partitions)
-                    for stream in slices
-                }
-            else:
-                epoch = epochs[index]
-                next_bound = (
-                    epochs[index + 1] if index + 1 < len(epochs) else math.inf
-                )
-                if streaming:
-                    recorder.begin_epoch(epoch)
-                partitions = {}
-                for stream, per_epoch in slices.items():
-                    piece = per_epoch.get(epoch)
-                    if piece is None or len(piece) == 0:
-                        partitions[stream] = backend.empty_partitions(num_partitions)
-                        continue
-                    peak = max(peak, len(piece))
-                    partitions[stream] = backend.split(
-                        piece, splitter, offsets[stream]
+        try:
+            # One step per epoch, plus a final flush draining every buffer
+            # (its charges fold into the last epoch's bucket).
+            for index in range(len(epochs) + 1):
+                flush = index == len(epochs)
+                if flush:
+                    recorder.begin_flush()
+                    epoch: object = None
+                    next_bound: object = math.inf
+                    partitions = {
+                        stream: backend.empty_partitions(num_partitions)
+                        for stream in slices
+                    }
+                else:
+                    epoch = epochs[index]
+                    next_bound = (
+                        epochs[index + 1] if index + 1 < len(epochs) else math.inf
                     )
-            accepted = controller.begin_step(index, epoch, partitions, flush)
-            if not flush:
-                # The round-robin cursor advances by what the ingest layer
-                # *accepted*, not by what the splitter sent — rows refused
-                # at admission or lost to a skip fault never consume a slot.
-                for stream, count in accepted.items():
-                    offsets[stream] += count
-            step_outputs: Dict[str, Batch] = {}
-            for node in order:
-                batch = self._step_node(
-                    node,
-                    streaming_nodes,
-                    step_outputs,
-                    controller,
-                    watermarks,
-                    next_bound,
-                    flush,
-                    epoch_column,
+                    if streaming:
+                        recorder.begin_epoch(epoch)
+                    partitions = {}
+                    for stream, per_epoch in slices.items():
+                        piece = per_epoch.get(epoch)
+                        if piece is None or len(piece) == 0:
+                            partitions[stream] = backend.empty_partitions(
+                                num_partitions
+                            )
+                            continue
+                        peak = max(peak, len(piece))
+                        partitions[stream] = backend.split(
+                            piece, splitter, offsets[stream]
+                        )
+                accepted = controller.begin_step(index, epoch, partitions, flush)
+                if not flush:
+                    # The round-robin cursor advances by what the ingest layer
+                    # *accepted*, not by what the splitter sent — rows refused
+                    # at admission or lost to a skip fault never consume a slot.
+                    for stream, count in accepted.items():
+                        offsets[stream] += count
+                # The ingest layer's deliveries for this step, routed to the
+                # executor; the controller also pins each source watermark
+                # while it withholds older rows.
+                sources: SourceFeed = {}
+                for node in order:
+                    if node.kind is not DistKind.SOURCE:
+                        continue
+                    (partition,) = node.partitions
+                    sources[node.node_id] = (
+                        controller.batch(node.stream, partition),
+                        controller.watermark_bound(
+                            node.stream, partition, next_bound
+                        ),
+                    )
+                outcome = executor.run_step(flush, sources)
+                peak = max(
+                    peak,
+                    self._replay_step(outcome, sources, order, counts),
+                    outcome.buffered_rows,
+                    controller.resident_rows(),
                 )
-                step_outputs[node.node_id] = batch
-                counts[node.node_id] += len(batch)
-                peak = max(peak, len(batch))
-            for snode in streaming_nodes.values():
-                peak = max(peak, snode.buffered_rows())
-            peak = max(peak, controller.resident_rows())
-            for name, node_id in self._plan.delivery.items():
-                delivered[name].extend(ensure_rows(step_outputs[node_id]))
+                for name, node_id in self._plan.delivery.items():
+                    delivered[name].extend(ensure_rows(outcome.returns[node_id]))
+        finally:
+            executor.close()
         return SimulationResult(
             hosts=recorder.hosts,
             network=recorder.network,
@@ -311,9 +444,97 @@ class ExecutionSession:
             node_stats=dict(recorder.node_stats),
             fallback_nodes=dict(recorder.fallback_nodes),
             flow_stats=dict(recorder.flow_stats),
+            execution=executor.mode,
         )
 
     # -- internals --------------------------------------------------------------
+
+    def _create_executor(
+        self,
+        execution: str,
+        workers: Optional[int],
+        order: Sequence[DistNode],
+        epoch_column: str,
+    ) -> StepExecutor:
+        """Build this run's executor, recording the mode (and any
+        parallel-to-inprocess fallback reason) in the event trace."""
+        recorder = self._recorder
+        return_ids = set(self._plan.delivery.values())
+        if execution == "parallel":
+            from .parallel import ParallelExecutor, ParallelUnavailable
+
+            try:
+                executor = ParallelExecutor(
+                    self._plan, self._backend, order, epoch_column,
+                    return_ids, workers,
+                )
+            except ParallelUnavailable as unavailable:
+                recorder.record_execution_mode("inprocess", reason=str(unavailable))
+            else:
+                recorder.record_execution_mode(
+                    "parallel", workers=executor.worker_count
+                )
+                return executor
+        else:
+            recorder.record_execution_mode("inprocess")
+        return InProcessExecutor(self._backend, order, epoch_column, return_ids)
+
+    def _replay_step(
+        self,
+        outcome: StepOutcome,
+        sources: SourceFeed,
+        order: Sequence[DistNode],
+        counts: Dict[str, int],
+    ) -> int:
+        """Charge one step's costs from the executor's counters.
+
+        Replays per node in topological order with the same per-node
+        sub-order as the historical inline charging (child edges, then
+        processing, then the node-step record), so host CPU and network
+        accumulation is float-for-float identical whether operators ran
+        here or in worker processes.  Returns the step's largest batch.
+        """
+        recorder = self._recorder
+        lens = dict(outcome.out_lens)
+        for node_id, (batch, _) in sources.items():
+            lens[node_id] = len(batch)
+        peak = 0
+        for node in order:
+            node_id = node.node_id
+            rows_out = lens[node_id]
+            if node.kind is DistKind.SOURCE:
+                # NIC delivery of the partition to its host.
+                recorder.charge_local_ingest(node.host, rows_out)
+            else:
+                rows_in = 0
+                for child_id in node.inputs:
+                    child = self._plan.node(child_id)
+                    count = lens[child_id]
+                    rows_in += count
+                    if child.host != node.host:
+                        recorder.record_transfer(
+                            child.host, node.host, count, self._output_width(child)
+                        )
+                    else:
+                        recorder.charge_local_ingest(node.host, count)
+                analyzed_kind = (
+                    self._dag.node(node.query).kind
+                    if node.kind is DistKind.OP
+                    else None
+                )
+                recorder.charge_processing(node, analyzed_kind, rows_in, rows_out)
+                recorder.record_node_step(
+                    node_id,
+                    rows_in,
+                    rows_out,
+                    self._output_width(node),
+                    outcome.walls[node_id],
+                    host=node.host,
+                    pid=outcome.pids.get(node_id),
+                )
+            counts[node_id] += rows_out
+            peak = max(peak, rows_out)
+        return peak
 
     def _check_splitter(self, splitter: "Splitter") -> None:
         if splitter.num_partitions != self._plan.num_partitions:
@@ -321,70 +542,6 @@ class ExecutionSession:
                 f"splitter produces {splitter.num_partitions} partitions but the "
                 f"plan expects {self._plan.num_partitions}"
             )
-
-    def _step_node(
-        self,
-        node: DistNode,
-        streaming_nodes: Dict[str, StreamingNode],
-        step_outputs: Dict[str, Batch],
-        controller: IngestController,
-        watermarks: Dict[str, Watermark],
-        next_bound: object,
-        flush: bool,
-        epoch_column: str,
-    ) -> Batch:
-        recorder = self._recorder
-        if node.kind is DistKind.SOURCE:
-            (partition,) = node.partitions
-            batch = controller.batch(node.stream, partition)
-            # NIC delivery of the partition to its host.
-            recorder.charge_local_ingest(node.host, len(batch))
-            # Every later step carries strictly later epochs (inf once the
-            # trace is fully delivered) — unless the ingest layer is
-            # withholding older rows, in which case the watermark stalls
-            # at the oldest withheld epoch until they land.
-            watermarks[node.node_id] = {
-                epoch_column: controller.watermark_bound(
-                    node.stream, partition, next_bound
-                )
-            }
-            return batch
-        inputs = self._ingest_inputs(node, step_outputs)
-        snode = streaming_nodes[node.node_id]
-        input_watermarks = [watermarks[child_id] for child_id in node.inputs]
-        started = time.perf_counter()
-        result, watermark = snode.step(inputs, input_watermarks, flush)
-        wall = time.perf_counter() - started
-        watermarks[node.node_id] = watermark
-        rows_in = sum(len(batch) for batch in inputs)
-        analyzed_kind = (
-            self._dag.node(node.query).kind if node.kind is DistKind.OP else None
-        )
-        recorder.charge_processing(node, analyzed_kind, rows_in, len(result))
-        recorder.record_node_step(
-            node.node_id, rows_in, len(result), self._output_width(node), wall
-        )
-        return result
-
-    def _ingest_inputs(
-        self, node: DistNode, step_outputs: Dict[str, Batch]
-    ) -> List[Batch]:
-        """Collect a node's inputs, charging by origin and metering the
-        network — identical for one-shot and streaming steps."""
-        recorder = self._recorder
-        inputs: List[Batch] = []
-        for child_id in node.inputs:
-            child = self._plan.node(child_id)
-            batch = step_outputs[child_id]
-            count = len(batch)
-            if child.host != node.host:
-                recorder.record_transfer(
-                    child.host, node.host, count, self._output_width(child)
-                )
-            else:
-                recorder.charge_local_ingest(node.host, count)
-            inputs.append(batch)
-        return inputs
 
     # -- output widths -----------------------------------------------------------
 

@@ -208,6 +208,8 @@ def run_configuration(
     record_events: bool = False,
     queue_policy: Optional[QueuePolicy] = None,
     faults: Optional[FaultPlan] = None,
+    execution: str = "inprocess",
+    workers: Optional[int] = None,
 ) -> RunOutcome:
     """Build the distributed plan for one configuration and simulate it.
 
@@ -222,6 +224,9 @@ def run_configuration(
     ``queue_policy`` and ``faults`` (streaming only) bound each host's
     ingest and inject host misbehaviour — see
     :meth:`~repro.cluster.simulator.ClusterSimulator.run_streaming`.
+    ``execution="parallel"`` runs each simulated host's pipeline in its
+    own worker process (``workers`` caps the pool), with identical
+    results.
     """
     placement = Placement(
         num_hosts=num_hosts,
@@ -254,13 +259,18 @@ def run_configuration(
             trace.duration_sec,
             queue_policy=queue_policy,
             faults=faults,
+            execution=execution,
+            workers=workers,
         )
     else:
         if queue_policy is not None or faults:
             raise ValueError(
                 "flow control and fault injection require streaming execution"
             )
-        result = simulator.run(sources, splitter, trace.duration_sec)
+        result = simulator.run(
+            sources, splitter, trace.duration_sec,
+            execution=execution, workers=workers,
+        )
     return RunOutcome(configuration, num_hosts, result, plan, simulator)
 
 
@@ -273,6 +283,8 @@ def sweep_hosts(
     host_capacity: Optional[float] = None,
     engine: str = "row",
     streaming: bool = False,
+    execution: str = "inprocess",
+    workers: Optional[int] = None,
 ) -> Dict[str, List[RunOutcome]]:
     """The paper's sweep: every configuration at every cluster size."""
     outcomes: Dict[str, List[RunOutcome]] = {}
@@ -287,6 +299,8 @@ def sweep_hosts(
                 host_capacity=host_capacity,
                 engine=engine,
                 streaming=streaming,
+                execution=execution,
+                workers=workers,
             )
             for num_hosts in host_counts
         ]

@@ -106,7 +106,10 @@ def assert_same_simulation(oneshot, stream):
         assert stream.network.bytes_received[host] == pytest.approx(total)
 
 
-def assert_streaming_matches_oneshot(workload, seed, engine, queue_capacity=None):
+def assert_streaming_matches_oneshot(
+    workload, seed, engine, queue_capacity=None, execution="inprocess",
+    workers=None,
+):
     """One randomized parity trial.
 
     Everything varies with ``seed`` — the trace shape, the cluster size,
@@ -114,6 +117,9 @@ def assert_streaming_matches_oneshot(workload, seed, engine, queue_capacity=None
     With ``queue_capacity`` the streaming run additionally goes through a
     bounded ``block`` ingest queue: backpressure defers delivery across
     epochs but loses nothing, so the equivalence must still be exact.
+    With ``execution="parallel"`` the streaming run executes each host's
+    pipeline in a forked worker process — outputs and accounting must
+    still match the (in-process) one-shot run exactly.
     """
     catalog_fn, deliver = WORKLOADS[workload]
     _, dag = catalog_fn()
@@ -133,7 +139,8 @@ def assert_streaming_matches_oneshot(workload, seed, engine, queue_capacity=None
     sim = ClusterSimulator(dag, plan, stream_rate=1000, engine=engine)
     oneshot = sim.run({"TCP": packets}, splitter, 10.0)
     stream = sim.run_streaming(
-        {"TCP": packets}, splitter, 10.0, queue_policy=policy
+        {"TCP": packets}, splitter, 10.0, queue_policy=policy,
+        execution=execution, workers=workers,
     )
     assert_same_simulation(oneshot, stream)
     if engine == "columnar":

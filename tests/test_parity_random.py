@@ -5,13 +5,26 @@ partitioning (see :mod:`parity`), each run on both engines.  Every fifth
 seed also routes the streaming run through a tight bounded ``block``
 ingest queue: the lossless policy defers rows across epochs under
 backpressure, and the result must still be byte-identical to one-shot.
+
+Setting ``REPRO_PARITY_EXECUTION=parallel`` reruns the whole sweep with
+the streaming side executing on forked worker processes
+(``REPRO_PARITY_WORKERS`` caps the pool); CI runs this leg at 2 workers.
 """
+
+import os
 
 import pytest
 
 from tests.parity import assert_streaming_matches_oneshot, random_packets
 
 SEEDS = range(50)
+
+EXECUTION = os.environ.get("REPRO_PARITY_EXECUTION", "inprocess")
+WORKERS = (
+    int(os.environ["REPRO_PARITY_WORKERS"])
+    if "REPRO_PARITY_WORKERS" in os.environ
+    else None
+)
 
 
 @pytest.mark.parametrize("engine", ("row", "columnar"))
@@ -20,7 +33,9 @@ def test_randomized_parity(seed, engine):
     # rotate the three workloads; tight block queue on every fifth seed
     workload = ("suspicious", "jitter", "complex")[seed % 3]
     capacity = 25 if seed % 5 == 0 else None
-    assert_streaming_matches_oneshot(workload, seed, engine, capacity)
+    assert_streaming_matches_oneshot(
+        workload, seed, engine, capacity, execution=EXECUTION, workers=WORKERS
+    )
 
 
 def test_generator_is_deterministic():

@@ -257,7 +257,11 @@ class TestMetricsRecorder:
         assert len(lines) == count > 0
         events = [json.loads(line) for line in lines]
         kinds = {event["event"] for event in events}
-        assert kinds == {"compile", "epoch", "node", "transfer"}
+        assert kinds == {"compile", "epoch", "execution", "node", "transfer"}
+        # Every event is attributable: host (None for cluster-wide) + pid.
+        assert all("host" in e and e["pid"] is not None for e in events)
+        (mode_event,) = [e for e in events if e["event"] == "execution"]
+        assert mode_event["mode"] == "inprocess"
         # Compile events record each node's engine resolution; on a fully
         # vectorizable plan none is a fallback.
         compile_events = [e for e in events if e["event"] == "compile"]
