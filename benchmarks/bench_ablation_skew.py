@@ -1,0 +1,199 @@
+#!/usr/bin/env python
+"""Adaptive rebalancing under key skew: static vs. rebalanced placement.
+
+The paper's premise is that hash partitioning spreads tuples evenly
+(§3.3) while citing FLUX as the remedy when data skew breaks that (§2).
+This ablation quantifies the remedy: a Zipf-skewed ``srcIP`` key
+distribution concentrates half the stream on one host's partitions, and
+the same streaming run executes once with the static partition→host map
+and once with ``rebalance=RebalancePolicy(...)`` migrating hot
+partitions at epoch boundaries.  Writes
+``benchmarks/results/BENCH_skew.json`` with two sections:
+
+* ``modeled`` — steady-state host-CPU ``max/mean`` for both runs plus
+  the relative improvement, per scenario (``steady`` skew and
+  ``drift``, where the hot spot rotates mid-run).  Deterministic pure
+  cost accounting, so ``scripts/check_bench_regression.py`` *gates* on
+  it: the rebalancer must keep cutting peak steady-state load by at
+  least 30 %.  Outputs are asserted byte-identical between the two
+  runs — migration relabels execution, never the dataflow.
+* ``wall`` — measured wall-clock seconds for both runs.
+  Machine-dependent; reported informationally, never gated.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ablation_skew.py
+    PYTHONPATH=src python benchmarks/bench_ablation_skew.py --duration 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.cluster import (
+    ClusterSimulator,
+    HashSplitter,
+    RebalancePolicy,
+)
+from repro.distopt import DistributedOptimizer, Placement
+from repro.engine import batches_equal
+from repro.partitioning import PartitioningSet
+from repro.traces import skewed_trace
+from repro.workloads import suspicious_flows_catalog
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+OUTPUT = os.path.join(RESULTS_DIR, "BENCH_skew.json")
+
+NUM_HOSTS = 4
+PARTITIONS_PER_HOST = 2
+
+#: Zipf-flavored partition weights: half the stream lands on host 0's
+#: two partitions, the rest spreads thin.  Static host loads are then
+#: (0.50, 0.18, 0.16, 0.16) — max/mean 2.0 — while a rebalancer that
+#: splits the two hot partitions across hosts can approach ~1.2.
+PARTITION_WEIGHTS = [0.30, 0.20, 0.10, 0.08, 0.08, 0.08, 0.08, 0.08]
+
+SCENARIOS = {
+    "steady": None,  # drift period: the hot spot never moves
+    "drift": 5,  # rotate the weight vector every 5 epochs
+}
+
+
+def _steady_state_ratio(result, warmup_fraction=0.5):
+    """Host-CPU max/mean over the run's second half (post-convergence)."""
+    series = result.timeline.host_cpu
+    num_epochs = result.timeline.num_epochs
+    start = int(num_epochs * warmup_fraction)
+    loads = [sum(host_series[start:]) for host_series in series]
+    mean = sum(loads) / len(loads)
+    return (max(loads) / mean) if mean else float("nan"), loads
+
+
+def run_scenario(name, drift_period, duration, rate, seed):
+    _, dag = suspicious_flows_catalog()
+    partitioning = PartitioningSet.of("srcIP")
+    placement = Placement(
+        NUM_HOSTS, PARTITIONS_PER_HOST, merge_local_partitions=False
+    )
+    plan = DistributedOptimizer(dag, placement, partitioning).optimize()
+    splitter = HashSplitter(placement.num_partitions, partitioning)
+    trace = skewed_trace(
+        partitioning,
+        placement.num_partitions,
+        PARTITION_WEIGHTS,
+        duration=duration,
+        rate=rate,
+        seed=seed,
+        drift_period=drift_period,
+    )
+    sources = {"TCP": trace.column_batch()}
+
+    def _run(rebalance):
+        simulator = ClusterSimulator(
+            dag, plan, stream_rate=trace.rate, engine="columnar"
+        )
+        started = time.perf_counter()
+        result = simulator.run_streaming(
+            sources, splitter, trace.duration_sec, rebalance=rebalance
+        )
+        return time.perf_counter() - started, result
+
+    static_sec, static = _run(None)
+    # One-epoch trigger window and cooldown: the drift scenario moves the
+    # hot spot every 5 epochs, so a laggier policy spends half of each
+    # period converging instead of balanced.
+    policy = RebalancePolicy(threshold=1.15, window=1, cooldown=1)
+    rebalanced_sec, rebalanced = _run(policy)
+
+    # The whole point of epoch-boundary migration: outputs never change.
+    for output in static.outputs:
+        assert batches_equal(
+            static.outputs[output], rebalanced.outputs[output]
+        ), f"{name}: rebalancing changed the {output} output"
+    assert static.node_output_counts == rebalanced.node_output_counts
+
+    static_ratio, static_loads = _steady_state_ratio(static)
+    rebalanced_ratio, rebalanced_loads = _steady_state_ratio(rebalanced)
+    modeled = {
+        "static_max_over_mean": static_ratio,
+        "rebalanced_max_over_mean": rebalanced_ratio,
+        "improvement": (static_ratio - rebalanced_ratio) / static_ratio,
+        "static_steady_host_cpu": static_loads,
+        "rebalanced_steady_host_cpu": rebalanced_loads,
+        "static_network_tuples": static.network.tuples_received,
+        "rebalanced_network_tuples": rebalanced.network.tuples_received,
+        "migrations": len(rebalanced.rebalance.migrations),
+        "policy": policy.describe(),
+    }
+    wall = {
+        "static_sec": static_sec,
+        "rebalanced_sec": rebalanced_sec,
+        "overhead": (rebalanced_sec - static_sec) / static_sec
+        if static_sec
+        else 0.0,
+    }
+    return modeled, wall
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--duration", type=int, default=20,
+        help="trace length in one-second epochs (default: 20)",
+    )
+    parser.add_argument(
+        "--rate", type=int, default=2000,
+        help="packets per epoch (default: 2000)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--output", default=OUTPUT)
+    args = parser.parse_args(argv)
+
+    modeled = {}
+    wall = {}
+    for name, drift_period in sorted(SCENARIOS.items()):
+        scenario_modeled, scenario_wall = run_scenario(
+            name, drift_period, args.duration, args.rate, args.seed
+        )
+        modeled[f"skew/{name}"] = scenario_modeled
+        wall[f"skew/{name}"] = scenario_wall
+
+    payload = {
+        "schema": "bench_skew/v1",
+        "workload": "suspicious flows (§6.1), Zipf-skewed srcIP keys",
+        "hosts": NUM_HOSTS,
+        "partitions_per_host": PARTITIONS_PER_HOST,
+        "partition_weights": PARTITION_WEIGHTS,
+        "cpu_count": os.cpu_count(),
+        "modeled": modeled,
+        "wall": wall,
+    }
+    os.makedirs(os.path.dirname(args.output), exist_ok=True)
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"wrote {args.output}")
+    for name in sorted(modeled):
+        entry = modeled[name]
+        print(
+            f"  modeled  {name:<16} max/mean "
+            f"{entry['static_max_over_mean']:.3f} -> "
+            f"{entry['rebalanced_max_over_mean']:.3f}  "
+            f"({100 * entry['improvement']:.1f}% better, "
+            f"{entry['migrations']} migration(s))"
+        )
+    for name in sorted(wall):
+        entry = wall[name]
+        print(
+            f"  wall     {name:<16} {entry['static_sec']:.3f}s -> "
+            f"{entry['rebalanced_sec']:.3f}s"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

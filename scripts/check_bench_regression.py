@@ -23,6 +23,13 @@ the engine throughputs, while the ``wall`` section (measured wall-clock
 speedups, entirely machine-dependent — a single-core runner can never
 show one) is printed informationally and never fails the check.
 
+The skew-rebalancing ablation (``benchmarks/bench_ablation_skew.py`` →
+``benchmarks/results/BENCH_skew.json``) gets the same split: modeled
+steady-state balance improvement is gated — the rebalancer must keep
+cutting peak host load by at least ``SKEW_IMPROVEMENT_FLOOR`` (an
+absolute floor, independent of the baseline) — and wall timings are
+informational.
+
 Exit status: 0 when every benchmark holds, 1 on any regression or when an
 input file is missing or unreadable.
 """
@@ -44,6 +51,13 @@ PARALLEL_CURRENT = os.path.join(
 PARALLEL_BASELINE = os.path.join(
     REPO_ROOT, "benchmarks", "baseline", "BENCH_parallel.json"
 )
+SKEW_CURRENT = os.path.join(REPO_ROOT, "benchmarks", "results", "BENCH_skew.json")
+SKEW_BASELINE = os.path.join(REPO_ROOT, "benchmarks", "baseline", "BENCH_skew.json")
+
+#: Minimum steady-state host-load (max/mean) improvement the rebalancer
+#: must deliver over static placement on the skewed trace — the PR's
+#: acceptance bar, enforced absolutely rather than relative to baseline.
+SKEW_IMPROVEMENT_FLOOR = 0.30
 
 
 def load(path: str) -> dict:
@@ -145,6 +159,61 @@ def compare_parallel(baseline_path: str, current_path: str,
     return 0
 
 
+def compare_skew(baseline_path: str, current_path: str) -> int:
+    """Gate the skew-rebalancing ablation's modeled improvement.
+
+    Absent files are not an error — the sweep is optional.  The gate is
+    an absolute floor (:data:`SKEW_IMPROVEMENT_FLOOR`), not a ratio
+    against baseline: the claim being protected is "the rebalancer cuts
+    peak steady-state load by >= 30%", which must hold outright.
+    """
+    if not os.path.exists(current_path):
+        print("\nno skew ablation results; skipping "
+              "(run benchmarks/bench_ablation_skew.py to produce them)")
+        return 0
+    try:
+        with open(current_path) as handle:
+            current = json.load(handle)
+        baseline_modeled = {}
+        if os.path.exists(baseline_path):
+            with open(baseline_path) as handle:
+                baseline_modeled = json.load(handle).get("modeled", {})
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error reading skew benchmark files: {exc}")
+        return 1
+    print("\nskew rebalancing ablation "
+          f"(floor: {SKEW_IMPROVEMENT_FLOOR:.0%} improvement):")
+    regressions = []
+    modeled = current.get("modeled", {})
+    names = sorted(set(baseline_modeled) | set(modeled))
+    width = max((len(name) for name in names), default=0)
+    for name in names:
+        entry = modeled.get(name)
+        if entry is None:
+            print(f"MISSING  {name:<{width}}  (in baseline, not in current)")
+            regressions.append(name)
+            continue
+        improvement = entry.get("improvement", 0.0)
+        status = "ok" if improvement >= SKEW_IMPROVEMENT_FLOOR else "REGRESSED"
+        print(f"{status:<10}{name:<{width}}  max/mean "
+              f"{entry.get('static_max_over_mean', 0.0):6.3f} -> "
+              f"{entry.get('rebalanced_max_over_mean', 0.0):6.3f}  "
+              f"({improvement:+7.1%}, {entry.get('migrations', 0)} move(s))")
+        if status != "ok":
+            regressions.append(name)
+    for name in sorted(current.get("wall", {})):
+        entry = current["wall"][name]
+        print(f"info      {name:<{width}}  "
+              f"{entry.get('static_sec', 0.0):8.3f}s -> "
+              f"{entry.get('rebalanced_sec', 0.0):8.3f}s wall "
+              f"(informational)")
+    if regressions:
+        print(f"\n{len(regressions)} skew metric(s) under the "
+              f"{SKEW_IMPROVEMENT_FLOOR:.0%} improvement floor")
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--current", default=CURRENT)
@@ -176,6 +245,9 @@ def main(argv=None) -> int:
         if os.path.exists(PARALLEL_CURRENT):
             shutil.copyfile(PARALLEL_CURRENT, PARALLEL_BASELINE)
             print(f"baseline updated: {PARALLEL_BASELINE}")
+        if os.path.exists(SKEW_CURRENT):
+            shutil.copyfile(SKEW_CURRENT, SKEW_BASELINE)
+            print(f"baseline updated: {SKEW_BASELINE}")
         return 0
     if not os.path.exists(args.baseline):
         print(f"no baseline at {args.baseline}; create one with --update")
@@ -190,7 +262,8 @@ def main(argv=None) -> int:
     parallel_status = compare_parallel(
         PARALLEL_BASELINE, PARALLEL_CURRENT, args.threshold
     )
-    return max(status, parallel_status)
+    skew_status = compare_skew(SKEW_BASELINE, SKEW_CURRENT)
+    return max(status, parallel_status, skew_status)
 
 
 if __name__ == "__main__":

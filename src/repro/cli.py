@@ -26,6 +26,7 @@ from typing import List, Optional
 from .distopt import DistributedOptimizer, Placement, render_plan
 from .gsql.catalog import Catalog
 from .runtime.flowcontrol import BLOCK, QUEUE_MODES, Fault, FaultPlan, QueuePolicy
+from .runtime.rebalance import RebalancePolicy
 from .gsql.schema import tcp_schema
 from .partitioning import FieldsConstraint, PartitioningSet, choose_partitioning
 from .plan import QueryDag
@@ -192,22 +193,39 @@ def cmd_timeline(args) -> int:
         else None
     )
     faults = FaultPlan(tuple(args.fault)) if args.fault else None
+    rebalance = None
+    if args.rebalance or args.rebalance_threshold is not None:
+        try:
+            if args.rebalance_threshold is not None:
+                rebalance = RebalancePolicy(threshold=args.rebalance_threshold)
+            else:
+                rebalance = RebalancePolicy()
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     trace = four_tap_trace(trace_fn(seed=args.seed))
     _, dag = catalog_fn()
-    outcome = run_configuration(
-        dag,
-        trace,
-        configuration,
-        num_hosts,
-        host_capacity=experiment_capacity(args.experiment, trace),
-        engine=args.engine,
-        streaming=True,
-        record_events=True,
-        queue_policy=queue_policy,
-        faults=faults,
-        execution=args.execution,
-        workers=args.workers,
-    )
+    try:
+        outcome = run_configuration(
+            dag,
+            trace,
+            configuration,
+            num_hosts,
+            host_capacity=experiment_capacity(args.experiment, trace),
+            engine=args.engine,
+            streaming=True,
+            record_events=True,
+            queue_policy=queue_policy,
+            faults=faults,
+            execution=args.execution,
+            workers=args.workers,
+            rebalance=rebalance,
+        )
+    except ValueError as error:
+        # e.g. a --fault targeting a host outside the cluster, or
+        # leave/join membership faults without --rebalance.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     result = outcome.result
     print(
         f"experiment {args.experiment}, {configuration.name!r}, "
@@ -253,6 +271,9 @@ def cmd_timeline(args) -> int:
                 f"{host:>6} {stats.total_in:>10} "
                 f"{stats.total_delivered:>10} {stats.total_dropped:>10}"
             )
+    if result.rebalance is not None:
+        print()
+        print(result.rebalance.describe())
     print()
     print(result.timeline.render(result.aggregator))
     if args.events_out is not None:
@@ -364,7 +385,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="KIND:HOST:FIRST[-LAST][:DELAY]",
         help="inject a host fault, e.g. 'skip:1:2-4', 'delay:0:1-3:2', "
-        "'duplicate:2:5'; repeatable",
+        "'duplicate:2:5', 'leave:1:3-5', 'join:2:4'; repeatable",
+    )
+    timeline.add_argument(
+        "--rebalance",
+        action="store_true",
+        help="adaptively migrate hot partitions to cooler hosts at epoch "
+        "boundaries (outputs stay identical to the static run)",
+    )
+    timeline.add_argument(
+        "--rebalance-threshold",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="host max/mean load ratio that arms a migration "
+        "(default: %s; implies --rebalance)" % RebalancePolicy().threshold,
     )
     timeline.set_defaults(func=cmd_timeline, hosts=(4,))
 

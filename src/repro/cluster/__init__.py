@@ -8,6 +8,8 @@ from .simulator import (
     ClusterSimulator,
     FaultPlan,
     QueuePolicy,
+    RebalanceLog,
+    RebalancePolicy,
     SimulationResult,
     Timeline,
 )
@@ -26,6 +28,8 @@ __all__ = [
     "Host",
     "NetworkMeter",
     "QueuePolicy",
+    "RebalanceLog",
+    "RebalancePolicy",
     "RoundRobinSplitter",
     "SimulationResult",
     "Splitter",

@@ -12,9 +12,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import sqrt
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
 
 from ..distopt.placement import Placement
+from ..engine.columnar import ColumnBatch, ensure_rows
+from ..expr.vectorizer import UnsupportedExpression
 from .splitter import Splitter
 
 
@@ -24,6 +28,15 @@ class BalanceReport:
 
     partition_counts: List[int]
     host_counts: Optional[List[int]] = None
+
+    def __post_init__(self) -> None:
+        # ``host_counts=[]`` used to be indistinguishable from "no host
+        # totals" (the falsy check silently fell back to partition-level
+        # balance); an empty host list is a caller bug, so reject it.
+        if self.host_counts is not None and not self.host_counts:
+            raise ValueError(
+                "host_counts must be None (no host totals) or non-empty"
+            )
 
     @property
     def total(self) -> int:
@@ -56,11 +69,19 @@ class BalanceReport:
 
     @property
     def host_max_over_mean(self) -> float:
-        if not self.host_counts:
+        """Peak-to-average ratio over *hosts* (partition-level when no
+        host totals were recorded).
+
+        An all-idle cluster has no meaningful ratio: reporting 1.0 there
+        would read as "perfectly balanced" to threshold checks, so it is
+        ``nan`` — comparisons against any threshold come back False and
+        the caller decides what idle means.
+        """
+        if self.host_counts is None:
             return self.max_over_mean
         mean = sum(self.host_counts) / len(self.host_counts)
         if mean == 0:
-            return 1.0
+            return float("nan")
         return max(self.host_counts) / mean
 
     def describe(self) -> str:
@@ -79,19 +100,22 @@ class BalanceReport:
 
 def partition_balance(
     splitter: Splitter,
-    rows: Sequence[dict],
+    rows: Union[Sequence[dict], ColumnBatch],
     placement: Optional[Placement] = None,
 ) -> BalanceReport:
     """Measure the tuple balance a splitter achieves on ``rows``.
+
+    ``rows`` may be a row sequence or a :class:`ColumnBatch`; columnar
+    input goes through the splitter's vectorized assignment
+    (:meth:`Splitter.assign_indices` + ``np.bincount``) when the
+    splitter supports it, falling back to the row loop otherwise.
+    Both paths count identically.
 
     With a ``placement``, per-host totals (summing each host's
     partitions) are included — the quantity that actually determines leaf
     CPU balance when hosts own several partitions.
     """
-    counts = [0] * splitter.num_partitions
-    assign = splitter.assigner()
-    for row in rows:
-        counts[assign(row)] += 1
+    counts = _partition_counts(splitter, rows)
     host_counts = None
     if placement is not None:
         if placement.num_partitions != splitter.num_partitions:
@@ -102,6 +126,26 @@ def partition_balance(
         for partition, count in enumerate(counts):
             host_counts[placement.host_of_partition(partition)] += count
     return BalanceReport(counts, host_counts)
+
+
+def _partition_counts(
+    splitter: Splitter, rows: Union[Sequence[dict], ColumnBatch]
+) -> List[int]:
+    if isinstance(rows, ColumnBatch):
+        try:
+            indices = splitter.assign_indices(rows)
+        except UnsupportedExpression:
+            rows = ensure_rows(rows)
+        else:
+            return np.bincount(
+                np.asarray(indices, dtype=np.int64),
+                minlength=splitter.num_partitions,
+            ).tolist()
+    counts = [0] * splitter.num_partitions
+    assign = splitter.assigner()
+    for row in rows:
+        counts[assign(row)] += 1
+    return counts
 
 
 def compare_balance(

@@ -29,6 +29,7 @@ from ..plan.dag import QueryDag
 from ..runtime.backend import ENGINES, create_backend
 from ..runtime.flowcontrol import FaultPlan, QueuePolicy
 from ..runtime.metrics import MetricsRecorder, Timeline
+from ..runtime.rebalance import RebalanceLog, RebalancePolicy
 from ..runtime.session import ExecutionSession, SimulationResult
 from .costs import DEFAULT_COSTS, CostTable, default_capacity
 from .host import Host
@@ -40,6 +41,8 @@ __all__ = [
     "ClusterSimulator",
     "FaultPlan",
     "QueuePolicy",
+    "RebalanceLog",
+    "RebalancePolicy",
     "SimulationResult",
     "Timeline",
 ]
@@ -130,6 +133,7 @@ class ClusterSimulator:
         faults: Optional[FaultPlan] = None,
         execution: str = "inprocess",
         workers: Optional[int] = None,
+        rebalance: Optional[RebalancePolicy] = None,
     ) -> SimulationResult:
         """Execute the plan one epoch at a time with bounded memory.
 
@@ -162,6 +166,13 @@ class ClusterSimulator:
         identical to in-process execution; when parallelism is impossible
         the run falls back in-process and records the reason as an
         ``execution`` event.
+
+        ``rebalance`` activates adaptive repartitioning
+        (:class:`~repro.runtime.rebalance.RebalancePolicy`): hot
+        partitions migrate to cooler hosts at epoch boundaries, changing
+        only which host executes (and is charged for) the affected
+        operators — query outputs stay byte-identical to the static run.
+        The decision trail lands in :attr:`SimulationResult.rebalance`.
         """
         return self._session.execute(
             source_rows,
@@ -173,4 +184,5 @@ class ClusterSimulator:
             faults=faults,
             execution=execution,
             workers=workers,
+            rebalance=rebalance,
         )

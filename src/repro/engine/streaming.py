@@ -185,6 +185,14 @@ class RowBuffer:
         rows, self._rows = self._rows, []
         return rows
 
+    def export_rows(self) -> Batch:
+        """Copy of the retained rows, in buffer order (migration handoff)."""
+        return list(self._rows)
+
+    def import_rows(self, rows: Optional[Batch]) -> None:
+        if rows:
+            self._rows.extend(rows)
+
 
 class ColumnBuffer:
     """Columnar retained rows; the key extractor is a vectorized expr."""
@@ -226,6 +234,14 @@ class ColumnBuffer:
         self._pending = []
         return batch
 
+    def export_rows(self) -> Optional[ColumnBatch]:
+        """Retained rows as one batch, in buffer order; None when empty."""
+        return self._merged() if self._pending else None
+
+    def import_rows(self, batch: Optional[ColumnBatch]) -> None:
+        if batch is not None and len(batch):
+            self._pending.append(batch)
+
 
 # -- streaming node wrappers ---------------------------------------------------
 
@@ -256,6 +272,20 @@ class StreamingNode:
     def buffered_rows(self) -> int:
         """Rows currently held back — for memory-bound assertions."""
         return 0
+
+    def export_state(self):
+        """Portable snapshot of the buffered state, for migrating this
+        node to another executor (partition rebalancing).  Buffer order
+        is preserved so a re-homed node emits byte-identical output.
+        None means the node is stateless."""
+        return None
+
+    def import_state(self, state) -> None:
+        """Adopt a peer's exported state into this (fresh) node."""
+        if state is not None:
+            raise ValueError(
+                f"{type(self).__name__} holds no migratable state"
+            )
 
 
 class StatelessStreamingNode(StreamingNode):
@@ -300,6 +330,12 @@ class StreamingAggregate(StreamingNode):
 
     def buffered_rows(self) -> int:
         return len(self._buffer)
+
+    def export_state(self):
+        return self._buffer.export_rows()
+
+    def import_state(self, state) -> None:
+        self._buffer.import_rows(state)
 
     def step(self, inputs, watermarks, flush):
         (batch,) = inputs
@@ -372,6 +408,16 @@ class StreamingJoin(StreamingNode):
 
     def buffered_rows(self) -> int:
         return len(self._left) + len(self._right)
+
+    def export_state(self):
+        return (self._left.export_rows(), self._right.export_rows())
+
+    def import_state(self, state) -> None:
+        if state is None:
+            return
+        left, right = state
+        self._left.import_rows(left)
+        self._right.import_rows(right)
 
     def step(self, inputs, watermarks, flush):
         left_in, right_in = (self._operator.coerce(batch) for batch in inputs)

@@ -41,7 +41,16 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TYPE_CHECKING,
+)
 
 from ..distopt.plan_ir import DistKind, DistributedPlan
 from ..engine.streaming import take_prefix
@@ -58,7 +67,16 @@ QUEUE_MODES = (BLOCK, DROP_NEWEST, DROP_OLDEST)
 SKIP = "skip"
 DELAY = "delay"
 DUPLICATE = "duplicate"
-FAULT_KINDS = (SKIP, DELAY, DUPLICATE)
+LEAVE = "leave"
+JOIN = "join"
+FAULT_KINDS = (SKIP, DELAY, DUPLICATE, LEAVE, JOIN)
+
+#: Elastic-membership kinds: consumed by the rebalance controller
+#: (:mod:`repro.runtime.rebalance`), never by the ingest queues.  A
+#: ``leave`` host is absent for its step range (its partitions are
+#: evacuated at the range's first boundary and may return after it); a
+#: ``join`` host is absent *before* ``first_epoch`` and present from it.
+MEMBERSHIP_KINDS = (LEAVE, JOIN)
 
 #: One delivered-to-host source slot: ``(stream, partition)``.
 SourceKey = Tuple[str, int]
@@ -130,7 +148,9 @@ class Fault:
 
         Examples: ``skip:1:2-4`` (host 1 misses epochs 2..4),
         ``delay:0:1-3:2`` (host 0's epochs 1..3 arrive 2 epochs late),
-        ``duplicate:2:5`` (host 2's epoch 5 is delivered twice).
+        ``duplicate:2:5`` (host 2's epoch 5 is delivered twice),
+        ``leave:1:3-6`` (host 1 leaves the cluster for steps 3..6),
+        ``join:3:4`` (host 3 is absent until step 4, present from it).
         """
         parts = spec.split(":")
         if len(parts) not in (3, 4):
@@ -174,9 +194,38 @@ class FaultPlan:
                 return fault
         return None
 
+    def validate(self, num_hosts: int) -> None:
+        """Bind-time check against the actual cluster size.
+
+        ``Fault`` itself can only require a nonnegative host index — the
+        cluster size is unknown until the plan binds to a session.  A
+        fault aimed past the last host would otherwise *silently never
+        fire*, which reads as "the system tolerated the fault" when in
+        truth nothing was injected.
+        """
+        for fault in self.faults:
+            if fault.host >= num_hosts:
+                epochs = (
+                    str(fault.first_epoch)
+                    if fault.last_epoch == fault.first_epoch
+                    else f"{fault.first_epoch}-{fault.last_epoch}"
+                )
+                raise ValueError(
+                    f"fault {fault.kind}:{fault.host}:{epochs} targets host "
+                    f"{fault.host}, but the cluster has {num_hosts} host(s) "
+                    f"(valid indices 0..{num_hosts - 1})"
+                )
+
+    @property
+    def membership(self) -> Tuple[Fault, ...]:
+        """The elastic-membership (``leave``/``join``) faults."""
+        return tuple(f for f in self.faults if f.kind in MEMBERSHIP_KINDS)
+
     @property
     def lossless(self) -> bool:
-        """Whether the plan preserves every row (no ``skip`` faults)."""
+        """Whether the plan preserves every row (no ``skip`` faults;
+        membership faults are lossless — partitions migrate, rows don't
+        drop — provided a rebalance policy is active)."""
         return all(fault.kind != SKIP for fault in self.faults)
 
 
@@ -247,6 +296,7 @@ class QueuedIngestController(IngestController):
         recorder: "MetricsRecorder",
         policy: Optional[QueuePolicy],
         faults: Optional[FaultPlan],
+        host_of_partition: Optional[Callable[[int], int]] = None,
     ):
         self._backend = backend
         self._recorder = recorder
@@ -257,7 +307,15 @@ class QueuedIngestController(IngestController):
             for node in plan.topological()
             if node.kind is DistKind.SOURCE
         ]
-        self._hosts = sorted({host for _, _, host in self._sources})
+        # With a partition directory (mid-stream rebalancing) arrivals
+        # route to a partition's *current* host, so every cluster host
+        # needs a queue; the static path keeps the historical host set
+        # for byte-identical accounting.
+        self._host_fn = host_of_partition
+        if host_of_partition is None:
+            self._hosts = sorted({host for _, _, host in self._sources})
+        else:
+            self._hosts = list(range(plan.num_hosts))
         self._queues: Dict[int, Deque[_Entry]] = {
             host: deque() for host in self._hosts
         }
@@ -286,7 +344,12 @@ class QueuedIngestController(IngestController):
                 remaining.append((release, host, entry))
         self._deferred = remaining
         if not flush:
-            for stream, partition, host in self._sources:
+            for stream, partition, static_host in self._sources:
+                host = (
+                    static_host
+                    if self._host_fn is None
+                    else self._host_fn(partition)
+                )
                 batch = raw[stream][partition]
                 count = len(batch)
                 if count == 0:
@@ -440,8 +503,25 @@ def create_ingest_controller(
     recorder: "MetricsRecorder",
     policy: Optional[QueuePolicy],
     faults: Optional[FaultPlan],
+    host_of_partition: Optional[Callable[[int], int]] = None,
 ) -> IngestController:
-    """The pass-through controller unless flow control is requested."""
-    if policy is None and not faults:
+    """The pass-through controller unless flow control is requested.
+
+    Membership (``leave``/``join``) faults are stripped here — they are
+    the rebalance controller's input, not the ingest layer's — so a plan
+    holding only membership faults keeps the pass-through path (and its
+    absence of per-host flow accounting).
+    """
+    ingest_faults: Optional[FaultPlan] = None
+    if faults:
+        kept = tuple(
+            fault for fault in faults.faults
+            if fault.kind not in MEMBERSHIP_KINDS
+        )
+        if kept:
+            ingest_faults = FaultPlan(kept)
+    if policy is None and ingest_faults is None:
         return IngestController()
-    return QueuedIngestController(plan, backend, recorder, policy, faults)
+    return QueuedIngestController(
+        plan, backend, recorder, policy, ingest_faults, host_of_partition
+    )

@@ -160,6 +160,7 @@ class MetricsRecorder:
         self.node_stats: Dict[str, NodeStats] = {}
         self.flow_stats: Dict[int, HostFlowStats] = {}
         self.fault_counts: Dict[Tuple[int, str], int] = {}
+        self.rebalance_counts: Dict[str, int] = {}
         self.fallback_nodes: Dict[str, str] = {}
         self.events: List[dict] = []
         self._phase: object = None
@@ -182,6 +183,7 @@ class MetricsRecorder:
         self.node_stats.clear()
         self.flow_stats.clear()
         self.fault_counts.clear()
+        self.rebalance_counts.clear()
         self.fallback_nodes.clear()
         self.events.clear()
         self._phase = None
@@ -257,14 +259,17 @@ class MetricsRecorder:
         analyzed_kind: Optional[NodeKind],
         rows_in: int,
         rows_out: int,
+        host: Optional[int] = None,
     ) -> None:
         """Attribute one node step's operator work to its host.
 
         ``analyzed_kind`` is the analyzed query-node kind for OP nodes and
-        None for the purely physical MERGE/NULLPAD nodes.
+        None for the purely physical MERGE/NULLPAD nodes.  ``host``
+        overrides the plan host — the rebalancer charges a migrated
+        node's work to the host its partitions currently live on.
         """
         costs = self.costs
-        host = self.hosts[node.host]
+        host = self.hosts[node.host if host is None else host]
         if node.kind is DistKind.MERGE:
             host.charge(rows_in * costs.merge, "merge")
             return
@@ -403,6 +408,19 @@ class MetricsRecorder:
                     "queued": rows_queued,
                 },
                 host=host,
+            )
+
+    def record_rebalance(self, action: str, **payload) -> None:
+        """One rebalance-protocol step: ``trigger`` (sustained imbalance
+        armed the controller), ``plan`` (the boundary's migration list),
+        ``migration`` (one group re-homed, with its state handoff),
+        ``complete`` (directory swap done), or ``advice`` (the hot group
+        is atomic; a finer compatible partitioning was recommended)."""
+        self.rebalance_counts[action] = self.rebalance_counts.get(action, 0) + 1
+        if self.record_events:
+            self._event(
+                {"event": "rebalance", "action": action,
+                 "epoch": self._phase, **payload}
             )
 
     def record_fault(self, host: int, kind: str, rows: int) -> None:

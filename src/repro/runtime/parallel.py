@@ -127,6 +127,13 @@ def _worker_main(conn) -> None:  # pragma: no cover — runs in forked children
     and the epoch column.  Streaming-node buffers persist in this
     process across steps; step-local outputs/watermarks reset whenever a
     new step index arrives.
+
+    Between steps the driver may re-pin nodes across workers (adaptive
+    rebalancing): ``export`` hands a departing node's buffered state
+    back, ``buffered`` reports state sizes without moving anything, and
+    ``reassign`` installs a fresh node/stage assignment — dropping
+    surrendered nodes, adopting incoming ones (state imported into a
+    newly built streaming node), and rebinding the export set.
     """
     try:
         message = conn.recv()
@@ -151,6 +158,64 @@ def _worker_main(conn) -> None:  # pragma: no cover — runs in forked children
             message = conn.recv()
             if message[0] == "stop":
                 break
+            if message[0] == "export":
+                # Surrender the named nodes: pop each streaming node and
+                # return its window/join state plus its buffered-row
+                # count (sources have no state — (None, 0)).
+                payload = {}
+                for node_id in message[1]:
+                    snode = snodes.pop(node_id, None)
+                    if snode is None:
+                        payload[node_id] = (None, 0)
+                    else:
+                        payload[node_id] = (
+                            snode.export_state(), snode.buffered_rows()
+                        )
+                conn.send(("exported", payload))
+                continue
+            if message[0] == "buffered":
+                # Report state sizes for nodes re-homed within this
+                # worker (the simulated hosts differ, the process not).
+                conn.send(
+                    (
+                        "counts",
+                        {
+                            node_id: (
+                                snodes[node_id].buffered_rows()
+                                if node_id in snodes
+                                else 0
+                            )
+                            for node_id in message[1]
+                        },
+                    )
+                )
+                continue
+            if message[0] == "reassign":
+                _, assigned, operators, new_exports, adopted = message
+                for compiled in operators:
+                    backend.cached_operators[
+                        _operator_key(compiled.recipe[2])
+                    ] = compiled
+                by_stage = {}
+                keep = set()
+                for node, stage in assigned:
+                    by_stage.setdefault(stage, []).append(node)
+                    keep.add(node.node_id)
+                for node_id in list(snodes):
+                    if node_id not in keep:
+                        del snodes[node_id]
+                for node, _ in assigned:
+                    node_id = node.node_id
+                    if node.kind is DistKind.SOURCE or node_id in snodes:
+                        continue
+                    snode = backend.streaming_node(node)
+                    state = adopted.get(node_id)
+                    if state is not None:
+                        snode.import_state(state)
+                    snodes[node_id] = snode
+                export_ids = new_exports
+                conn.send(("ready", pid))
+                continue
             _, step, stage, flush, sources, inbound = message
             if step != current_step:
                 current_step = step
@@ -231,12 +296,34 @@ class ParallelExecutor(StepExecutor):
         if context is None:
             raise ParallelUnavailable("no multiprocessing start method is available")
         self.worker_count = min(requested, len(hosts_used))
-        worker_of_host = {
+        self._backend = backend
+        self._worker_of_host = {
             host: index % self.worker_count for index, host in enumerate(hosts_used)
         }
         self._worker_of = {
-            node.node_id: worker_of_host[node.host] for node in self._order
+            node.node_id: self._worker_of_host[node.host] for node in self._order
         }
+        stage_of = self._rebuild_topology()
+        self._connections: List = []
+        self._processes: List = []
+        self._pids: List[int] = []
+        self._step = -1
+        try:
+            self._fork_pool(context, plan, backend, epoch_column, stage_of)
+        except OSError as error:
+            self.close()
+            raise ParallelUnavailable(
+                f"could not start the worker pool: {error}"
+            ) from error
+
+    def _rebuild_topology(self) -> Dict[str, int]:
+        """Derive stages, exports, and per-(worker, stage) node lists
+        from the current node→worker map; returns the stage map.
+
+        Called at pool start and again after every :meth:`repin` — the
+        stage schedule and export set depend on which edges cross
+        workers, and re-pinning changes exactly that.
+        """
         # Stage scheduling: a node waits one messaging round for every
         # worker boundary on its critical path.  Same-worker edges are
         # free (the producer's output is already in the worker).
@@ -271,17 +358,87 @@ class ParallelExecutor(StepExecutor):
             )
             for stage_no in range(self._num_stages)
         ]
-        self._connections: List = []
-        self._processes: List = []
-        self._pids: List[int] = []
-        self._step = -1
-        try:
-            self._fork_pool(context, plan, backend, epoch_column, stage_of)
-        except OSError as error:
-            self.close()
-            raise ParallelUnavailable(
-                f"could not start the worker pool: {error}"
-            ) from error
+        return stage_of
+
+    def repin(self, changed: Dict[str, int]) -> Dict[str, int]:
+        """Move re-homed nodes between workers; return their state sizes.
+
+        ``changed`` maps node ids to their new *simulated* host.  The
+        host→worker map is fixed at pool start, so a migration between
+        hosts sharing a worker is pure bookkeeping; across workers the
+        losing process exports the node's buffered state through the
+        driver to the adopting process.  Either way the returned counts
+        let the session charge the handoff as host→host network traffic.
+        """
+        if not changed:
+            return {}
+        node_of = {node.node_id: node for node in self._order}
+        new_worker: Dict[str, int] = {}
+        for node_id, host in changed.items():
+            worker = self._worker_of_host.get(host)
+            if worker is None:
+                # A host that owned no static nodes: give it a stable
+                # worker assignment consistent with the modular layout.
+                worker = host % self.worker_count
+                self._worker_of_host[host] = worker
+            new_worker[node_id] = worker
+        moves = {
+            node_id: worker
+            for node_id, worker in new_worker.items()
+            if worker != self._worker_of[node_id]
+        }
+        buffered: Dict[str, int] = {}
+        states: Dict[str, object] = {}
+        by_loser: Dict[int, List[str]] = {}
+        for node_id in sorted(moves):
+            by_loser.setdefault(self._worker_of[node_id], []).append(node_id)
+        for worker, ids in sorted(by_loser.items()):
+            self._connections[worker].send(("export", ids))
+        for worker, ids in sorted(by_loser.items()):
+            (payload,) = self._receive(worker)
+            for node_id, (state, rows) in payload.items():
+                states[node_id] = state
+                buffered[node_id] = rows
+        by_stayer: Dict[int, List[str]] = {}
+        for node_id in sorted(changed):
+            if node_id not in moves:
+                by_stayer.setdefault(self._worker_of[node_id], []).append(node_id)
+        for worker, ids in sorted(by_stayer.items()):
+            self._connections[worker].send(("buffered", ids))
+        for worker, ids in sorted(by_stayer.items()):
+            (payload,) = self._receive(worker)
+            buffered.update(payload)
+        self._worker_of.update(moves)
+        stage_of = self._rebuild_topology()
+        # Every worker gets the fresh assignment: stages and exports can
+        # shift even for workers that neither lost nor gained a node.
+        for worker, connection in enumerate(self._connections):
+            assigned = [
+                (node, stage_of[node.node_id])
+                for node in self._order
+                if self._worker_of[node.node_id] == worker
+            ]
+            operators = list(
+                {
+                    _operator_key(node): self._backend.compile_node(node)
+                    for node, _ in assigned
+                    if node.kind is not DistKind.SOURCE
+                }.values()
+            )
+            exports = {
+                node.node_id for node, _ in assigned
+                if node.node_id in self._export_ids
+            }
+            adopted = {
+                node_id: states.get(node_id)
+                for node_id, target in moves.items()
+                if target == worker
+                and node_of[node_id].kind is not DistKind.SOURCE
+            }
+            connection.send(("reassign", assigned, operators, exports, adopted))
+        for worker in range(self.worker_count):
+            self._receive(worker)
+        return {node_id: buffered.get(node_id, 0) for node_id in changed}
 
     def _fork_pool(
         self,

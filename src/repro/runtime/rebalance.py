@@ -1,0 +1,585 @@
+"""Adaptive repartitioning under skew: mid-stream partition migration.
+
+The paper commits to one query-aware partitioning offline (§3.3, §4.2.1)
+and relies on hash partitioning to spread load evenly — while conceding
+(§2, the FLUX citation) that key skew breaks exactly that assumption.
+This module closes the loop at runtime: a :class:`RebalanceController`
+watches per-host load epoch by epoch and, at watermark-aligned epoch
+boundaries, migrates hot partitions to cooler hosts.
+
+The crucial invariant is that a migration changes only *where* work
+runs, never *what* runs: the dataflow DAG, the splitting function, and
+every per-node input order are untouched.  A :class:`PartitionDirectory`
+maps each partition to its current host; a plan node whose coverage
+lives entirely on its static home host (a source, a pushed per-partition
+operator, a host-local merge) is *movable* and executes — and is
+charged — on whichever host the directory says its partitions live on.
+Central merges and SUPER aggregates stay pinned.  Because the routed
+batches and their order are identical, streaming output with rebalancing
+active is byte-identical to a one-shot run (the randomized parity
+harness asserts this), and in-process vs. parallel execution make the
+same migration decisions from the same accounting.
+
+Partitions that share a movable multi-partition node (e.g. a host-local
+merge under ``merge_local_partitions=True``) must stay co-resident, so
+the planner moves *co-movement groups*, not single partitions.  When the
+hottest group is atomic — one partition holding the skewed keys — no
+migration helps; the controller then consults the paper's own machinery
+(:mod:`repro.partitioning.reconcile` over the per-query compatible sets
+from :mod:`repro.partitioning.compatibility`) and records an advisory
+recommending a finer compatible partitioning set.
+
+Elastic membership rides on the fault machinery: ``leave``/``join``
+faults (:mod:`repro.runtime.flowcontrol`) shrink or grow the present
+host set by epoch step; a departing host's groups are forcibly
+evacuated (trigger and cooldown do not apply), a joining host receives
+load through an immediate spread pass.
+
+Open window/join state travels with its partitions: the session asks
+the executor to re-pin the affected streaming nodes
+(:meth:`~repro.runtime.session.StepExecutor.repin` — an in-process
+no-op, a state export/import handshake between workers under parallel
+execution) and meters the handoff as an ordinary network transfer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
+
+from ..cluster.balance import BalanceReport
+from ..distopt.plan_ir import DistNode, DistributedPlan
+from ..partitioning.compatibility import compatible_set
+from ..partitioning.partition_set import PartitioningSet
+from ..partitioning.reconcile import reconcile_all
+from .flowcontrol import JOIN, LEAVE, MEMBERSHIP_KINDS, FaultPlan
+
+if TYPE_CHECKING:
+    from ..plan.dag import QueryDag
+    from .metrics import MetricsRecorder
+
+
+@dataclass(frozen=True)
+class RebalancePolicy:
+    """When and how aggressively the controller migrates partitions.
+
+    ``threshold`` is the host ``max_over_mean`` ratio (over the present
+    hosts) that counts an epoch as hot; after ``window`` consecutive hot
+    epochs the controller plans a rebalance at the next epoch boundary,
+    then holds off for ``cooldown`` epochs so the smoothed load signal
+    can settle.  One rebalance moves at most ``max_moves`` co-movement
+    groups and is committed only when the projected peak-load reduction
+    reaches ``min_gain`` (relative).  ``smoothing`` is the EWMA weight of
+    the newest epoch in the per-partition load estimate.
+    """
+
+    threshold: float = 1.25
+    window: int = 2
+    cooldown: int = 2
+    max_moves: int = 4
+    min_gain: float = 0.05
+    smoothing: float = 0.5
+
+    def __post_init__(self):
+        if self.threshold < 1.0:
+            raise ValueError("threshold is a max/mean ratio and must be >= 1.0")
+        if self.window < 1:
+            raise ValueError("window must be >= 1 epoch")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be >= 0 epochs")
+        if self.max_moves < 1:
+            raise ValueError("max_moves must be >= 1")
+        if not 0.0 <= self.min_gain < 1.0:
+            raise ValueError("min_gain must be in [0, 1)")
+        if not 0.0 < self.smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+
+    def describe(self) -> str:
+        return (
+            f"rebalance when max/mean >= {self.threshold:g} for "
+            f"{self.window} epoch(s), cooldown {self.cooldown}, "
+            f"<= {self.max_moves} move(s) per pass"
+        )
+
+
+class PartitionDirectory:
+    """Partition -> current host, seeded from the plan's static layout.
+
+    The static mapping (``plan.host_of_partition``) never changes — it
+    defines which nodes are movable; the *current* mapping is what
+    migrations rewrite and what ingest routing and cost charging follow.
+    """
+
+    def __init__(self, plan: DistributedPlan):
+        self.num_hosts = plan.num_hosts
+        self._static: Dict[int, int] = {
+            partition: plan.host_of_partition(partition)
+            for partition in range(plan.num_partitions)
+        }
+        self._current: Dict[int, int] = dict(self._static)
+
+    def host_of(self, partition: int) -> int:
+        return self._current[partition]
+
+    def static_host(self, partition: int) -> int:
+        return self._static[partition]
+
+    def assign(self, partition: int, host: int) -> None:
+        if not 0 <= host < self.num_hosts:
+            raise ValueError(f"host {host} is not in the cluster")
+        self._current[partition] = host
+
+    def partitions_on(self, host: int) -> List[int]:
+        return sorted(
+            partition
+            for partition, owner in self._current.items()
+            if owner == host
+        )
+
+    def assignment(self) -> Dict[int, int]:
+        return dict(self._current)
+
+    @property
+    def moved(self) -> Dict[int, int]:
+        """Partitions currently away from their static home."""
+        return {
+            partition: host
+            for partition, host in self._current.items()
+            if host != self._static[partition]
+        }
+
+
+@dataclass
+class Migration:
+    """One co-movement group changing hosts at one epoch boundary."""
+
+    partitions: Tuple[int, ...]
+    src: int
+    dst: int
+    reason: str
+    step: int = -1
+    #: Buffered window/join rows handed off with the group.
+    state_rows: int = 0
+
+    def describe(self) -> str:
+        parts = ",".join(str(p) for p in self.partitions)
+        return (
+            f"step {self.step}: partition(s) {parts} "
+            f"h{self.src} -> h{self.dst} ({self.reason}"
+            + (f", {self.state_rows} buffered rows" if self.state_rows else "")
+            + ")"
+        )
+
+
+@dataclass
+class RebalanceLog:
+    """What one run's controller observed and did."""
+
+    triggers: int = 0
+    migrations: List[Migration] = field(default_factory=list)
+    advisories: List[str] = field(default_factory=list)
+    #: Final partition -> host mapping at the end of the run.
+    assignment: Dict[int, int] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        lines = [
+            f"rebalancer: {self.triggers} trigger(s), "
+            f"{len(self.migrations)} migration(s)"
+        ]
+        lines.extend("  " + move.describe() for move in self.migrations)
+        for advice in self.advisories:
+            lines.append(f"  advice: {advice}")
+        return "\n".join(lines)
+
+
+class RebalanceController:
+    """Observes per-host load and plans epoch-boundary migrations.
+
+    Driven by the session once per epoch step: :meth:`plan_step` before
+    splitting (returns this boundary's migrations), :meth:`observe`
+    after the step's charges are replayed.  All inputs — delivered rows
+    per partition, per-epoch host CPU, queue backlog — are identical
+    across engines and execution modes, so migration decisions are too.
+    """
+
+    def __init__(
+        self,
+        plan: DistributedPlan,
+        policy: RebalancePolicy,
+        recorder: "MetricsRecorder",
+        faults: Optional[FaultPlan] = None,
+        dag: Optional["QueryDag"] = None,
+        partitioning: Optional[PartitioningSet] = None,
+    ):
+        self._plan = plan
+        self._policy = policy
+        self._recorder = recorder
+        self._dag = dag
+        self._partitioning = partitioning
+        self.directory = PartitionDirectory(plan)
+        self.log = RebalanceLog(assignment=self.directory.assignment())
+        self._membership = tuple(
+            fault
+            for fault in (faults.faults if faults is not None else ())
+            if fault.kind in MEMBERSHIP_KINDS
+        )
+        # Movable nodes: non-empty coverage entirely on the static home.
+        # Everything else (central merges, SUPER aggregates, delivery)
+        # stays pinned to its plan host.
+        self._movable: Dict[str, DistNode] = {}
+        for node in plan.topological():
+            if node.partitions and all(
+                self.directory.static_host(p) == node.host
+                for p in node.partitions
+            ):
+                self._movable[node.node_id] = node
+        self._check_membership()
+        # Co-movement groups: partitions sharing a movable multi-partition
+        # node (a host-local merge binds its host's partitions together)
+        # migrate as one unit, so no movable node's coverage ever spans
+        # two hosts.  Union-find over partitions.
+        parent = list(range(plan.num_partitions))
+
+        def find(p: int) -> int:
+            while parent[p] != p:
+                parent[p] = parent[parent[p]]
+                p = parent[p]
+            return p
+
+        for node in self._movable.values():
+            anchor = find(min(node.partitions))
+            for partition in node.partitions:
+                parent[find(partition)] = anchor
+        roots: Dict[int, List[int]] = {}
+        for partition in range(plan.num_partitions):
+            roots.setdefault(find(partition), []).append(partition)
+        self._groups: List[Tuple[int, ...]] = [
+            tuple(sorted(members))
+            for _, members in sorted(roots.items())
+        ]
+        self._group_of: Dict[int, int] = {
+            partition: index
+            for index, group in enumerate(self._groups)
+            for partition in group
+        }
+        # EWMA of delivered rows per partition; the planning weight.
+        self._weights: List[float] = [0.0] * plan.num_partitions
+        self._backlog: Dict[int, int] = {}
+        self._hot_streak = 0
+        self._cooldown_until = 0
+        self._last_ratio = float("nan")
+        self._prev_present: Optional[Set[int]] = None
+        self._effective: Dict[str, int] = {}
+        self._refresh_effective()
+
+    # -- the session-facing surface -------------------------------------------
+
+    def effective_host(self, node: DistNode) -> int:
+        """The host a node currently executes (and is charged) on."""
+        return self._effective.get(node.node_id, node.host)
+
+    def plan_step(self, index: int) -> List[Migration]:
+        """Migrations to apply at the boundary before epoch step ``index``."""
+        present = self._present(index)
+        loads = self._host_loads(present)
+        moves = self._evacuations(present, loads)
+        grown = (
+            self._prev_present is not None
+            and bool(present - self._prev_present)
+        )
+        self._prev_present = present
+        if len(present) > 1 and (
+            grown
+            or (
+                self._hot_streak >= self._policy.window
+                and index >= self._cooldown_until
+            )
+        ):
+            reason = "membership" if grown else "rebalance"
+            if not grown:
+                self.log.triggers += 1
+                self._recorder.record_rebalance(
+                    "trigger",
+                    ratio=round(self._last_ratio, 4),
+                    streak=self._hot_streak,
+                    step=index,
+                )
+            planned = self._balance_moves(loads, present, reason)
+            if planned:
+                moves.extend(planned)
+            elif not grown:
+                self._advise()
+            self._hot_streak = 0
+            self._cooldown_until = index + self._policy.cooldown
+        if moves:
+            self._recorder.record_rebalance(
+                "plan",
+                step=index,
+                moves=[
+                    {
+                        "partitions": list(move.partitions),
+                        "src": move.src,
+                        "dst": move.dst,
+                        "reason": move.reason,
+                    }
+                    for move in moves
+                ],
+            )
+        return moves
+
+    def apply(self, moves: Sequence[Migration]) -> Dict[str, Tuple[int, int]]:
+        """Rewrite the directory; return each re-homed node's (old, new)."""
+        before = {
+            node_id: self.effective_host(node)
+            for node_id, node in self._movable.items()
+        }
+        for move in moves:
+            for partition in move.partitions:
+                self.directory.assign(partition, move.dst)
+        self._refresh_effective()
+        changed: Dict[str, Tuple[int, int]] = {}
+        for node_id, node in self._movable.items():
+            new = self.effective_host(node)
+            if new != before[node_id]:
+                changed[node_id] = (before[node_id], new)
+        return changed
+
+    def commit(
+        self,
+        index: int,
+        moves: Sequence[Migration],
+        changed: Dict[str, Tuple[int, int]],
+        buffered: Dict[str, int],
+    ) -> None:
+        """Record the applied migrations (with their state handoffs)."""
+        move_of_partition = {
+            partition: move for move in moves for partition in move.partitions
+        }
+        for node_id, rows in buffered.items():
+            if not rows or node_id not in changed:
+                continue
+            node = self._movable[node_id]
+            move = move_of_partition.get(min(node.partitions))
+            if move is not None:
+                move.state_rows += rows
+        for move in moves:
+            move.step = index
+            self.log.migrations.append(move)
+            self._recorder.record_rebalance(
+                "migration",
+                step=index,
+                partitions=list(move.partitions),
+                src=move.src,
+                dst=move.dst,
+                reason=move.reason,
+                state_rows=move.state_rows,
+            )
+        self.log.assignment = self.directory.assignment()
+        self._recorder.record_rebalance(
+            "complete", step=index, moves=len(moves),
+            moved=self.directory.moved,
+        )
+
+    def observe(self, index: int, partition_rows: Sequence[int]) -> None:
+        """Fold one epoch's delivered rows into the load estimate and
+        arm the trigger when the present hosts stay imbalanced."""
+        alpha = self._policy.smoothing
+        for partition, rows in enumerate(partition_rows):
+            self._weights[partition] = (
+                alpha * rows + (1.0 - alpha) * self._weights[partition]
+            )
+        self._backlog = {
+            host: stats.rows_queued[-1]
+            for host, stats in self._recorder.flow_stats.items()
+            if stats.rows_queued
+        }
+        present = self._present(index)
+        loads = self._host_loads(present)
+        report = BalanceReport(
+            [round(weight, 6) for weight in self._weights],
+            [loads[host] for host in sorted(present)],
+        )
+        ratios = [report.host_max_over_mean, self._cpu_ratio(present)]
+        finite = [ratio for ratio in ratios if not math.isnan(ratio)]
+        self._last_ratio = max(finite) if finite else float("nan")
+        if finite and max(finite) >= self._policy.threshold:
+            self._hot_streak += 1
+        else:
+            self._hot_streak = 0
+
+    # -- internals -------------------------------------------------------------
+
+    def _check_membership(self) -> None:
+        for fault in self._membership:
+            if fault.host == self._plan.aggregator:
+                raise ValueError(
+                    f"host {fault.host} is the aggregator and cannot "
+                    "leave or join mid-stream"
+                )
+            if fault.kind == LEAVE:
+                stuck = [
+                    node.node_id
+                    for node in self._plan.topological()
+                    if node.host == fault.host
+                    and node.node_id not in self._movable
+                ]
+                if stuck:
+                    raise ValueError(
+                        f"host {fault.host} cannot leave: it runs "
+                        f"non-migratable node(s) {stuck}"
+                    )
+
+    def _present(self, index: int) -> Set[int]:
+        """Hosts in the cluster at epoch step ``index``."""
+        present = set(range(self._plan.num_hosts))
+        for fault in self._membership:
+            if fault.kind == LEAVE and fault.active(index):
+                present.discard(fault.host)
+            elif fault.kind == JOIN and index < fault.first_epoch:
+                present.discard(fault.host)
+        return present
+
+    def _group_weight(self, group_index: int) -> float:
+        return sum(self._weights[p] for p in self._groups[group_index])
+
+    def _host_loads(self, present: Set[int]) -> Dict[int, float]:
+        loads = {host: float(self._backlog.get(host, 0)) for host in present}
+        for index, group in enumerate(self._groups):
+            host = self.directory.host_of(group[0])
+            if host in loads:
+                loads[host] += self._group_weight(index)
+        return loads
+
+    def _cpu_ratio(self, present: Set[int]) -> float:
+        """max/mean of the latest per-epoch CPU buckets (NaN when idle)."""
+        values = []
+        for host in sorted(present):
+            series = self._recorder.hosts[host].epoch_cpu
+            values.append(series[-1] if series else 0.0)
+        if not values:
+            return float("nan")
+        mean = sum(values) / len(values)
+        if mean == 0:
+            return float("nan")
+        return max(values) / mean
+
+    def _evacuations(
+        self, present: Set[int], loads: Dict[int, float]
+    ) -> List[Migration]:
+        """Forced moves off absent hosts (ahead of trigger/cooldown)."""
+        moves: List[Migration] = []
+        counts = {host: 0 for host in present}
+        for index, group in enumerate(self._groups):
+            host = self.directory.host_of(group[0])
+            if host in counts:
+                counts[host] += 1
+        for index, group in enumerate(self._groups):
+            src = self.directory.host_of(group[0])
+            if src in present:
+                continue
+            dst = min(present, key=lambda h: (loads[h], counts[h], h))
+            moves.append(Migration(group, src, dst, "evacuate"))
+            loads[dst] += self._group_weight(index)
+            counts[dst] += 1
+        return moves
+
+    def _balance_moves(
+        self, loads: Dict[int, float], present: Set[int], reason: str
+    ) -> List[Migration]:
+        """Greedy peak-shaving: repeatedly move the group that most
+        reduces the maximum present-host load; all-or-nothing against
+        ``min_gain`` (the mean is move-invariant, so peak reduction and
+        ratio reduction are the same test)."""
+        work = dict(loads)
+        group_host = {
+            index: self.directory.host_of(group[0])
+            for index, group in enumerate(self._groups)
+        }
+        start_max = max(work.values())
+        if start_max <= 0:
+            return []
+        planned: List[Migration] = []
+        while len(planned) < self._policy.max_moves:
+            current_max = max(work.values())
+            hot = min(host for host in work if work[host] == current_max)
+            best: Optional[Tuple[float, int, int]] = None
+            for index, group in enumerate(self._groups):
+                if group_host[index] != hot:
+                    continue
+                weight = self._group_weight(index)
+                if weight <= 0:
+                    continue
+                for dst in sorted(present):
+                    if dst == hot:
+                        continue
+                    rest = max(
+                        (
+                            value
+                            for host, value in work.items()
+                            if host != hot and host != dst
+                        ),
+                        default=0.0,
+                    )
+                    new_max = max(work[hot] - weight, work[dst] + weight, rest)
+                    if new_max >= current_max - 1e-9:
+                        continue
+                    if best is None or (new_max, index, dst) < best:
+                        best = (new_max, index, dst)
+            if best is None:
+                break
+            _, index, dst = best
+            weight = self._group_weight(index)
+            work[hot] -= weight
+            work[dst] += weight
+            planned.append(
+                Migration(self._groups[index], hot, dst, reason)
+            )
+            group_host[index] = dst
+        final_max = max(work.values())
+        if planned and (start_max - final_max) / start_max < self._policy.min_gain:
+            return []
+        return planned
+
+    def _advise(self) -> None:
+        """The hot group is atomic: migrating cannot split it.  Re-derive
+        the queries' compatible sets and recommend a finer one if the
+        reconcile machinery finds it (paper §4.1 applied live)."""
+        message = (
+            "hot partition group is atomic under the current partitioning; "
+            "migration cannot split it"
+        )
+        if self._dag is not None:
+            sets = []
+            for node in self._dag.query_nodes():
+                candidate = compatible_set(node, self._dag)
+                if candidate is not None:
+                    sets.append(candidate)
+            finer = reconcile_all(sets) if sets else PartitioningSet.empty()
+            current_size = (
+                len(self._partitioning) if self._partitioning is not None else 0
+            )
+            if not finer.is_empty and len(finer) > current_size:
+                message += (
+                    f"; the reconciled compatible set {finer} is finer than "
+                    "the deployed one and would spread the hot keys"
+                )
+            else:
+                message += (
+                    "; no finer partitioning set is compatible with every "
+                    "query (reconcile came back "
+                    + (str(finer) if not finer.is_empty else "empty")
+                    + ")"
+                )
+        if self.log.advisories and self.log.advisories[-1] == message:
+            return  # the situation has not changed; don't repeat ourselves
+        self.log.advisories.append(message)
+        self._recorder.record_rebalance("advice", message=message)
+
+    def _refresh_effective(self) -> None:
+        effective: Dict[str, int] = {}
+        for node_id, node in self._movable.items():
+            hosts = {self.directory.host_of(p) for p in node.partitions}
+            if len(hosts) == 1:
+                effective[node_id] = hosts.pop()
+        self._effective = effective

@@ -28,10 +28,21 @@ accounting by construction.
 
 from __future__ import annotations
 
+import copy
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, TYPE_CHECKING
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TYPE_CHECKING,
+)
 
 from ..distopt.plan_ir import DistKind, DistNode, DistributedPlan, Variant
 from ..engine.aggregates import states_width
@@ -41,12 +52,9 @@ from ..engine.streaming import StreamingNode, Watermark
 from ..plan.dag import QueryDag
 from ..traces.generator import slice_by_epoch
 from .backend import EngineBackend
-from .flowcontrol import (
-    FaultPlan,
-    QueuePolicy,
-    create_ingest_controller,
-)
+from .flowcontrol import FaultPlan, QueuePolicy, create_ingest_controller
 from .metrics import HostFlowStats, MetricsRecorder, Timeline
+from .rebalance import RebalanceController, RebalanceLog, RebalancePolicy
 
 if TYPE_CHECKING:
     from ..cluster.host import Host
@@ -101,6 +109,17 @@ class StepExecutor:
     def run_step(self, flush: bool, sources: SourceFeed) -> StepOutcome:
         raise NotImplementedError
 
+    def repin(self, changed: Dict[str, int]) -> Dict[str, int]:
+        """Re-home nodes onto new effective hosts (partition migration).
+
+        ``changed`` maps node id -> new host.  Returns the buffered rows
+        each re-homed streaming node carried across — the state-handoff
+        volume the session meters as a network transfer.  In-process
+        execution needs no physical movement; the parallel executor
+        moves node state between workers.
+        """
+        return {node_id: 0 for node_id in changed}
+
     def close(self) -> None:
         """Release resources (worker processes, shared memory)."""
 
@@ -127,6 +146,18 @@ class InProcessExecutor(StepExecutor):
             if node.kind is not DistKind.SOURCE
         }
         self._watermarks: Dict[str, Watermark] = {}
+
+    def repin(self, changed: Dict[str, int]) -> Dict[str, int]:
+        # Every node already lives in this process: nothing moves, but
+        # the buffered-row counts still price the simulated handoff.
+        return {
+            node_id: (
+                self._nodes[node_id].buffered_rows()
+                if node_id in self._nodes
+                else 0
+            )
+            for node_id in changed
+        }
 
     def run_step(self, flush: bool, sources: SourceFeed) -> StepOutcome:
         outputs: Dict[str, Batch] = {}
@@ -198,6 +229,9 @@ class SimulationResult:
     # requested as parallel that fell back reports "inprocess" here (the
     # fallback reason is in the event trace's "execution" record).
     execution: str = "inprocess"
+    # What the adaptive rebalancer observed and did; None unless the run
+    # passed ``rebalance=RebalancePolicy(...)``.
+    rebalance: Optional[RebalanceLog] = None
 
     def rows_dropped(self, host: int) -> int:
         """Total rows the flow-control layer dropped for ``host``."""
@@ -299,6 +333,7 @@ class ExecutionSession:
         faults: Optional[FaultPlan] = None,
         execution: str = "inprocess",
         workers: Optional[int] = None,
+        rebalance: Optional[RebalancePolicy] = None,
     ) -> SimulationResult:
         """Split, execute, and meter the plan; one epoch per step.
 
@@ -320,6 +355,13 @@ class ExecutionSession:
         accounting are identical either way; when parallel execution is
         impossible (single host, one worker, no start method) the run
         falls back in-process and records the reason in the event trace.
+
+        ``rebalance`` activates adaptive repartitioning
+        (:mod:`repro.runtime.rebalance`): hot partitions migrate to
+        cooler hosts at epoch boundaries.  Migration changes only which
+        host executes (and is charged for) the affected nodes — query
+        outputs stay byte-identical to the static run.  Requires
+        ``streaming``; ``leave``/``join`` membership faults require it.
         """
         self._check_splitter(splitter)
         if execution not in EXECUTION_MODES:
@@ -332,6 +374,16 @@ class ExecutionSession:
             raise ValueError(
                 "flow control and fault injection require streaming execution"
             )
+        if rebalance is not None and not streaming:
+            raise ValueError("adaptive rebalancing requires streaming execution")
+        if faults:
+            faults.validate(self._plan.num_hosts)
+            if faults.membership and rebalance is None:
+                raise ValueError(
+                    "host leave/join faults require a rebalance policy "
+                    "(rebalance=RebalancePolicy(...)) to migrate the "
+                    "affected partitions"
+                )
         recorder = self._recorder
         backend = self._backend
         recorder.reset()
@@ -360,11 +412,26 @@ class ExecutionSession:
         counts: Dict[str, int] = {node.node_id: 0 for node in order}
         offsets: Dict[str, int] = {stream: 0 for stream in slices}
         num_partitions = self._plan.num_partitions
+        rebalancer: Optional[RebalanceController] = None
+        host_of = None
+        if rebalance is not None:
+            rebalancer = RebalanceController(
+                self._plan,
+                rebalance,
+                recorder,
+                faults=faults,
+                dag=self._dag,
+                partitioning=getattr(splitter, "partitioning_set", None),
+            )
+            host_of = rebalancer.effective_host
         # The ingest controller sits between the splitter and the hosts:
         # pass-through (historical behaviour) unless flow control or
         # fault injection was requested.
         controller = create_ingest_controller(
-            self._plan, backend, recorder, queue_policy, faults
+            self._plan, backend, recorder, queue_policy, faults,
+            host_of_partition=(
+                rebalancer.directory.host_of if rebalancer is not None else None
+            ),
         )
         peak = 0
         try:
@@ -387,6 +454,11 @@ class ExecutionSession:
                     )
                     if streaming:
                         recorder.begin_epoch(epoch)
+                    if rebalancer is not None:
+                        # Migrations land at the epoch boundary: after the
+                        # previous epoch's bucket closed, before this
+                        # epoch's rows are split and routed.
+                        self._apply_rebalance(rebalancer, executor, index)
                     partitions = {}
                     for stream, per_epoch in slices.items():
                         piece = per_epoch.get(epoch)
@@ -423,17 +495,31 @@ class ExecutionSession:
                 outcome = executor.run_step(flush, sources)
                 peak = max(
                     peak,
-                    self._replay_step(outcome, sources, order, counts),
+                    self._replay_step(outcome, sources, order, counts, host_of),
                     outcome.buffered_rows,
                     controller.resident_rows(),
                 )
                 for name, node_id in self._plan.delivery.items():
                     delivered[name].extend(ensure_rows(outcome.returns[node_id]))
+                if rebalancer is not None and not flush:
+                    partition_rows = [0] * num_partitions
+                    for node in order:
+                        if node.kind is DistKind.SOURCE:
+                            (partition,) = node.partitions
+                            partition_rows[partition] += len(
+                                sources[node.node_id][0]
+                            )
+                    rebalancer.observe(index, partition_rows)
         finally:
             executor.close()
+        # Snapshot the mutable accounting state: the recorder resets its
+        # Host and NetworkMeter objects *in place* at the top of the next
+        # run, so handing out the live references would silently retarget
+        # every previously returned result (and make cross-run comparisons
+        # tautological).
         return SimulationResult(
-            hosts=recorder.hosts,
-            network=recorder.network,
+            hosts=copy.deepcopy(recorder.hosts),
+            network=copy.deepcopy(recorder.network),
             outputs=delivered,
             duration_sec=duration_sec,
             aggregator=self._plan.aggregator,
@@ -445,6 +531,7 @@ class ExecutionSession:
             fallback_nodes=dict(recorder.fallback_nodes),
             flow_stats=dict(recorder.flow_stats),
             execution=executor.mode,
+            rebalance=rebalancer.log if rebalancer is not None else None,
         )
 
     # -- internals --------------------------------------------------------------
@@ -479,12 +566,48 @@ class ExecutionSession:
             recorder.record_execution_mode("inprocess")
         return InProcessExecutor(self._backend, order, epoch_column, return_ids)
 
+    def _apply_rebalance(
+        self,
+        rebalancer: RebalanceController,
+        executor: StepExecutor,
+        index: int,
+    ) -> None:
+        """Plan and commit epoch-boundary migrations for this step.
+
+        The directory swap happens before the epoch's rows are split, so
+        fresh arrivals route straight to the new homes; buffered window
+        and join state follows via the executor's ``repin`` and is
+        charged as a network transfer between the old and new host.
+        """
+        moves = rebalancer.plan_step(index)
+        if not moves:
+            return
+        recorder = self._recorder
+        changed = rebalancer.apply(moves)
+        buffered = executor.repin(
+            {node_id: new for node_id, (_, new) in changed.items()}
+        )
+        for node_id in sorted(changed):
+            rows = buffered.get(node_id, 0)
+            if not rows:
+                continue
+            node = self._plan.node(node_id)
+            widths = [
+                self._output_width(self._plan.node(child_id))
+                for child_id in node.inputs
+            ]
+            width = max(widths) if widths else self._output_width(node)
+            old, new = changed[node_id]
+            recorder.record_transfer(old, new, rows, width)
+        rebalancer.commit(index, moves, changed, buffered)
+
     def _replay_step(
         self,
         outcome: StepOutcome,
         sources: SourceFeed,
         order: Sequence[DistNode],
         counts: Dict[str, int],
+        host_of: Optional[Callable[[DistNode], int]] = None,
     ) -> int:
         """Charge one step's costs from the executor's counters.
 
@@ -493,6 +616,10 @@ class ExecutionSession:
         processing, then the node-step record), so host CPU and network
         accumulation is float-for-float identical whether operators ran
         here or in worker processes.  Returns the step's largest batch.
+
+        ``host_of`` remaps nodes to their *effective* host under
+        adaptive rebalancing; the dataflow itself is untouched, only
+        which host gets charged (and metered for transfers) changes.
         """
         recorder = self._recorder
         lens = dict(outcome.out_lens)
@@ -502,34 +629,38 @@ class ExecutionSession:
         for node in order:
             node_id = node.node_id
             rows_out = lens[node_id]
+            nhost = node.host if host_of is None else host_of(node)
             if node.kind is DistKind.SOURCE:
                 # NIC delivery of the partition to its host.
-                recorder.charge_local_ingest(node.host, rows_out)
+                recorder.charge_local_ingest(nhost, rows_out)
             else:
                 rows_in = 0
                 for child_id in node.inputs:
                     child = self._plan.node(child_id)
                     count = lens[child_id]
                     rows_in += count
-                    if child.host != node.host:
+                    chost = child.host if host_of is None else host_of(child)
+                    if chost != nhost:
                         recorder.record_transfer(
-                            child.host, node.host, count, self._output_width(child)
+                            chost, nhost, count, self._output_width(child)
                         )
                     else:
-                        recorder.charge_local_ingest(node.host, count)
+                        recorder.charge_local_ingest(nhost, count)
                 analyzed_kind = (
                     self._dag.node(node.query).kind
                     if node.kind is DistKind.OP
                     else None
                 )
-                recorder.charge_processing(node, analyzed_kind, rows_in, rows_out)
+                recorder.charge_processing(
+                    node, analyzed_kind, rows_in, rows_out, host=nhost
+                )
                 recorder.record_node_step(
                     node_id,
                     rows_in,
                     rows_out,
                     self._output_width(node),
                     outcome.walls[node_id],
-                    host=node.host,
+                    host=nhost,
                     pid=outcome.pids.get(node_id),
                 )
             counts[node_id] += rows_out

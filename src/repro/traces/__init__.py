@@ -6,6 +6,7 @@ from .generator import (
     four_tap_trace,
     generate_trace,
     merge_taps,
+    skewed_trace,
     slice_by_epoch,
 )
 from .io import load_trace, save_trace
@@ -44,6 +45,7 @@ __all__ = [
     "merge_taps",
     "packet_statistics",
     "save_trace",
+    "skewed_trace",
     "slice_by_epoch",
     "sort_by_time",
     "trace_statistics",

@@ -249,6 +249,110 @@ def generate_trace(config: TraceConfig = TraceConfig()) -> Trace:
     )
 
 
+def skewed_trace(
+    partitioning,
+    num_partitions: int,
+    partition_weights: List[float],
+    duration: int = 20,
+    rate: int = 2000,
+    seed: int = 7,
+    keys_per_partition: int = 6,
+    drift_period: Optional[int] = None,
+) -> Trace:
+    """A trace whose *partition* load follows ``partition_weights``.
+
+    The generators above model realistic traffic; this one models
+    adversarial **key skew**: each packet's ``srcIP`` is drawn from a
+    per-partition key pool so that partition ``p`` receives
+    ``partition_weights[p]`` of the stream, regardless of how the hash
+    scatters ordinary addresses.  The pools are found by trial-hashing
+    candidate addresses through ``partitioning.partitioner`` — the same
+    function the :class:`~repro.cluster.splitter.HashSplitter` applies —
+    so the skew survives splitting exactly as specified.
+
+    With ``drift_period`` the weight vector rotates by one partition
+    every that-many epochs: the hot spot *moves*, the scenario a static
+    partition placement cannot chase but an adaptive rebalancer can.
+
+    Epochs are one second; every epoch carries ``rate`` packets.  The
+    result is time-sorted and uses all of :data:`TRACE_COLUMNS`.
+    """
+    if len(partition_weights) != num_partitions:
+        raise ValueError(
+            f"got {len(partition_weights)} weights for "
+            f"{num_partitions} partitions"
+        )
+    total = float(sum(partition_weights))
+    if total <= 0 or any(w < 0 for w in partition_weights):
+        raise ValueError("partition weights must be nonnegative, sum > 0")
+    weights = np.asarray(partition_weights, dtype=np.float64) / total
+    assign = partitioning.partitioner(num_partitions)
+    pools: List[List[int]] = [[] for _ in range(num_partitions)]
+    found = 0
+    candidate = 0x0A000000
+    probe = {name: 0 for name in TRACE_COLUMNS}
+    while found < num_partitions * keys_per_partition:
+        probe["srcIP"] = candidate
+        pool = pools[assign(probe)]
+        if len(pool) < keys_per_partition:
+            pool.append(candidate)
+            found += 1
+        candidate += 1
+        if candidate - 0x0A000000 > 1_000_000:  # pragma: no cover
+            raise RuntimeError("trial hashing failed to fill the key pools")
+
+    rng = np.random.default_rng(seed)
+    src_parts: List[np.ndarray] = []
+    time_parts: List[np.ndarray] = []
+    timestamp_parts: List[np.ndarray] = []
+    for epoch in range(duration):
+        epoch_weights = weights
+        if drift_period is not None and drift_period > 0:
+            epoch_weights = np.roll(weights, epoch // drift_period)
+        counts = rng.multinomial(rate, epoch_weights)
+        src = np.concatenate(
+            [
+                rng.choice(np.asarray(pools[p], dtype=np.int64), count)
+                for p, count in enumerate(counts)
+                if count
+            ]
+        )
+        rng.shuffle(src)
+        src_parts.append(src)
+        time_parts.append(np.full(rate, epoch, dtype=np.int64))
+        timestamp_parts.append(
+            epoch * 1_000_000
+            + np.sort(rng.integers(0, 1_000_000, rate)).astype(np.int64)
+        )
+    n = duration * rate
+    columns = {
+        "srcIP": np.concatenate(src_parts),
+        "destIP": 0xC0A80000 + rng.integers(0, 64, n),
+        "srcPort": rng.integers(1024, 65536, n),
+        "destPort": rng.choice(np.array([80, 443, 22, 8080]), n),
+        "protocol": np.full(n, 6, dtype=np.int64),
+        "time": np.concatenate(time_parts),
+        "timestamp": np.concatenate(timestamp_parts),
+        "flags": rng.choice(np.array([ACK, ACK | PSH, SYN | ACK]), n),
+        "len": rng.integers(40, 1500, n),
+    }
+    columns = {
+        name: np.asarray(column, dtype=np.int64)
+        for name, column in columns.items()
+    }
+    return Trace(
+        columns=_sorted_by_time(columns),
+        config=TraceConfig(duration=duration, rate=rate, seed=seed),
+        duration_sec=float(duration),
+        flow_count=0,
+        suspicious_flow_count=0,
+        notes={
+            "skew": [round(float(w), 4) for w in weights],
+            "drift_period": drift_period,
+        },
+    )
+
+
 def _sorted_by_time(columns: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
     """Order columns by (time, timestamp), stably — like sort_by_time."""
     order = np.lexsort((columns["timestamp"], columns["time"]))

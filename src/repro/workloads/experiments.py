@@ -17,6 +17,7 @@ from ..cluster.simulator import (
     ClusterSimulator,
     FaultPlan,
     QueuePolicy,
+    RebalancePolicy,
     SimulationResult,
 )
 from ..cluster.splitter import HashSplitter, RoundRobinSplitter, Splitter
@@ -210,6 +211,7 @@ def run_configuration(
     faults: Optional[FaultPlan] = None,
     execution: str = "inprocess",
     workers: Optional[int] = None,
+    rebalance: Optional[RebalancePolicy] = None,
 ) -> RunOutcome:
     """Build the distributed plan for one configuration and simulate it.
 
@@ -226,7 +228,9 @@ def run_configuration(
     :meth:`~repro.cluster.simulator.ClusterSimulator.run_streaming`.
     ``execution="parallel"`` runs each simulated host's pipeline in its
     own worker process (``workers`` caps the pool), with identical
-    results.
+    results.  ``rebalance`` (streaming only) activates adaptive
+    repartitioning under skew — see
+    :class:`~repro.runtime.rebalance.RebalancePolicy`.
     """
     placement = Placement(
         num_hosts=num_hosts,
@@ -261,11 +265,13 @@ def run_configuration(
             faults=faults,
             execution=execution,
             workers=workers,
+            rebalance=rebalance,
         )
     else:
-        if queue_policy is not None or faults:
+        if queue_policy is not None or faults or rebalance is not None:
             raise ValueError(
-                "flow control and fault injection require streaming execution"
+                "flow control, fault injection, and rebalancing require "
+                "streaming execution"
             )
         result = simulator.run(
             sources, splitter, trace.duration_sec,

@@ -15,6 +15,13 @@ per-link network counters.  This module holds the reusable pieces:
   derive trace, cluster size, and partitioning from a seed, run both
   modes, and compare.  Lossless flow control (a bounded ``block`` queue)
   may be layered on — backpressure must never change the answer.
+* :func:`skewed_packets` / :func:`assert_rebalanced_matches_oneshot` —
+  the adaptive-rebalancing leg: a hot-key trace drives mid-stream
+  migrations, and the streaming outputs must stay byte-identical to the
+  static one-shot run (migration relabels *where* operators execute and
+  are charged, never *what* they compute).  Per-host CPU and per-link
+  network intentionally differ, so only outputs and per-node counts are
+  compared there.
 """
 
 import random
@@ -23,13 +30,16 @@ import pytest
 
 from repro.cluster import (
     ClusterSimulator,
+    FaultPlan,
     HashSplitter,
     QueuePolicy,
+    RebalancePolicy,
     RoundRobinSplitter,
 )
 from repro.distopt import DistributedOptimizer, Placement
 from repro.engine import batches_equal
 from repro.partitioning import PartitioningSet
+from repro.runtime.flowcontrol import Fault
 from repro.workloads import (
     complex_catalog,
     subnet_jitter_catalog,
@@ -79,6 +89,45 @@ def random_packets(seed, max_epochs=7, max_burst=70):
                     "destPort": rng.choice((80, 443)),
                     "protocol": 6,
                     "flags": rng.choice((0, 2, 16)),
+                    "len": rng.randint(40, 1500),
+                }
+            )
+    packets.sort(key=lambda p: p["time"])
+    return packets
+
+
+def skewed_packets(seed, max_epochs=9, rate=60):
+    """A seeded hot-key TCP trace: one ``srcIP`` dominates the stream.
+
+    Unlike :func:`random_packets`, the key distribution is deliberately
+    lopsided — roughly 60 % of each epoch's rows carry a single hot
+    source address (which one is seed-dependent), the rest spread over a
+    small pool — so a hash partitioning concentrates load on whichever
+    host owns the hot partition.  That is exactly the shape the
+    rebalancer exists to fix, and it guarantees the trigger actually
+    fires during the parity sweep instead of testing a no-op.
+    """
+    rng = random.Random(seed ^ 0xBA1A)
+    num_epochs = rng.randint(5, max_epochs)
+    pool = [0x0A000000 + i for i in range(12)]
+    hot = rng.choice(pool)
+    packets = []
+    for epoch in range(num_epochs):
+        for _ in range(rng.randint(rate // 2, rate)):
+            src = hot if rng.random() < 0.6 else rng.choice(pool)
+            packets.append(
+                {
+                    "time": epoch,
+                    "timestamp": epoch * 1000 + rng.randint(0, 999),
+                    "srcIP": src,
+                    "destIP": 0xC0A80000 + rng.randrange(4),
+                    "srcPort": rng.choice((1024, 2048, 4096, 8192)),
+                    "destPort": rng.choice((80, 443)),
+                    "protocol": 6,
+                    # include FIN/PSH/URG bits so some flows OR-fold to
+                    # the §6.1 attack pattern (0x29) and the suspicious
+                    # workload's output is non-trivially compared
+                    "flags": rng.choice((0, 1, 2, 8, 16, 32, 41)),
                     "len": rng.randint(40, 1500),
                 }
             )
@@ -149,6 +198,61 @@ def assert_streaming_matches_oneshot(
         assert oneshot.fallback_nodes == {}
         assert stream.fallback_nodes == {}
     if policy is not None:
+        for stats in stream.flow_stats.values():
+            assert stats.conserves()
+            assert stats.total_dropped == 0
+    return oneshot, stream
+
+
+def assert_rebalanced_matches_oneshot(
+    workload, seed, engine, execution="inprocess", workers=None,
+):
+    """One randomized rebalancing parity trial.
+
+    A hot-key trace on a multi-host cluster with an aggressive policy
+    (one-epoch window and cooldown, low threshold) so migrations fire on
+    nearly every seed.  Every third seed additionally injects a ``delay``
+    fault racing the migrations: rows withheld from a host whose
+    partitions move mid-run must still land on whichever host owns them
+    at delivery time.  Outputs and per-node counts must stay
+    byte-identical to the static one-shot run; per-host CPU and network
+    are *expected* to differ — relocating charges is the rebalancer's
+    entire job — so :func:`assert_same_simulation` is deliberately not
+    used here.  Returns the streaming result so callers can inspect the
+    rebalance log (e.g. count migrations across the sweep).
+    """
+    catalog_fn, deliver = WORKLOADS[workload]
+    _, dag = catalog_fn()
+    rng = random.Random(seed ^ 0x2EBA)
+    packets = skewed_packets(seed)
+    hosts = rng.choice((2, 3))
+    ps = PartitioningSet.of("srcIP")
+    # merge_local_partitions=False keeps one subplan per partition, the
+    # granularity the directory migrates at.
+    placement = Placement(hosts, 2, merge_local_partitions=False)
+    plan = DistributedOptimizer(dag, placement, ps, deliver=deliver).optimize()
+    splitter = HashSplitter(placement.num_partitions, ps)
+    policy = RebalancePolicy(threshold=1.1, window=1, cooldown=1)
+    faults = None
+    if seed % 3 == 0:
+        faults = FaultPlan.of(
+            Fault("delay", rng.randrange(hosts), 1, 2, delay=2)
+        )
+    oneshot = ClusterSimulator(
+        dag, plan, stream_rate=1000, engine=engine
+    ).run({"TCP": packets}, splitter, 10.0)
+    stream = ClusterSimulator(
+        dag, plan, stream_rate=1000, engine=engine
+    ).run_streaming(
+        {"TCP": packets}, splitter, 10.0, rebalance=policy, faults=faults,
+        execution=execution, workers=workers,
+    )
+    assert set(oneshot.outputs) == set(stream.outputs)
+    for name in oneshot.outputs:
+        assert batches_equal(oneshot.outputs[name], stream.outputs[name]), name
+    assert oneshot.node_output_counts == stream.node_output_counts
+    assert stream.rebalance is not None
+    if faults is not None:
         for stats in stream.flow_stats.values():
             assert stats.conserves()
             assert stats.total_dropped == 0

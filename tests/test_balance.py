@@ -1,5 +1,7 @@
 """Load-balance measurement for partitioning schemes."""
 
+import math
+
 import pytest
 
 from repro.cluster import (
@@ -34,6 +36,30 @@ class TestBalanceReport:
         text = BalanceReport([1, 2], [3]).describe()
         assert "max/mean" in text
         assert "hosts" in text
+
+    def test_host_ratio_without_host_totals_falls_back(self):
+        """``host_counts is None`` means "no host totals", and the ratio
+        must fall back to the partition-level one — including when that
+        ratio is 0.0-adjacent or otherwise falsy."""
+        report = BalanceReport([10, 10])
+        assert report.host_counts is None
+        assert report.host_max_over_mean == report.max_over_mean == 1.0
+
+    def test_empty_host_totals_are_rejected(self):
+        """``[]`` used to be treated like ``None`` by a falsy check and
+        silently read as "perfectly balanced"."""
+        with pytest.raises(ValueError, match="host_counts"):
+            BalanceReport([1, 2], [])
+
+    def test_idle_hosts_are_nan_not_balanced(self):
+        """An all-zero host load has no meaningful max/mean; reporting
+        1.0 made an idle cluster look perfectly balanced."""
+        report = BalanceReport([0, 0], [0, 0])
+        assert math.isnan(report.host_max_over_mean)
+
+    def test_hot_host_ratio(self):
+        report = BalanceReport([10, 10, 10, 10], [30, 10])
+        assert report.host_max_over_mean == 1.5
 
 
 class TestPartitionBalance:
@@ -89,6 +115,40 @@ class TestPartitionBalance:
                 small_trace.packets,
                 Placement(num_hosts=4, partitions_per_host=2),
             )
+
+    def test_columnar_batch_matches_rows(self, small_trace):
+        """A ColumnBatch goes through the vectorized assignment and must
+        count exactly like the per-row assigner."""
+        splitter = HashSplitter(
+            8, PartitioningSet.of("srcIP", "destIP", "srcPort", "destPort")
+        )
+        from_rows = partition_balance(splitter, small_trace.packets)
+        from_batch = partition_balance(splitter, small_trace.column_batch())
+        assert from_batch.partition_counts == from_rows.partition_counts
+
+    def test_columnar_round_robin_matches_rows(self, small_trace):
+        from_rows = partition_balance(RoundRobinSplitter(8),
+                                      small_trace.packets)
+        from_batch = partition_balance(RoundRobinSplitter(8),
+                                       small_trace.column_batch())
+        assert from_batch.partition_counts == from_rows.partition_counts
+
+    def test_columnar_falls_back_on_unsupported_expression(
+        self, small_trace, monkeypatch
+    ):
+        """A splitter the vectorizer cannot handle must quietly take the
+        per-row path instead of failing."""
+        from repro.expr.vectorizer import UnsupportedExpression
+
+        splitter = HashSplitter(8, PartitioningSet.of("srcIP"))
+        reference = partition_balance(splitter, small_trace.packets)
+
+        def unsupported(batch, offset=0):
+            raise UnsupportedExpression("forced for the test")
+
+        monkeypatch.setattr(splitter, "assign_indices", unsupported)
+        report = partition_balance(splitter, small_trace.column_batch())
+        assert report.partition_counts == reference.partition_counts
 
     def test_compare_balance(self, small_trace):
         reports = compare_balance(

@@ -127,6 +127,91 @@ class TestTimeline:
         assert code == 2
         assert "matches" in capsys.readouterr().err
 
+    def test_timeline_rebalance(self, capsys):
+        code = main(
+            [
+                "timeline",
+                "--experiment",
+                "1",
+                "--config",
+                "partitioned",
+                "--hosts",
+                "2",
+                "--seed",
+                "3",
+                "--rebalance",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rebalancer:" in out
+
+    def test_timeline_rebalance_threshold_implies_rebalance(self, capsys):
+        code = main(
+            [
+                "timeline",
+                "--experiment",
+                "1",
+                "--config",
+                "partitioned",
+                "--hosts",
+                "2",
+                "--rebalance-threshold",
+                "1.1",
+            ]
+        )
+        assert code == 0
+        assert "rebalancer:" in capsys.readouterr().out
+
+    def test_timeline_bad_rebalance_threshold(self, capsys):
+        code = main(
+            [
+                "timeline",
+                "--experiment",
+                "1",
+                "--config",
+                "partitioned",
+                "--rebalance-threshold",
+                "0.5",
+            ]
+        )
+        assert code == 2
+        assert "max/mean" in capsys.readouterr().err
+
+    def test_timeline_fault_outside_cluster(self, capsys):
+        code = main(
+            [
+                "timeline",
+                "--experiment",
+                "1",
+                "--config",
+                "partitioned",
+                "--hosts",
+                "2",
+                "--fault",
+                "skip:7:1",
+            ]
+        )
+        assert code == 2
+        assert "valid indices" in capsys.readouterr().err
+
+    def test_timeline_membership_fault_needs_rebalance(self, capsys):
+        code = main(
+            [
+                "timeline",
+                "--experiment",
+                "1",
+                "--config",
+                "partitioned",
+                "--hosts",
+                "2",
+                "--fault",
+                "leave:1:2-3",
+            ]
+        )
+        assert code == 2
+        assert "rebalance" in capsys.readouterr().err
+
     def test_figures_streaming_matches_oneshot(self, capsys):
         args = ["figures", "--experiment", "1", "--hosts", "2", "--seed", "3"]
         assert main(args) == 0

@@ -112,6 +112,35 @@ class TestFault:
         assert not FaultPlan().lossless or not FaultPlan()
         assert not FaultPlan.of(Fault("skip", 0, 0, 0)).lossless
 
+    def test_parse_membership_kinds(self):
+        assert Fault.parse("leave:1:3-6") == Fault("leave", 1, 3, 6)
+        assert Fault.parse("join:3:4") == Fault("join", 3, 4, 4)
+        plan = FaultPlan.parse(["leave:1:3-6", "skip:0:1"])
+        assert plan.membership == (Fault("leave", 1, 3, 6),)
+
+    def test_validate_accepts_in_range_hosts(self):
+        FaultPlan.parse(["skip:0:1", "delay:2:1-3:2"]).validate(num_hosts=3)
+
+    def test_validate_rejects_host_outside_cluster(self):
+        """A fault aimed past the last host would silently never fire —
+        the run would read as fault-tolerant with nothing injected."""
+        plan = FaultPlan.of(Fault("skip", 3, 2, 4))
+        with pytest.raises(ValueError) as excinfo:
+            plan.validate(num_hosts=2)
+        message = str(excinfo.value)
+        assert "skip:3:2-4" in message
+        assert "valid indices 0..1" in message
+
+    def test_simulator_validates_fault_plan(self, tiny_trace, suspicious):
+        sim, splitter = _simulator(suspicious, hosts=2, ps=PS)
+        with pytest.raises(ValueError, match=r"valid indices 0\.\.1"):
+            sim.run_streaming(
+                {"TCP": tiny_trace.packets},
+                splitter,
+                10.0,
+                faults=FaultPlan.of(Fault("skip", 5, 0, 0)),
+            )
+
 
 # -- flow-control semantics -----------------------------------------------------
 

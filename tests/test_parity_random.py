@@ -9,13 +9,26 @@ backpressure, and the result must still be byte-identical to one-shot.
 Setting ``REPRO_PARITY_EXECUTION=parallel`` reruns the whole sweep with
 the streaming side executing on forked worker processes
 (``REPRO_PARITY_WORKERS`` caps the pool); CI runs this leg at 2 workers.
+
+Setting ``REPRO_PARITY_REBALANCE=1`` enables the rebalancing sweep: the
+same fifty seeds over hot-key traces with an aggressive
+``RebalancePolicy`` migrating partitions mid-run (every third seed races
+the migrations against a ``delay`` fault, every fifth runs the streaming
+side on forked workers), asserting outputs stay byte-identical to the
+static one-shot run and that migrations actually happened across the
+sweep — a sweep where the trigger never fired would test nothing.
 """
 
 import os
 
 import pytest
 
-from tests.parity import assert_streaming_matches_oneshot, random_packets
+from tests.parity import (
+    assert_rebalanced_matches_oneshot,
+    assert_streaming_matches_oneshot,
+    random_packets,
+    skewed_packets,
+)
 
 SEEDS = range(50)
 
@@ -38,12 +51,61 @@ def test_randomized_parity(seed, engine):
     )
 
 
+REBALANCE = os.environ.get("REPRO_PARITY_REBALANCE") == "1"
+
+#: Migrations observed across the rebalance sweep, keyed by engine.
+#: ``test_rebalance_sweep_migrated`` runs after the parametrized sweep
+#: (pytest preserves definition order) and fails if no seed migrated.
+_SWEEP_MIGRATIONS = {"row": 0, "columnar": 0}
+
+
+@pytest.mark.skipif(
+    not REBALANCE, reason="set REPRO_PARITY_REBALANCE=1 to run"
+)
+@pytest.mark.parametrize("engine", ("row", "columnar"))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_randomized_rebalance_parity(seed, engine):
+    # rotate workloads; parallel execution on every fifth seed (the
+    # delay-fault seeds, seed % 3 == 0, are chosen inside the trial)
+    workload = ("suspicious", "jitter", "complex")[seed % 3]
+    execution = "parallel" if seed % 5 == 0 else "inprocess"
+    _, stream = assert_rebalanced_matches_oneshot(
+        workload, seed, engine, execution=execution,
+        workers=2 if execution == "parallel" else None,
+    )
+    _SWEEP_MIGRATIONS[engine] += len(stream.rebalance.migrations)
+
+
+@pytest.mark.skipif(
+    not REBALANCE, reason="set REPRO_PARITY_REBALANCE=1 to run"
+)
+@pytest.mark.parametrize("engine", ("row", "columnar"))
+def test_rebalance_sweep_migrated(engine):
+    assert _SWEEP_MIGRATIONS[engine] > 0, (
+        "no seed in the rebalance sweep triggered a migration — the "
+        "parity leg exercised nothing"
+    )
+
+
 def test_generator_is_deterministic():
     assert random_packets(11) == random_packets(11)
     assert random_packets(11) != random_packets(12)
+    assert skewed_packets(11) == skewed_packets(11)
+    assert skewed_packets(11) != skewed_packets(12)
 
 
 def test_generator_rows_are_time_sorted():
     for seed in (0, 1, 2):
         times = [p["time"] for p in random_packets(seed)]
         assert times == sorted(times)
+        times = [p["time"] for p in skewed_packets(seed)]
+        assert times == sorted(times)
+
+
+def test_skewed_generator_has_a_hot_key():
+    for seed in (0, 3, 7):
+        packets = skewed_packets(seed)
+        counts = {}
+        for packet in packets:
+            counts[packet["srcIP"]] = counts.get(packet["srcIP"], 0) + 1
+        assert max(counts.values()) > 0.4 * len(packets)
