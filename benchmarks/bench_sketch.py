@@ -1,0 +1,247 @@
+#!/usr/bin/env python
+"""Sketch-variant ablation: accuracy vs. network cost across cardinality.
+
+The sketch operator variant exists for one reason: exact sliding-window
+aggregation ships one partial row per (pane, group) from every host, so
+aggregator ingress grows linearly with group cardinality, while an
+``EpochSummary`` is a fixed-size digest whose wire width depends only on
+the accuracy clause.  This ablation measures both sides of that trade on
+the same trace: the same sliding heavy-hitter query runs once exactly
+(SUB/SUPER split) and once approximately (SKETCH_SUB/SKETCH_SUPER), at
+group cardinalities of 100, 1 000, and 10 000 on a four-host cluster.
+
+Writes ``benchmarks/results/BENCH_sketch.json`` with two sections:
+
+* ``modeled`` — aggregator ingress bytes for both runs plus the ratio,
+  and the observed accuracy of the sketch answers against the exact
+  run's output (never an underestimate; additive error within
+  ``eps * window_rows`` at rate >= 1 - delta).  Deterministic cost
+  accounting, so ``scripts/check_bench_regression.py`` *gates* on it:
+  at 10 000 groups the sketch run must ship at least 5x fewer bytes to
+  the aggregator, and the within-bound rate must hold at every
+  cardinality.
+* ``wall`` — measured wall-clock seconds per run.  Machine-dependent;
+  informational only.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sketch.py
+    PYTHONPATH=src python benchmarks/bench_sketch.py --epochs 12
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import time
+
+from repro.cluster import ClusterSimulator, RoundRobinSplitter
+from repro.distopt import DistributedOptimizer, Placement
+from repro.gsql.catalog import Catalog
+from repro.gsql.schema import tcp_schema
+from repro.plan import QueryDag
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+OUTPUT = os.path.join(RESULTS_DIR, "BENCH_sketch.json")
+
+NUM_HOSTS = 4
+PARTITIONS_PER_HOST = 2
+CARDINALITIES = (100, 1_000, 10_000)
+WINDOW_PANES = 3
+SLIDE_PANES = 1
+EPSILON = 0.05
+DELTA = 0.05
+
+EXACT_SQL = f"""
+DEFINE QUERY heavy AS
+SELECT tb, srcIP, destIP, COUNT(*) as cnt, SUM(len) as bytes
+FROM TCP
+GROUP BY time as tb, srcIP, destIP
+RANGE {WINDOW_PANES} SLIDE {SLIDE_PANES};
+"""
+
+APPROX_SQL = f"""
+DEFINE QUERY heavy AS
+SELECT tb, srcIP, destIP, APPROX_COUNT(*) as cnt, APPROX_SUM(len) as bytes
+FROM TCP
+GROUP BY time as tb, srcIP, destIP
+RANGE {WINDOW_PANES} SLIDE {SLIDE_PANES}
+ERROR {EPSILON} CONFIDENCE {1.0 - DELTA};
+"""
+
+
+def _dag(sql):
+    catalog = Catalog()
+    catalog.add_stream(tcp_schema())
+    catalog.load_script(sql)
+    return QueryDag.from_catalog(catalog)
+
+
+def make_packets(cardinality, epochs, rate, seed):
+    """A mildly skewed trace over exactly ``cardinality`` (srcIP, destIP)
+    groups: the min-of-two draw concentrates mass on low key indices, so
+    every window has genuine epsilon-heavy hitters while the long tail
+    keeps the exact run's partial-row count near the cardinality."""
+    rng = random.Random(seed)
+    packets = []
+    for epoch in range(epochs):
+        for index in range(rate):
+            key = min(rng.randrange(cardinality), rng.randrange(cardinality))
+            packets.append(
+                {
+                    "time": epoch,
+                    "timestamp": epoch * 1_000_000 + index,
+                    "srcIP": 0x0A000000 + key // 64,
+                    "destIP": 0xC0A80000 + key % 64,
+                    "srcPort": 1024,
+                    "destPort": 80,
+                    "protocol": 6,
+                    "flags": 16,
+                    "len": 40 + key % 1400,
+                }
+            )
+    return packets
+
+
+def _run(dag, packets, epochs):
+    placement = Placement(NUM_HOSTS, PARTITIONS_PER_HOST)
+    plan = DistributedOptimizer(dag, placement, None).optimize()
+    splitter = RoundRobinSplitter(placement.num_partitions)
+    simulator = ClusterSimulator(dag, plan, stream_rate=1000, engine="columnar")
+    started = time.perf_counter()
+    result = simulator.run_streaming(
+        {"TCP": packets}, splitter, float(epochs)
+    )
+    elapsed = time.perf_counter() - started
+    assert result.fallback_nodes == {}, result.fallback_nodes
+    return result, elapsed
+
+
+def _accuracy(exact_rows, approx_rows):
+    """Observed sketch error against the exact answers.
+
+    Returns (max additive error / window rows, fraction of estimates
+    within eps * window rows, underestimate count).  Window rows N is the
+    exact COUNT total of the window — the quantity the Count-Min bound
+    is stated against.
+    """
+    truth = {}
+    window_rows = {}
+    for row in exact_rows:
+        key = (row["tb"], row["srcIP"], row["destIP"])
+        truth[key] = (row["cnt"], row["bytes"])
+        window_rows[row["tb"]] = window_rows.get(row["tb"], 0) + row["cnt"]
+    window_bytes = {}
+    for row in exact_rows:
+        window_bytes[row["tb"]] = (
+            window_bytes.get(row["tb"], 0) + row["bytes"]
+        )
+    worst = 0.0
+    within = total = under = 0
+    for row in approx_rows:
+        key = (row["tb"], row["srcIP"], row["destIP"])
+        true_cnt, true_bytes = truth.get(key, (0, 0))
+        for estimate, exact, scale in (
+            (row["cnt"], true_cnt, window_rows[row["tb"]]),
+            (row["bytes"], true_bytes, window_bytes[row["tb"]]),
+        ):
+            if estimate < exact:
+                under += 1
+            total += 1
+            error = (estimate - exact) / scale if scale else 0.0
+            worst = max(worst, error)
+            within += error <= EPSILON
+    return worst, (within / total if total else 1.0), under
+
+
+def run_cardinality(cardinality, epochs, seed):
+    rate = max(2_000, 2 * cardinality)
+    packets = make_packets(cardinality, epochs, rate, seed)
+    exact, exact_sec = _run(_dag(EXACT_SQL), packets, epochs)
+    approx, approx_sec = _run(_dag(APPROX_SQL), packets, epochs)
+
+    aggregator = exact.aggregator
+    exact_bytes = exact.network.bytes_received.get(aggregator, 0.0)
+    sketch_bytes = approx.network.bytes_received.get(aggregator, 0.0)
+    worst, within_rate, underestimates = _accuracy(
+        exact.outputs["heavy"], approx.outputs["heavy"]
+    )
+    modeled = {
+        "cardinality": cardinality,
+        "packets": len(packets),
+        "exact_aggregator_bytes": exact_bytes,
+        "sketch_aggregator_bytes": sketch_bytes,
+        "bytes_ratio": exact_bytes / sketch_bytes if sketch_bytes else 0.0,
+        "exact_rows_shipped": exact.network.tuples_received.get(
+            aggregator, 0
+        ),
+        "max_relative_error": worst,
+        "within_eps_rate": within_rate,
+        "underestimates": underestimates,
+        "epsilon": EPSILON,
+        "delta": DELTA,
+    }
+    wall = {"exact_sec": exact_sec, "sketch_sec": approx_sec}
+    return modeled, wall
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--epochs", type=int, default=8,
+        help="trace length in one-second epochs (default: 8)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--output", default=OUTPUT)
+    args = parser.parse_args(argv)
+
+    modeled = {}
+    wall = {}
+    for cardinality in CARDINALITIES:
+        entry, timing = run_cardinality(cardinality, args.epochs, args.seed)
+        modeled[f"sketch/card_{cardinality}"] = entry
+        wall[f"sketch/card_{cardinality}"] = timing
+
+    payload = {
+        "schema": "bench_sketch/v1",
+        "workload": "sliding heavy hitters, exact SUB/SUPER vs "
+        "SKETCH_SUB/SKETCH_SUPER",
+        "hosts": NUM_HOSTS,
+        "partitions_per_host": PARTITIONS_PER_HOST,
+        "window_panes": WINDOW_PANES,
+        "slide_panes": SLIDE_PANES,
+        "epsilon": EPSILON,
+        "delta": DELTA,
+        "cpu_count": os.cpu_count(),
+        "modeled": modeled,
+        "wall": wall,
+    }
+    os.makedirs(os.path.dirname(args.output), exist_ok=True)
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"wrote {args.output}")
+    for name in sorted(modeled):
+        entry = modeled[name]
+        print(
+            f"  modeled  {name:<18} aggregator bytes "
+            f"{entry['exact_aggregator_bytes']:12,.0f} exact -> "
+            f"{entry['sketch_aggregator_bytes']:10,.0f} sketch "
+            f"({entry['bytes_ratio']:6.1f}x less)  "
+            f"err<=eps rate {entry['within_eps_rate']:.3f}, "
+            f"max rel err {entry['max_relative_error']:.4f}"
+        )
+    for name in sorted(wall):
+        entry = wall[name]
+        print(
+            f"  wall     {name:<18} {entry['exact_sec']:.3f}s exact, "
+            f"{entry['sketch_sec']:.3f}s sketch"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,6 +30,13 @@ cutting peak host load by at least ``SKEW_IMPROVEMENT_FLOOR`` (an
 absolute floor, independent of the baseline) — and wall timings are
 informational.
 
+The sketch-aggregation ablation (``benchmarks/bench_sketch.py`` →
+``benchmarks/results/BENCH_sketch.json``) follows the same split: at
+the largest group cardinality the sketch variant must ship at least
+``SKETCH_BYTES_RATIO_FLOOR``x fewer aggregator-ingress bytes than the
+exact SUB/SUPER split, and every cardinality's observed error must
+respect the query's accuracy clause; wall timings are informational.
+
 Exit status: 0 when every benchmark holds, 1 on any regression or when an
 input file is missing or unreadable.
 """
@@ -53,11 +60,25 @@ PARALLEL_BASELINE = os.path.join(
 )
 SKEW_CURRENT = os.path.join(REPO_ROOT, "benchmarks", "results", "BENCH_skew.json")
 SKEW_BASELINE = os.path.join(REPO_ROOT, "benchmarks", "baseline", "BENCH_skew.json")
+SKETCH_CURRENT = os.path.join(
+    REPO_ROOT, "benchmarks", "results", "BENCH_sketch.json"
+)
+SKETCH_BASELINE = os.path.join(
+    REPO_ROOT, "benchmarks", "baseline", "BENCH_sketch.json"
+)
 
 #: Minimum steady-state host-load (max/mean) improvement the rebalancer
 #: must deliver over static placement on the skewed trace — the PR's
 #: acceptance bar, enforced absolutely rather than relative to baseline.
 SKEW_IMPROVEMENT_FLOOR = 0.30
+
+#: At the highest group cardinality the sketch variant must ship at
+#: least this many times fewer bytes to the aggregator than the exact
+#: SUB/SUPER split — the acceptance bar for the sketch aggregation path,
+#: enforced absolutely.  Only the largest cardinality is gated: at small
+#: cardinalities the exact split is legitimately cheaper (which is why
+#: the cost model exists), so those rows are informational.
+SKETCH_BYTES_RATIO_FLOOR = 5.0
 
 
 def load(path: str) -> dict:
@@ -214,6 +235,78 @@ def compare_skew(baseline_path: str, current_path: str) -> int:
     return 0
 
 
+def compare_sketch(baseline_path: str, current_path: str) -> int:
+    """Gate the sketch-aggregation ablation's modeled network savings.
+
+    Absent files are not an error — the sweep is optional.  Two absolute
+    gates: the bytes ratio at the *largest* cardinality must clear
+    :data:`SKETCH_BYTES_RATIO_FLOOR`, and every cardinality's observed
+    error must stay within the accuracy clause (within-eps rate at least
+    ``1 - delta`` and no underestimates — the sketch is one-sided).
+    """
+    if not os.path.exists(current_path):
+        print("\nno sketch ablation results; skipping "
+              "(run benchmarks/bench_sketch.py to produce them)")
+        return 0
+    try:
+        with open(current_path) as handle:
+            current = json.load(handle)
+        baseline_modeled = {}
+        if os.path.exists(baseline_path):
+            with open(baseline_path) as handle:
+                baseline_modeled = json.load(handle).get("modeled", {})
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error reading sketch benchmark files: {exc}")
+        return 1
+    print("\nsketch aggregation ablation "
+          f"(floor: {SKETCH_BYTES_RATIO_FLOOR:.0f}x fewer bytes at the "
+          "largest cardinality):")
+    regressions = []
+    modeled = current.get("modeled", {})
+    names = sorted(set(baseline_modeled) | set(modeled))
+    width = max((len(name) for name in names), default=0)
+    gated = max(
+        (name for name in modeled),
+        key=lambda name: modeled[name].get("cardinality", 0),
+        default=None,
+    )
+    for name in names:
+        entry = modeled.get(name)
+        if entry is None:
+            print(f"MISSING  {name:<{width}}  (in baseline, not in current)")
+            regressions.append(name)
+            continue
+        ratio = entry.get("bytes_ratio", 0.0)
+        within = entry.get("within_eps_rate", 0.0)
+        required = 1.0 - entry.get("delta", 0.0)
+        accurate = within >= required and entry.get("underestimates", 1) == 0
+        if name == gated:
+            ok = ratio >= SKETCH_BYTES_RATIO_FLOOR and accurate
+            status = "ok" if ok else "REGRESSED"
+        else:
+            ok = accurate
+            status = "info" if ok else "REGRESSED"
+        print(f"{status:<10}{name:<{width}}  "
+              f"{entry.get('exact_aggregator_bytes', 0.0):12,.0f} -> "
+              f"{entry.get('sketch_aggregator_bytes', 0.0):10,.0f} bytes "
+              f"({ratio:6.1f}x)  err<=eps rate {within:.3f} "
+              f"(need >= {required:.3f})"
+              + ("  [gated]" if name == gated else ""))
+        if not ok:
+            regressions.append(name)
+    for name in sorted(current.get("wall", {})):
+        entry = current["wall"][name]
+        print(f"info      {name:<{width}}  "
+              f"{entry.get('exact_sec', 0.0):8.3f}s exact, "
+              f"{entry.get('sketch_sec', 0.0):8.3f}s sketch "
+              f"(informational)")
+    if regressions:
+        print(f"\n{len(regressions)} sketch metric(s) failed the "
+              "network-savings or accuracy gate")
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--current", default=CURRENT)
@@ -248,6 +341,9 @@ def main(argv=None) -> int:
         if os.path.exists(SKEW_CURRENT):
             shutil.copyfile(SKEW_CURRENT, SKEW_BASELINE)
             print(f"baseline updated: {SKEW_BASELINE}")
+        if os.path.exists(SKETCH_CURRENT):
+            shutil.copyfile(SKETCH_CURRENT, SKETCH_BASELINE)
+            print(f"baseline updated: {SKETCH_BASELINE}")
         return 0
     if not os.path.exists(args.baseline):
         print(f"no baseline at {args.baseline}; create one with --update")
@@ -263,7 +359,8 @@ def main(argv=None) -> int:
         PARALLEL_BASELINE, PARALLEL_CURRENT, args.threshold
     )
     skew_status = compare_skew(SKEW_BASELINE, SKEW_CURRENT)
-    return max(status, parallel_status, skew_status)
+    sketch_status = compare_sketch(SKETCH_BASELINE, SKETCH_CURRENT)
+    return max(status, parallel_status, skew_status, sketch_status)
 
 
 if __name__ == "__main__":

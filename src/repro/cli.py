@@ -20,6 +20,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import List, Optional
 
@@ -37,6 +38,7 @@ from .traces import (
     trace_statistics,
 )
 from .workloads import (
+    approx_heavy_catalog,
     complex_catalog,
     experiment1_configurations,
     experiment2_configurations,
@@ -187,6 +189,23 @@ def cmd_timeline(args) -> int:
         return 2
     (num_hosts,) = args.hosts
     configuration = matches[0]
+    if (args.epsilon is not None or args.delta is not None) and (
+        not args.approximate
+    ):
+        print(
+            "error: --epsilon/--delta require --approximate",
+            file=sys.stderr,
+        )
+        return 2
+    epsilon = args.epsilon if args.epsilon is not None else 0.05
+    delta = args.delta if args.delta is not None else 0.05
+    if args.approximate and not (0.0 < epsilon < 1.0 and 0.0 < delta < 1.0):
+        print(
+            f"error: --epsilon and --delta must lie in (0, 1), got "
+            f"epsilon={epsilon} delta={delta}",
+            file=sys.stderr,
+        )
+        return 2
     queue_policy = (
         QueuePolicy(args.queue_limit, args.queue_policy)
         if args.queue_limit is not None
@@ -204,7 +223,17 @@ def cmd_timeline(args) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 2
     trace = four_tap_trace(trace_fn(seed=args.seed))
-    _, dag = catalog_fn()
+    if args.approximate:
+        # Replace the experiment's queries with the sketch-backed
+        # approximate heavy-hitter workload over the same trace; the
+        # configuration's deliveries name queries that no longer exist,
+        # so fall back to the DAG roots.
+        _, dag = approx_heavy_catalog(
+            epsilon=epsilon, confidence=1.0 - delta
+        )
+        configuration = dataclasses.replace(configuration, deliver=None)
+    else:
+        _, dag = catalog_fn()
     try:
         outcome = run_configuration(
             dag,
@@ -260,6 +289,18 @@ def cmd_timeline(args) -> int:
         )
     else:
         print("row-fallback nodes: none (every node compiled natively)")
+    if result.node_variants:
+        variants = ", ".join(
+            f"{node_id}={variant}"
+            for node_id, variant in sorted(result.node_variants.items())
+        )
+        print(f"aggregation variants: {variants}")
+    if args.approximate:
+        print(
+            f"accuracy clause: ERROR {epsilon} CONFIDENCE {1.0 - delta} "
+            f"(estimates within {epsilon} * window rows with probability "
+            f">= {1.0 - delta})"
+        )
     if queue_policy is not None:
         print(f"ingest queue: {queue_policy.describe()}")
     if result.flow_stats:
@@ -364,6 +405,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--events-out",
         default=None,
         help="write the run's JSON-lines event trace to this path",
+    )
+    timeline.add_argument(
+        "--approximate",
+        action="store_true",
+        help="run the sketch-backed approximate heavy-hitter workload "
+        "over the experiment's trace (hosts ship fixed-size summaries "
+        "instead of exact partial rows)",
+    )
+    timeline.add_argument(
+        "--epsilon",
+        type=float,
+        default=None,
+        metavar="EPS",
+        help="relative error bound for --approximate (default: 0.05)",
+    )
+    timeline.add_argument(
+        "--delta",
+        type=float,
+        default=None,
+        metavar="DELTA",
+        help="failure probability for --approximate: estimates exceed "
+        "eps * N with probability at most DELTA (default: 0.05)",
     )
     timeline.add_argument(
         "--queue-limit",

@@ -37,6 +37,8 @@ class Variant(enum.Enum):
     FULL = "full"
     SUB = "sub"
     SUPER = "super"
+    SKETCH_SUB = "sketch_sub"
+    SKETCH_SUPER = "sketch_super"
 
 
 @dataclass

@@ -39,6 +39,7 @@ from ..engine.aggregates import is_splittable
 from ..gsql.analyzer import AnalyzedNode, NodeKind
 from ..gsql.ast_nodes import JoinType
 from ..partitioning.compatibility import is_compatible
+from ..partitioning.cost_model import CostModel
 from ..partitioning.partition_set import PartitioningSet
 from ..plan.dag import QueryDag
 from .placement import Placement
@@ -68,6 +69,7 @@ class DistributedOptimizer:
         actual_partitioning: Optional[PartitioningSet] = None,
         exclude_temporal: bool = True,
         deliver: Optional[List[str]] = None,
+        cost_model: Optional[CostModel] = None,
     ):
         """``actual_partitioning`` is what the splitter hardware really
         computes; None (or the empty set) models query-independent
@@ -79,12 +81,21 @@ class DistributedOptimizer:
         feeds a join and is recorded) adds a central delivery for it —
         shared with any central consumer, so its stream crosses each link
         once.
+
+        ``cost_model`` refines the sketch-placement rule: when given, a
+        query with an ERROR/CONFIDENCE clause ships sketch summaries only
+        if :meth:`CostModel.prefers_sketch` says the modeled summary bytes
+        beat exact SUB shipping.  Without a cost model, the accuracy
+        clause itself is the go signal (the query explicitly priced the
+        approximation).  Queries without an accuracy clause never use
+        sketches either way.
         """
         self._dag = dag
         self._placement = placement
         self._ps = actual_partitioning or PartitioningSet.empty()
         self._exclude_temporal = exclude_temporal
         self._deliver = deliver
+        self._cost_model = cost_model
         self.report = OptimizerReport()
         # Central merges are shared across consumers: a producer's output
         # crosses the network once per receiving host, however many plan
@@ -172,6 +183,27 @@ class DistributedOptimizer:
                 )
             plan.producers[node.name] = ops
             self.report.record(node.name, f"compatible with {self._ps}; pushed FULL")
+            return
+        if distributed_input and self._sketch_eligible(node, len(producers)):
+            # Variant-seam rule: the accuracy clause priced exactness away,
+            # so ship one fixed-size sketch summary per producer per pane —
+            # SKETCH_SUB below the merge, one central SKETCH_SUPER that
+            # merges summaries and reassembles the sliding windows.
+            subs = [
+                plan.add_op(
+                    node.name, [pid], plan.node(pid).host, Variant.SKETCH_SUB
+                ).node_id
+                for pid in producers
+            ]
+            merge = plan.add_merge(subs, plan.aggregator)
+            super_op = plan.add_op(
+                node.name, [merge.node_id], plan.aggregator, Variant.SKETCH_SUPER
+            )
+            plan.producers[node.name] = [super_op.node_id]
+            self.report.record(
+                node.name,
+                "accuracy clause permits sketches; split SKETCH_SUB/SKETCH_SUPER",
+            )
             return
         if distributed_input and is_splittable(node.aggregates):
             # §5.2.2 / Fig 5: sub-aggregates per producer + central super.
@@ -276,6 +308,20 @@ class DistributedOptimizer:
         ]
 
     # -- helpers ------------------------------------------------------------------
+
+    def _sketch_eligible(self, node: AnalyzedNode, num_sites: int) -> bool:
+        """Sketch placement is legal only when the query carries an
+        ERROR/CONFIDENCE clause and every aggregate call is APPROX_*; it
+        is *chosen* when the cost model (if any) prefers it."""
+        if node.accuracy is None:
+            return False
+        if not node.aggregates or not all(
+            call.approximate for call in node.aggregates
+        ):
+            return False
+        if self._cost_model is not None:
+            return self._cost_model.prefers_sketch(node.name, num_sites)
+        return True
 
     def _compatible(self, node: AnalyzedNode) -> bool:
         return not self._ps.is_empty and is_compatible(

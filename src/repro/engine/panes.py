@@ -125,19 +125,26 @@ class SlidingWindowAggregate:
     def pane_column(self) -> str:
         return self._pane_column
 
-    def process(self, rows: Batch) -> Batch:
+    def process(
+        self, rows: Batch, ends: Optional[List[int]] = None
+    ) -> Batch:
         """Full evaluation: tumbling panes, then window reassembly."""
-        return self.combine_partials(self._sub.process(rows))
+        return self.combine_partials(self._sub.process(rows), ends)
 
-    def combine_partials(self, sub_rows: Batch) -> Batch:
+    def combine_partials(
+        self, sub_rows: Batch, ends: Optional[List[int]] = None
+    ) -> Batch:
         """Window reassembly over (possibly shipped) pane states.
 
         ``sub_rows`` are SUB-operator outputs: group-by columns plus raw
         aggregate states.  Rows for the same (pane, group) — e.g. from
         different hosts — merge first; each window then merges its panes.
+        ``ends`` restricts emission to those window-end labels (a
+        streaming caller emits only the windows its watermark closed);
+        by default every window intersecting the input panes emits.
         """
         panes = self._merge_by_pane(sub_rows)
-        if not panes:
+        if not panes and ends is None:
             return []
         spec = self._spec
         results: Batch = []
@@ -145,7 +152,9 @@ class SlidingWindowAggregate:
         by_pane: Dict[int, Dict[tuple, GroupAccumulator]] = {}
         for (pane, key), accumulator in panes.items():
             by_pane.setdefault(pane, {})[key] = accumulator
-        for end in spec.window_ends_covering(pane_indices):
+        if ends is None:
+            ends = spec.window_ends_covering(pane_indices)
+        for end in ends:
             start = end - spec.window_panes + 1
             window_groups: Dict[tuple, GroupAccumulator] = {}
             for pane in range(start, end + 1):

@@ -1,0 +1,407 @@
+"""Sketch-backed approximate aggregation: Count-Min + exponential histograms.
+
+The exact aggregation path ships one partial-state row per (pane, group)
+from every host — linear in group cardinality.  This module implements the
+third operator variant the optimizer can choose for queries that declare
+an accuracy clause (``ERROR eps CONFIDENCE conf``): each host compresses a
+pane's groups into a fixed-size :class:`EpochSummary` — a Count-Min sketch
+per aggregate plus the host's locally heavy keys — and the aggregator
+reassembles sliding windows from the shipped summaries.
+
+Grounded in gSketch and "Sketch-based Querying of Distributed
+Sliding-Window Data Streams" (PAPERS.md):
+
+* :class:`CountMinSketch` — the classic ``d x w`` counter grid
+  (``w = ceil(e / eps)``, ``d = ceil(ln(1 / delta))``).  Estimates never
+  undercount and exceed the truth by more than ``eps * N`` with
+  probability at most ``delta``.  Plain updates are *linear*, so sketches
+  merge exactly (the distributed path relies on this); the optional
+  conservative-update mode tightens single-site error but sacrifices
+  mergeability, so shipped summaries never use it.
+* :class:`ExponentialHistogram` — a per-counter bucket cascade over pane
+  indices (Datar et al.) answering "how much arrived in panes >= s" with
+  bounded relative error; dropping buckets older than the window start is
+  the *sliding expiry* that keeps aggregator state independent of stream
+  length.
+* :class:`EcmSketch` — the composition: a Count-Min grid whose cells are
+  exponential histograms.  Absorbing a pane's plain sketch adds each
+  non-zero cell as one timestamped EH insertion; a window estimate is the
+  per-row minimum of EH range sums, exactly the ECM-sketch construction.
+
+Key hashing is seeded FNV-1a over the key tuple's repr — deterministic
+across processes (independent of ``PYTHONHASHSEED``), so worker-shipped
+summaries merge bit-identically with driver-side ones.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _hash_key(key: tuple, seed: int) -> int:
+    """Seeded FNV-1a over the key tuple — stable across processes."""
+    value = (_FNV_OFFSET ^ (seed * _FNV_PRIME)) & _MASK64
+    for part in key:
+        for byte in repr(part).encode():
+            value ^= byte
+            value = (value * _FNV_PRIME) & _MASK64
+        value ^= 0x2D  # separator so (1, 23) != (12, 3)
+        value = (value * _FNV_PRIME) & _MASK64
+    return value
+
+
+def sketch_dimensions(epsilon: float, delta: float) -> Tuple[int, int]:
+    """Grid shape guaranteeing error <= eps*N with probability >= 1-delta."""
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    width = math.ceil(math.e / epsilon)
+    depth = math.ceil(math.log(1.0 / delta))
+    return width, max(1, depth)
+
+
+class CountMinSketch:
+    """A ``depth x width`` counter grid over hashed group keys.
+
+    ``update`` folds a non-negative weight (1 for COUNT, the argument
+    value for SUM); ``estimate`` returns the per-row minimum, an upper
+    bound on the key's true total.  With ``conservative=True`` each
+    update raises only the rows still at the current minimum — strictly
+    tighter estimates, but the sketch is no longer a linear transform of
+    the input, so :meth:`merge` refuses; distributed (shipped) sketches
+    must stay plain.
+    """
+
+    __slots__ = ("width", "depth", "seed", "conservative", "counts", "total")
+
+    def __init__(
+        self,
+        width: int,
+        depth: int,
+        seed: int = 0,
+        conservative: bool = False,
+    ):
+        if width <= 0 or depth <= 0:
+            raise ValueError("width and depth must be positive")
+        self.width = width
+        self.depth = depth
+        self.seed = seed
+        self.conservative = conservative
+        self.counts = np.zeros((depth, width), dtype=np.int64)
+        self.total = 0
+
+    @classmethod
+    def from_error(
+        cls,
+        epsilon: float,
+        delta: float,
+        seed: int = 0,
+        conservative: bool = False,
+    ) -> "CountMinSketch":
+        width, depth = sketch_dimensions(epsilon, delta)
+        return cls(width, depth, seed=seed, conservative=conservative)
+
+    def _columns(self, key: tuple) -> List[int]:
+        return [
+            _hash_key(key, self.seed * 1001 + row) % self.width
+            for row in range(self.depth)
+        ]
+
+    def update(self, key: tuple, weight: int = 1) -> None:
+        if weight < 0:
+            raise ValueError("Count-Min handles non-negative weights only")
+        columns = self._columns(key)
+        self.total += weight
+        if self.conservative:
+            current = min(
+                self.counts[row, column]
+                for row, column in enumerate(columns)
+            )
+            target = current + weight
+            for row, column in enumerate(columns):
+                if self.counts[row, column] < target:
+                    self.counts[row, column] = target
+        else:
+            for row, column in enumerate(columns):
+                self.counts[row, column] += weight
+
+    def estimate(self, key: tuple) -> int:
+        columns = self._columns(key)
+        return int(
+            min(self.counts[row, column] for row, column in enumerate(columns))
+        )
+
+    def merge(self, other: "CountMinSketch") -> None:
+        """Cell-wise sum — exact for plain sketches (linearity)."""
+        if self.conservative or other.conservative:
+            raise ValueError(
+                "conservative-update sketches are not mergeable; "
+                "distributed sketches must use plain updates"
+            )
+        if (
+            self.width != other.width
+            or self.depth != other.depth
+            or self.seed != other.seed
+        ):
+            raise ValueError("cannot merge sketches with different shapes")
+        self.counts += other.counts
+        self.total += other.total
+
+    def copy(self) -> "CountMinSketch":
+        clone = CountMinSketch(
+            self.width, self.depth, seed=self.seed,
+            conservative=self.conservative,
+        )
+        clone.counts = self.counts.copy()
+        clone.total = self.total
+        return clone
+
+    def nbytes(self) -> int:
+        return int(self.counts.nbytes)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CountMinSketch):
+            return NotImplemented
+        return (
+            self.width == other.width
+            and self.depth == other.depth
+            and self.seed == other.seed
+            and self.conservative == other.conservative
+            and self.total == other.total
+            and bool(np.array_equal(self.counts, other.counts))
+        )
+
+    def __reduce__(self):
+        return (
+            _rebuild_sketch,
+            (
+                self.width, self.depth, self.seed, self.conservative,
+                self.counts, self.total,
+            ),
+        )
+
+
+def _rebuild_sketch(width, depth, seed, conservative, counts, total):
+    sketch = CountMinSketch(width, depth, seed=seed, conservative=conservative)
+    sketch.counts = counts
+    sketch.total = total
+    return sketch
+
+
+class ExponentialHistogram:
+    """Bucketed count over pane indices with bounded relative error.
+
+    ``add(pane, amount)`` appends arrivals in non-decreasing pane order;
+    ``query(start)`` estimates the total with pane >= ``start``; buckets
+    entirely older than an expiry bound are dropped, keeping the state
+    logarithmic in the window sum (Datar et al.).  At most ``k`` buckets
+    of each power-of-two size are kept — the straddling bucket at the
+    query boundary contributes half its count, bounding relative error by
+    roughly ``1/k``.
+    """
+
+    __slots__ = ("k", "buckets")
+
+    def __init__(self, k: int):
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+        # [newest_pane, oldest_pane, size] triples, oldest bucket first.
+        # Keeping both endpoints makes boundary handling exact whenever no
+        # merged bucket actually straddles the query start.
+        self.buckets: List[List[int]] = []
+
+    def add(self, pane: int, amount: int) -> None:
+        if amount <= 0:
+            return
+        self.buckets.append([pane, pane, amount])
+        self._compress()
+
+    def _compress(self) -> None:
+        # Merge the two oldest buckets of any size class (floor log2)
+        # holding more than k buckets; the merged bucket spans both.
+        while True:
+            by_class: Dict[int, List[int]] = {}
+            for index, bucket in enumerate(self.buckets):
+                by_class.setdefault(bucket[2].bit_length(), []).append(index)
+            merged = False
+            for indices in by_class.values():
+                if len(indices) > self.k:
+                    first, second = indices[0], indices[1]
+                    newest = max(self.buckets[first][0], self.buckets[second][0])
+                    oldest = min(self.buckets[first][1], self.buckets[second][1])
+                    size = self.buckets[first][2] + self.buckets[second][2]
+                    self.buckets[second] = [newest, oldest, size]
+                    del self.buckets[first]
+                    merged = True
+                    break
+            if not merged:
+                return
+
+    def expire(self, oldest_pane: int) -> None:
+        """Drop buckets whose newest arrival predates ``oldest_pane``."""
+        self.buckets = [
+            bucket for bucket in self.buckets if bucket[0] >= oldest_pane
+        ]
+
+    def query(self, start: int) -> int:
+        """Estimated total of arrivals with pane >= ``start``.
+
+        Buckets entirely inside the range count in full; a bucket that
+        straddles the boundary (merged across it) contributes half — the
+        standard EH estimator, with error bounded by the straddler's
+        size, hence a relative error of roughly ``1/k``.
+        """
+        total = 0
+        for newest, oldest, size in self.buckets:
+            if newest < start:
+                continue
+            if oldest >= start:
+                total += size
+            else:
+                total += (size + 1) // 2
+        return total
+
+    def total(self) -> int:
+        return sum(bucket[2] for bucket in self.buckets)
+
+
+class EcmSketch:
+    """A Count-Min grid of exponential histograms over pane indices.
+
+    The aggregator-side sliding state: :meth:`absorb` folds one pane's
+    plain Count-Min sketch (each non-zero cell becomes one timestamped EH
+    insertion), :meth:`estimate` answers a window query ``[start, ..]``
+    as the per-row minimum of EH range sums, and :meth:`expire` drops
+    bucket state older than the current window start so memory stays
+    bounded regardless of stream length.
+    """
+
+    __slots__ = ("width", "depth", "seed", "k", "cells", "pane_totals")
+
+    def __init__(self, width: int, depth: int, seed: int, k: int):
+        self.width = width
+        self.depth = depth
+        self.seed = seed
+        self.k = k
+        self.cells: Dict[Tuple[int, int], ExponentialHistogram] = {}
+        self.pane_totals: Dict[int, int] = {}
+
+    def absorb(self, pane: int, sketch: CountMinSketch) -> None:
+        if (
+            sketch.width != self.width
+            or sketch.depth != self.depth
+            or sketch.seed != self.seed
+        ):
+            raise ValueError("sketch shape does not match this ECM grid")
+        rows, columns = np.nonzero(sketch.counts)
+        for row, column in zip(rows.tolist(), columns.tolist()):
+            cell = self.cells.get((row, column))
+            if cell is None:
+                cell = ExponentialHistogram(self.k)
+                self.cells[(row, column)] = cell
+            cell.add(pane, int(sketch.counts[row, column]))
+        self.pane_totals[pane] = (
+            self.pane_totals.get(pane, 0) + sketch.total
+        )
+
+    def estimate(self, key: tuple, start: int) -> int:
+        best: Optional[int] = None
+        for row in range(self.depth):
+            column = _hash_key(key, self.seed * 1001 + row) % self.width
+            cell = self.cells.get((row, column))
+            value = cell.query(start) if cell is not None else 0
+            if best is None or value < best:
+                best = value
+        return int(best or 0)
+
+    def window_total(self, start: int) -> int:
+        return sum(
+            total for pane, total in self.pane_totals.items() if pane >= start
+        )
+
+    def expire(self, oldest_pane: int) -> None:
+        dead = []
+        for position, cell in self.cells.items():
+            cell.expire(oldest_pane)
+            if not cell.buckets:
+                dead.append(position)
+        for position in dead:
+            del self.cells[position]
+        self.pane_totals = {
+            pane: total
+            for pane, total in self.pane_totals.items()
+            if pane >= oldest_pane
+        }
+
+
+@dataclass
+class EpochSummary:
+    """One host's shipped digest of one pane — the sketch-variant wire unit.
+
+    ``sketches`` holds one plain Count-Min per aggregate call (COUNT
+    folds weight 1, SUM folds the argument value); ``candidates`` are the
+    host's locally heavy keys — every key whose local row count reaches
+    ``epsilon * local_rows`` — which caps the list at ``1/epsilon``
+    entries while guaranteeing every globally epsilon-heavy key is a
+    candidate on at least one host.  Summaries merge exactly (plain
+    sketches are linear; candidate sets union), so aggregation order
+    never changes the reassembled answer.
+    """
+
+    pane: int
+    sketches: Tuple[CountMinSketch, ...]
+    candidates: Tuple[tuple, ...]
+    rows: int = 0
+    extras: dict = field(default_factory=dict)
+
+    def merge(self, other: "EpochSummary") -> "EpochSummary":
+        if self.pane != other.pane:
+            raise ValueError("cannot merge summaries of different panes")
+        merged = tuple(sketch.copy() for sketch in self.sketches)
+        for mine, theirs in zip(merged, other.sketches):
+            mine.merge(theirs)
+        seen = set(self.candidates)
+        candidates = list(self.candidates) + [
+            key for key in other.candidates if key not in seen
+        ]
+        return EpochSummary(
+            pane=self.pane,
+            sketches=merged,
+            candidates=tuple(candidates),
+            rows=self.rows + other.rows,
+        )
+
+    def nbytes(self) -> int:
+        """Approximate wire size: grids + candidate keys + header."""
+        grids = sum(sketch.nbytes() for sketch in self.sketches)
+        keys = sum(8 * len(key) for key in self.candidates)
+        return grids + keys + 16
+
+
+def summary_wire_bytes(
+    epsilon: float, delta: float, num_aggregates: int, key_width: int
+) -> int:
+    """Deterministic modeled wire size of one :class:`EpochSummary`.
+
+    Used by network metering and the cost model: grid bytes for every
+    aggregate's sketch plus the worst-case ``1/epsilon`` candidate keys
+    and a small header.  Depends only on the accuracy clause and the
+    query shape, never on data, so all execution modes charge alike.
+    """
+    width, depth = sketch_dimensions(epsilon, delta)
+    candidate_cap = math.ceil(1.0 / epsilon)
+    return (
+        num_aggregates * width * depth * 8
+        + candidate_cap * max(key_width, 8)
+        + 16
+    )

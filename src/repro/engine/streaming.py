@@ -362,6 +362,114 @@ class StreamingAggregate(StreamingNode):
         return self._operator.empty()
 
 
+class StreamingWindowedAggregate(StreamingNode):
+    """Buffer-and-release wrapper for window-labelled aggregation variants.
+
+    Wraps a compiled operator whose underlying operator exposes
+    ``process_window(rows, ends)`` (the sliding FULL/SUPER and
+    SKETCH_SUPER variants).  A window labelled by end pane ``e`` is
+    complete once the input watermark proves every future row's pane
+    index is ``> e``; each step hands the newly complete window labels —
+    in ascending order, strictly after the last emitted label — to the
+    pure operator together with *all* retained rows.  Rows are pruned
+    only once the last window that can read their pane has emitted
+    (panes participate in up to ``window/slide`` windows), so per-step
+    outputs are exactly a partition of the one-shot output.
+    """
+
+    def __init__(
+        self,
+        operator,
+        spec,
+        pane_expr: ScalarExpr,
+        temporal_name: str,
+        outputs: Sequence[Tuple[str, ScalarExpr]],
+    ):
+        self._operator = operator
+        self._spec = spec
+        self._pane_expr = pane_expr
+        self._pane_fn = compile_expr(pane_expr)
+        self._temporal_name = temporal_name
+        self._outputs = list(outputs)
+        self._rows: Batch = []
+        self._panes: set = set()
+        self._last_end: Optional[int] = None
+
+    def buffered_rows(self) -> int:
+        return len(self._rows)
+
+    def export_state(self):
+        return (list(self._rows), set(self._panes), self._last_end)
+
+    def import_state(self, state) -> None:
+        if state is None:
+            return
+        rows, panes, last_end = state
+        self._rows.extend(rows)
+        self._panes.update(panes)
+        if last_end is not None:
+            self._last_end = (
+                last_end
+                if self._last_end is None
+                else max(self._last_end, last_end)
+            )
+
+    def step(self, inputs, watermarks, flush):
+        (batch,) = inputs
+        pane_fn = self._pane_fn
+        for row in self._operator.coerce(batch):
+            self._rows.append(row)
+            self._panes.add(pane_fn(row))
+        if flush:
+            ends = self._complete_ends(math.inf)
+            retained, self._rows, self._panes = self._rows, [], set()
+            if not ends:
+                return self._operator.empty(), {}
+            return self._operator.operator.process_window(retained, ends), {}
+        (bounds,) = watermarks
+        low = lower_bound(self._pane_expr, bounds)
+        if low is None:
+            return self._operator.empty(), {}
+        ends = self._complete_ends(low)
+        if ends:
+            output = self._operator.operator.process_window(self._rows, ends)
+            self._last_end = ends[-1]
+            # The next window starts at last_end + slide - window + 1;
+            # older panes can never be read again.
+            keep_from = (
+                self._last_end
+                + self._spec.slide_panes
+                - self._spec.window_panes
+                + 1
+            )
+            self._rows = [
+                row for row in self._rows if pane_fn(row) >= keep_from
+            ]
+            self._panes = {pane for pane in self._panes if pane >= keep_from}
+        else:
+            output = self._operator.empty()
+        # Future window labels are incomplete now (>= low) and strictly
+        # after the last emitted label on the slide-aligned grid.
+        next_end = (
+            low
+            if self._last_end is None
+            else max(low, self._last_end + self._spec.slide_panes)
+        )
+        watermark = _bound_outputs(
+            self._outputs, {self._temporal_name: next_end}
+        )
+        return output, watermark
+
+    def _complete_ends(self, low: Number) -> List[int]:
+        ends: List[int] = []
+        for end in self._spec.window_ends_covering(sorted(self._panes)):
+            if end >= low:
+                break
+            if self._last_end is None or end > self._last_end:
+                ends.append(end)
+        return ends
+
+
 class StreamingJoin(StreamingNode):
     """Buffer-and-release wrapper around a pure join operator.
 

@@ -1,0 +1,343 @@
+"""Aggregation operator variants behind one pluggable compile seam.
+
+Every aggregation plan node reaches an executable operator through
+:func:`build_variant_operator`, keyed by the plan's
+:class:`~repro.distopt.plan_ir.Variant`:
+
+* ``full`` — ordinary evaluation.  A windowed node (``RANGE``/``SLIDE``
+  clause) compiles to :class:`SlidingAggregateOp`, which evaluates
+  tumbling panes and reassembles window-labelled results; otherwise the
+  classic :class:`~repro.engine.operators.AggregateOp`.
+* ``sub`` — the partial-aggregation leaf operator.  Pane states *are*
+  SUB states (panes are tumbling sub-aggregates), so windowed nodes
+  reuse :class:`~repro.engine.operators.SubAggregateOp` unchanged.
+* ``super`` — merges shipped partials.  Windowed nodes compile to
+  :class:`SlidingSuperOp` (window reassembly over pane states);
+  otherwise the classic per-group merge.
+* ``sketch_sub`` / ``sketch_super`` — the approximate pair the
+  optimizer may choose for queries declaring ``ERROR``/``CONFIDENCE``:
+  leaves compress each pane into a fixed-size
+  :class:`~repro.engine.sketches.EpochSummary`, the aggregator
+  reassembles windows from ECM-sketches over the shipped summaries.
+
+All operators here are *pure* (full recompute per call): one compiled
+instance is shared by every host's plan copy, so incremental state lives
+exclusively in the streaming wrappers.  The windowed operators expose
+``process_window(rows, ends)`` so a streaming caller can emit exactly
+the window labels its watermark closed; plain ``process`` emits every
+window the input panes intersect, which is the one-shot semantics.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+from ..expr.evaluator import compile_expr
+from ..gsql.analyzer import AnalyzedNode, NodeKind
+from .operators import (
+    AggregateOp,
+    Batch,
+    Operator,
+    Row,
+    SubAggregateOp,
+    SuperAggregateOp,
+    build_operator,
+)
+from .panes import SlidingWindowAggregate, WindowSpec
+from .sketches import CountMinSketch, EcmSketch, EpochSummary, sketch_dimensions
+
+#: Column carrying the per-pane :class:`EpochSummary` in sketch-variant rows.
+SUMMARY_COLUMN = "__summary"
+
+
+class SlidingAggregateOp(Operator):
+    """FULL variant of a windowed aggregation node.
+
+    Wraps :class:`SlidingWindowAggregate`: raw rows fold into tumbling
+    panes, each window of ``window_panes`` panes (advancing by
+    ``slide_panes``) merges its panes' states, finalizes, applies HAVING
+    and the SELECT projection, labelled by its end pane.
+    """
+
+    def __init__(self, node: AnalyzedNode, spec: Optional[WindowSpec] = None):
+        spec = spec if spec is not None else node.window
+        if spec is None:
+            raise ValueError(f"{node.name} has no window clause")
+        self._sliding = SlidingWindowAggregate(node, spec)
+
+    @property
+    def pane_column(self) -> str:
+        return self._sliding.pane_column
+
+    def process(self, *batches: Batch) -> Batch:
+        (rows,) = batches
+        return self._sliding.process(rows)
+
+    def process_window(self, rows: Batch, ends: List[int]) -> Batch:
+        return self._sliding.process(rows, ends)
+
+
+class SlidingSuperOp(Operator):
+    """SUPER variant of a windowed aggregation node.
+
+    Consumes shipped SUB rows (group-by columns plus raw pane states)
+    and reassembles windows — same combiner as the FULL sliding path,
+    minus the local pane computation.
+    """
+
+    def __init__(self, node: AnalyzedNode, spec: Optional[WindowSpec] = None):
+        spec = spec if spec is not None else node.window
+        if spec is None:
+            raise ValueError(f"{node.name} has no window clause")
+        self._sliding = SlidingWindowAggregate(node, spec)
+
+    @property
+    def pane_column(self) -> str:
+        return self._sliding.pane_column
+
+    def process(self, *batches: Batch) -> Batch:
+        (rows,) = batches
+        return self._sliding.combine_partials(rows)
+
+    def process_window(self, rows: Batch, ends: List[int]) -> Batch:
+        return self._sliding.combine_partials(rows, ends)
+
+
+def _sketch_prologue(node: AnalyzedNode):
+    """Shared validation for the sketch variant pair."""
+    if node.kind is not NodeKind.AGGREGATION:
+        raise ValueError(f"{node.name} is not an aggregation node")
+    if node.accuracy is None:
+        raise ValueError(
+            f"{node.name} has no ERROR/CONFIDENCE clause; the sketch "
+            "variant is only eligible under a declared accuracy bound"
+        )
+    if not all(call.approximate for call in node.aggregates):
+        raise ValueError(
+            f"{node.name} mixes exact and APPROX_* aggregates; the sketch "
+            "variant requires every aggregate to be approximate"
+        )
+    temporal = [g for g in node.group_by if g.is_temporal]
+    if len(temporal) != 1:
+        raise ValueError(
+            f"{node.name} needs exactly one temporal group-by column "
+            f"to serve as the pane index"
+        )
+    return temporal[0]
+
+
+class SketchSubOp(Operator):
+    """SKETCH_SUB variant: compress each pane into one EpochSummary row.
+
+    Applies the node's WHERE filter, buckets rows by pane, folds one
+    plain (mergeable) Count-Min per aggregate call — COUNT folds weight
+    1, SUM folds the (integer) argument value — and keeps the locally
+    heavy keys as candidates: every key whose pane-local row count
+    reaches ``max(1, epsilon * pane_rows)``, which caps the list at
+    ``1/epsilon`` entries while guaranteeing every globally
+    epsilon-heavy key is a candidate on at least one host.  Emits one
+    ``{pane, __summary}`` row per pane, panes ascending.
+    """
+
+    def __init__(self, node: AnalyzedNode):
+        temporal = _sketch_prologue(node)
+        self._pane_name = temporal.name
+        self._pane_fn = compile_expr(temporal.expr)
+        self._key_fns = [
+            compile_expr(g.expr) for g in node.group_by if not g.is_temporal
+        ]
+        self._where = (
+            compile_expr(node.where) if node.where is not None else None
+        )
+        self._epsilon = node.accuracy.epsilon
+        self._width, self._depth = sketch_dimensions(
+            node.accuracy.epsilon, node.accuracy.delta
+        )
+        self._weights = [
+            None if call.func == "COUNT" else compile_expr(call.arg)
+            for call in node.aggregates
+        ]
+
+    def process(self, *batches: Batch) -> Batch:
+        (rows,) = batches
+        where = self._where
+        pane_fn = self._pane_fn
+        by_pane: Dict[int, Batch] = {}
+        for row in rows:
+            if where is not None and not where(row):
+                continue
+            by_pane.setdefault(pane_fn(row), []).append(row)
+        return [
+            self._summarize(pane, by_pane[pane]) for pane in sorted(by_pane)
+        ]
+
+    def _summarize(self, pane: int, rows: Batch) -> Row:
+        sketches = tuple(
+            CountMinSketch(self._width, self._depth, seed=index)
+            for index in range(len(self._weights))
+        )
+        key_fns = self._key_fns
+        counts: Dict[tuple, int] = {}
+        for row in rows:
+            key = tuple(fn(row) for fn in key_fns)
+            counts[key] = counts.get(key, 0) + 1
+            for sketch, weight_fn in zip(sketches, self._weights):
+                sketch.update(key, 1 if weight_fn is None else int(weight_fn(row)))
+        threshold = max(1.0, self._epsilon * len(rows))
+        candidates = tuple(
+            sorted(
+                (key for key, count in counts.items() if count >= threshold),
+                key=repr,
+            )
+        )
+        return {
+            self._pane_name: pane,
+            SUMMARY_COLUMN: EpochSummary(
+                pane=pane,
+                sketches=sketches,
+                candidates=candidates,
+                rows=len(rows),
+            ),
+        }
+
+
+class SketchSuperOp(Operator):
+    """SKETCH_SUPER variant: reassemble windows from shipped summaries.
+
+    Merges same-pane summaries (plain sketches are linear, so merge
+    order never changes the result), then walks the requested window
+    ends in ascending lockstep: absorb each newly covered pane's
+    sketches into per-aggregate :class:`EcmSketch` grids, expire state
+    older than the window start, estimate every candidate key seen in
+    the window's panes, apply HAVING on the estimates and project.
+
+    The EH branch parameter ``k = max(2 * window_panes, ceil(2/eps))``
+    guarantees no histogram bucket ever merges (at most ``window +
+    slide`` panes are live per cell between expirations), so window
+    range sums are *exact* over the absorbed sketches and the output is
+    deterministic across execution modes — all approximation error comes
+    from the Count-Min grids, which the accuracy clause sizes.
+    """
+
+    def __init__(self, node: AnalyzedNode, spec: Optional[WindowSpec] = None):
+        temporal = _sketch_prologue(node)
+        if spec is None:
+            spec = node.window if node.window is not None else WindowSpec(1, 1)
+        self._spec = spec
+        self._pane_name = temporal.name
+        self._key_names = [
+            g.name for g in node.group_by if not g.is_temporal
+        ]
+        self._slots = [call.slot for call in node.aggregates]
+        self._width, self._depth = sketch_dimensions(
+            node.accuracy.epsilon, node.accuracy.delta
+        )
+        self._k = max(
+            2 * spec.window_panes, math.ceil(2.0 / node.accuracy.epsilon)
+        )
+        self._having = (
+            compile_expr(node.having) if node.having is not None else None
+        )
+        self._outputs = [
+            (column.name, compile_expr(expr))
+            for column, expr in zip(node.columns, node.select_exprs)
+        ]
+
+    @property
+    def pane_column(self) -> str:
+        return self._pane_name
+
+    def process(self, *batches: Batch) -> Batch:
+        (rows,) = batches
+        by_pane = self._merge_summaries(rows)
+        ends = self._spec.window_ends_covering(by_pane)
+        return self._reassemble(by_pane, ends)
+
+    def process_window(self, rows: Batch, ends: List[int]) -> Batch:
+        return self._reassemble(self._merge_summaries(rows), ends)
+
+    def _merge_summaries(self, rows: Batch) -> Dict[int, EpochSummary]:
+        by_pane: Dict[int, EpochSummary] = {}
+        for row in rows:
+            summary = row[SUMMARY_COLUMN]
+            existing = by_pane.get(summary.pane)
+            by_pane[summary.pane] = (
+                summary if existing is None else existing.merge(summary)
+            )
+        return by_pane
+
+    def _reassemble(
+        self, by_pane: Dict[int, EpochSummary], ends: Iterable[int]
+    ) -> Batch:
+        spec = self._spec
+        ecms = [
+            EcmSketch(self._width, self._depth, seed=index, k=self._k)
+            for index in range(len(self._slots))
+        ]
+        pending = sorted(by_pane)
+        cursor = 0
+        results: Batch = []
+        for end in sorted(ends):
+            start = end - spec.window_panes + 1
+            while cursor < len(pending) and pending[cursor] <= end:
+                summary = by_pane[pending[cursor]]
+                for ecm, sketch in zip(ecms, summary.sketches):
+                    ecm.absorb(summary.pane, sketch)
+                cursor += 1
+            for ecm in ecms:
+                ecm.expire(start)
+            keys = set()
+            for pane in pending:
+                if start <= pane <= end:
+                    keys.update(by_pane[pane].candidates)
+            results.extend(
+                self._emit(end, start, sorted(keys, key=repr), ecms)
+            )
+        return results
+
+    def _emit(
+        self,
+        end: int,
+        start: int,
+        candidates: List[tuple],
+        ecms: List[EcmSketch],
+    ) -> Batch:
+        having = self._having
+        outputs = self._outputs
+        results: Batch = []
+        for key in candidates:
+            group_row: Row = {self._pane_name: end}
+            group_row.update(zip(self._key_names, key))
+            group_row.update(
+                (slot, ecm.estimate(key, start))
+                for slot, ecm in zip(self._slots, ecms)
+            )
+            if having is not None and not having(group_row):
+                continue
+            results.append({name: fn(group_row) for name, fn in outputs})
+        return results
+
+
+def build_variant_operator(node: AnalyzedNode, variant: str = "full") -> Operator:
+    """Factory: the operator for an analyzed node under a plan variant.
+
+    The single seam every backend compiles aggregation through — the
+    optimizer's variant choice (exact row/columnar, partial SUB/SUPER,
+    or the sketch pair) resolves here.  Non-aggregation kinds delegate
+    to :func:`~repro.engine.operators.build_operator` unchanged.
+    """
+    if node.kind is not NodeKind.AGGREGATION:
+        return build_operator(node, variant)
+    windowed = node.window is not None
+    if variant == "full":
+        return SlidingAggregateOp(node) if windowed else AggregateOp(node)
+    if variant == "sub":
+        return SubAggregateOp(node)
+    if variant == "super":
+        return SlidingSuperOp(node) if windowed else SuperAggregateOp(node)
+    if variant == "sketch_sub":
+        return SketchSubOp(node)
+    if variant == "sketch_super":
+        return SketchSuperOp(node)
+    raise ValueError(f"unknown aggregation variant {variant!r}")

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from ..expr import analysis as xanalysis
 from ..expr import expressions as xp
@@ -41,12 +41,28 @@ from .types import (
     merge_numeric,
 )
 
+if TYPE_CHECKING:
+    from ..engine.panes import WindowSpec
+
 # Aggregate functions and their result-type rules.  ``OR_AGGR``/``AND_AGGR``
 # are the Gigascope bitwise-fold UDAFs used by the suspicious-flow query.
 # The set is mutable: registering a UDAF implementation with the engine
 # (repro.engine.aggregates.register_aggregate) also registers its name
 # here so it is recognized in GSQL text.
-AGGREGATE_FUNCTIONS = {"COUNT", "SUM", "MIN", "MAX", "AVG", "OR_AGGR", "AND_AGGR"}
+AGGREGATE_FUNCTIONS = {
+    "COUNT",
+    "SUM",
+    "MIN",
+    "MAX",
+    "AVG",
+    "OR_AGGR",
+    "AND_AGGR",
+    # Sketch-answerable variants; the analyzer strips the prefix and marks
+    # the extracted call ``approximate`` so the optimizer may (but need
+    # not) answer it from a Count-Min sketch.
+    "APPROX_COUNT",
+    "APPROX_SUM",
+}
 
 # Result-type overrides for registered UDAFs: name -> ColumnType or a
 # callable mapping the argument type to the result type.
@@ -103,12 +119,18 @@ class GroupByColumn:
 
 @dataclass
 class AggregateCall:
-    """An extracted aggregate: function, argument, and its output slot."""
+    """An extracted aggregate: function, argument, and its output slot.
+
+    ``approximate`` marks calls written as ``APPROX_*``: ``func`` is the
+    underlying exact function (so every engine can evaluate the call
+    exactly), and the flag records that a sketch answer is acceptable.
+    """
 
     func: str
     arg: Optional[xp.ScalarExpr]  # None for COUNT(*)
     slot: str  # internal name the rewritten expressions refer to
     ctype: ColumnType = UINT64
+    approximate: bool = False
 
 
 @dataclass
@@ -149,12 +171,25 @@ class AnalyzedNode:
     # Base-stream expressions on which both sides of every matching tuple
     # pair agree; the join's partitioning basis (see _synchronized_lineage).
     join_synchronized: List[xp.ScalarExpr] = field(default_factory=list)
+    # Sliding-window / approximation (aggregation only) -----------------------
+    window: Optional["WindowSpec"] = None
+    accuracy: Optional[ast.AccuracyClause] = None
     # Cost-model annotations (may be overridden per workload) -----------------
     selectivity_hint: Optional[float] = None
 
     @property
     def is_aggregation(self) -> bool:
         return self.kind is NodeKind.AGGREGATION
+
+    @property
+    def is_sliding(self) -> bool:
+        """True for aggregations whose window genuinely overlaps panes."""
+        return self.window is not None and not self.window.is_tumbling
+
+    @property
+    def is_approximate(self) -> bool:
+        """True when the query carries an accuracy budget (sketch-eligible)."""
+        return self.accuracy is not None
 
     @property
     def is_join(self) -> bool:
@@ -272,6 +307,11 @@ class Analyzer:
     ) -> AnalyzedNode:
         if stmt.having is not None:
             raise SemanticError(f"query {name!r}: HAVING requires GROUP BY")
+        if stmt.window is not None or stmt.accuracy is not None:
+            raise SemanticError(
+                f"query {name!r}: RANGE/SLIDE and ERROR/CONFIDENCE clauses "
+                "apply only to aggregation queries"
+            )
         where = self._convert_predicate(stmt.where, scope) if stmt.where else None
         columns: List[OutputColumn] = []
         select_exprs: List[xp.ScalarExpr] = []
@@ -339,6 +379,8 @@ class Analyzer:
             )
             columns.append(OutputColumn(out_name, ctype, lineage, is_temporal))
         having = rewrite(stmt.having) if stmt.having is not None else None
+        window = self._window_spec(name, stmt, group_by)
+        accuracy = self._accuracy_clause(name, stmt, aggregates, group_by)
         return AnalyzedNode(
             name=name,
             kind=NodeKind.AGGREGATION,
@@ -350,7 +392,70 @@ class Analyzer:
             group_by=group_by,
             aggregates=aggregates,
             having=having,
+            window=window,
+            accuracy=accuracy,
         )
+
+    def _window_spec(
+        self, name: str, stmt: ast.SelectStmt, group_by: List[GroupByColumn]
+    ) -> Optional["WindowSpec"]:
+        """Validate and convert a RANGE/SLIDE clause to a WindowSpec."""
+        if stmt.window is None:
+            return None
+        # Lazy import: engine.panes imports this module for AnalyzedNode.
+        from ..engine.panes import WindowSpec
+
+        temporal = [g for g in group_by if g.is_temporal]
+        if len(temporal) != 1:
+            raise SemanticError(
+                f"query {name!r}: a RANGE/SLIDE window requires exactly one "
+                f"temporal group-by column (the pane index), found "
+                f"{len(temporal)}"
+            )
+        try:
+            return WindowSpec(stmt.window.range_panes, stmt.window.slide_panes)
+        except ValueError as exc:
+            raise SemanticError(f"query {name!r}: {exc}") from None
+
+    def _accuracy_clause(
+        self,
+        name: str,
+        stmt: ast.SelectStmt,
+        aggregates: List[AggregateCall],
+        group_by: List[GroupByColumn],
+    ) -> Optional[ast.AccuracyClause]:
+        """Validate the ERROR/CONFIDENCE clause against the APPROX_* calls."""
+        approx = [call for call in aggregates if call.approximate]
+        if stmt.accuracy is None:
+            if approx:
+                raise SemanticError(
+                    f"query {name!r}: APPROX_* aggregates require an "
+                    "ERROR <epsilon> CONFIDENCE <conf> clause"
+                )
+            return None
+        clause = stmt.accuracy
+        temporal = [g for g in group_by if g.is_temporal]
+        if len(temporal) != 1:
+            raise SemanticError(
+                f"query {name!r}: an ERROR/CONFIDENCE clause requires exactly "
+                f"one temporal group-by column (the pane index), found "
+                f"{len(temporal)}"
+            )
+        if not 0.0 < clause.epsilon < 1.0:
+            raise SemanticError(
+                f"query {name!r}: ERROR must lie in (0, 1), got {clause.epsilon}"
+            )
+        if not 0.0 < clause.confidence < 1.0:
+            raise SemanticError(
+                f"query {name!r}: CONFIDENCE must lie in (0, 1), "
+                f"got {clause.confidence}"
+            )
+        if not approx:
+            raise SemanticError(
+                f"query {name!r}: an ERROR/CONFIDENCE clause requires at "
+                "least one APPROX_* aggregate"
+            )
+        return clause
 
     def _rewrite_agg_expr(
         self,
@@ -369,7 +474,11 @@ class Analyzer:
         if isinstance(node, ast.FuncCall) and node.name in AGGREGATE_FUNCTIONS:
             call = self._extract_aggregate(node, scope, len(aggregates))
             for existing in aggregates:
-                if existing.func == call.func and existing.arg == call.arg:
+                if (
+                    existing.func == call.func
+                    and existing.arg == call.arg
+                    and existing.approximate == call.approximate
+                ):
                     return xp.Attr(existing.slot)
             aggregates.append(call)
             return xp.Attr(call.slot)
@@ -404,15 +513,24 @@ class Analyzer:
         self, node: ast.FuncCall, scope: _Scope, index: int
     ) -> AggregateCall:
         slot = f"__agg{index}"
-        if node.name == "COUNT":
+        func = node.name
+        approximate = func.startswith("APPROX_")
+        if approximate:
+            func = func[len("APPROX_") :]
+            if func not in ("COUNT", "SUM"):
+                raise SemanticError(
+                    f"approximate aggregate {node.name} is not supported; "
+                    "only APPROX_COUNT and APPROX_SUM are sketch-answerable"
+                )
+        if func == "COUNT":
             if len(node.args) == 1 and isinstance(node.args[0], ast.Star):
-                return AggregateCall("COUNT", None, slot, UINT64)
+                return AggregateCall("COUNT", None, slot, UINT64, approximate)
         if len(node.args) != 1 or isinstance(node.args[0], ast.Star):
             raise SemanticError(f"aggregate {node.name} takes exactly one column argument")
         arg = self._convert_scalar(node.args[0], scope)
         arg_type = self._infer_type(node.args[0], scope)
-        result_type = _aggregate_result_type(node.name, arg_type)
-        return AggregateCall(node.name, arg, slot, result_type)
+        result_type = _aggregate_result_type(func, arg_type)
+        return AggregateCall(func, arg, slot, result_type, approximate)
 
     def _aggregated_column_info(
         self,
@@ -454,6 +572,11 @@ class Analyzer:
             raise SemanticError(
                 f"query {name!r}: aggregation over a join must be written as "
                 "two queries (a join view plus an aggregation over it)"
+            )
+        if stmt.window is not None or stmt.accuracy is not None:
+            raise SemanticError(
+                f"query {name!r}: RANGE/SLIDE and ERROR/CONFIDENCE clauses "
+                "apply only to aggregation queries"
             )
         equalities, residual = self._split_join_predicates(stmt.where, left, right)
         if not any(eq.temporal for eq in equalities):
@@ -835,6 +958,8 @@ def _schema_from_columns(name: str, columns: List[OutputColumn]) -> StreamSchema
 
 
 def _aggregate_result_type(func: str, arg_type: ColumnType) -> ColumnType:
+    if func.startswith("APPROX_"):
+        func = func[len("APPROX_") :]
     override = _UDAF_RESULT_TYPES.get(func)
     if override is not None:
         if callable(override):

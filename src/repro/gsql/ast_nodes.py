@@ -189,6 +189,43 @@ class GroupByItem:
         return str(self.expr)
 
 
+@dataclass(frozen=True)
+class WindowClause:
+    """A sliding-window declaration: ``RANGE <panes> SLIDE <panes>``.
+
+    Both counts are in epoch panes (the query's temporal group-by is the
+    pane index); ``range_panes == slide_panes`` degenerates to the
+    paper's tumbling windows.
+    """
+
+    range_panes: int
+    slide_panes: int
+
+    def __str__(self) -> str:
+        return f"RANGE {self.range_panes} SLIDE {self.slide_panes}"
+
+
+@dataclass(frozen=True)
+class AccuracyClause:
+    """An accuracy declaration: ``ERROR <epsilon> CONFIDENCE <conf>``.
+
+    Permits (never forces) the optimizer to answer the query's APPROX_*
+    aggregates from sketches, with absolute error at most
+    ``epsilon * N`` at probability ``confidence`` (``delta`` is the
+    complementary failure rate).
+    """
+
+    epsilon: float
+    confidence: float
+
+    @property
+    def delta(self) -> float:
+        return 1.0 - self.confidence
+
+    def __str__(self) -> str:
+        return f"ERROR {self.epsilon} CONFIDENCE {self.confidence}"
+
+
 @dataclass
 class SelectStmt:
     """A single SELECT query (no set operations).
@@ -206,6 +243,8 @@ class SelectStmt:
     group_by: List[GroupByItem] = field(default_factory=list)
     having: Optional[Expr] = None
     join_type: JoinType = JoinType.INNER
+    window: Optional[WindowClause] = None
+    accuracy: Optional[AccuracyClause] = None
 
     @property
     def is_join(self) -> bool:
@@ -228,6 +267,10 @@ class SelectStmt:
             parts.append("GROUP BY " + ", ".join(str(g) for g in self.group_by))
         if self.having is not None:
             parts.append(f"HAVING {self.having}")
+        if self.window is not None:
+            parts.append(str(self.window))
+        if self.accuracy is not None:
+            parts.append(str(self.accuracy))
         return " ".join(parts)
 
 

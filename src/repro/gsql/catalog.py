@@ -177,6 +177,8 @@ def substitute_params(statement, params: Params):
             ],
             having=sub_expr(stmt.having) if stmt.having is not None else None,
             join_type=stmt.join_type,
+            window=stmt.window,
+            accuracy=stmt.accuracy,
         )
 
     if isinstance(statement, ast.SelectStmt):

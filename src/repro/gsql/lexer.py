@@ -52,6 +52,10 @@ KEYWORDS = frozenset(
         "QUERY",
         "IN",
         "BETWEEN",
+        "RANGE",
+        "SLIDE",
+        "ERROR",
+        "CONFIDENCE",
     }
 )
 

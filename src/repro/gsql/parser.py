@@ -8,6 +8,7 @@ Grammar (informal):
     query       := select ("UNION" ["ALL"] select)*
     select      := "SELECT" items "FROM" from_clause
                    ["WHERE" expr] ["GROUP" "BY" gb_items] ["HAVING" expr]
+                   ["RANGE" int "SLIDE" int] ["ERROR" num "CONFIDENCE" num]
     from_clause := table [("," table) | (join_kind table ["ON" expr])]
     table       := ident ["AS"] [ident]
     items       := item ("," item)*           item := expr [["AS"] ident]
@@ -23,6 +24,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from .ast_nodes import (
+    AccuracyClause,
     BinaryOp,
     BoolLit,
     ColumnRef,
@@ -40,6 +42,7 @@ from .ast_nodes import (
     TableRef,
     UnaryOp,
     UnionStmt,
+    WindowClause,
 )
 from .errors import ParseError
 from .lexer import Token, TokenKind, tokenize
@@ -129,6 +132,8 @@ class Parser:
         if self._peek().is_keyword("HAVING"):
             self._advance()
             having = self._parse_expr()
+        window = self._parse_window_clause()
+        accuracy = self._parse_accuracy_clause()
         return SelectStmt(
             items=items,
             tables=tables,
@@ -136,7 +141,29 @@ class Parser:
             group_by=group_by,
             having=having,
             join_type=join_type,
+            window=window,
+            accuracy=accuracy,
         )
+
+    def _parse_window_clause(self) -> Optional[WindowClause]:
+        """``RANGE <panes> SLIDE <panes>`` — sliding-window declaration."""
+        if not self._peek().is_keyword("RANGE"):
+            return None
+        self._advance()
+        range_panes = self._expect_int("window RANGE")
+        self._expect_keyword("SLIDE")
+        slide_panes = self._expect_int("window SLIDE")
+        return WindowClause(range_panes, slide_panes)
+
+    def _parse_accuracy_clause(self) -> Optional[AccuracyClause]:
+        """``ERROR <epsilon> CONFIDENCE <conf>`` — approximation budget."""
+        if not self._peek().is_keyword("ERROR"):
+            return None
+        self._advance()
+        epsilon = self._expect_float("ERROR bound")
+        self._expect_keyword("CONFIDENCE")
+        confidence = self._expect_float("CONFIDENCE level")
+        return AccuracyClause(epsilon, confidence)
 
     def _parse_select_items(self) -> List[SelectItem]:
         items = [self._parse_select_item()]
@@ -399,6 +426,27 @@ class Parser:
                 f"expected {what}, found {token}", token.line, token.column
             )
         return token.text
+
+    def _expect_int(self, what: str) -> int:
+        token = self._advance()
+        if token.kind is not TokenKind.NUMBER:
+            raise ParseError(
+                f"expected integer for {what}, found {token}", token.line, token.column
+            )
+        value = _parse_number(token.text)
+        if not isinstance(value, int):
+            raise ParseError(
+                f"expected integer for {what}, found {token}", token.line, token.column
+            )
+        return value
+
+    def _expect_float(self, what: str) -> float:
+        token = self._advance()
+        if token.kind is not TokenKind.NUMBER:
+            raise ParseError(
+                f"expected number for {what}, found {token}", token.line, token.column
+            )
+        return float(_parse_number(token.text))
 
     def _expect_eof(self) -> None:
         token = self._peek()

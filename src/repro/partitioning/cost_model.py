@@ -30,6 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional
 
+from ..engine.aggregates import states_width
+from ..engine.sketches import summary_wire_bytes
 from ..gsql.analyzer import AnalyzedNode, NodeKind
 from ..plan.dag import QueryDag
 from .compatibility import is_compatible
@@ -205,3 +207,59 @@ class CostModel:
                 else:
                     total += self.output_bytes(child.name)
         return total
+
+    # -- sketch transfer ---------------------------------------------------------
+
+    def sub_transfer_bytes(self, name: str) -> float:
+        """Bytes/epoch the aggregator receives when ``name`` is split
+        SUB/SUPER: one partial row per live group (group-by key widths plus
+        the splittable partial states)."""
+        node = self._dag.node(name)
+        gb_width = sum(g.ctype.width for g in node.group_by)
+        return self.output_tuples(name) * (
+            gb_width + states_width(node.aggregates)
+        )
+
+    def sketch_transfer_bytes(self, name: str, num_sites: int = 1) -> float:
+        """Bytes/epoch the aggregator receives when ``name`` ships sketch
+        summaries instead of exact partial rows.
+
+        Each site emits one fixed-size :class:`EpochSummary` per pane per
+        epoch — Count-Min grids plus a bounded heavy-hitter candidate list —
+        so the term depends only on the accuracy clause, never on group
+        cardinality.  That data-independence is the whole value of the
+        sketch variant: at high cardinality exact SUB rows grow with the
+        number of groups while this term stays flat.
+        """
+        node = self._dag.node(name)
+        if node.accuracy is None:
+            raise ValueError(
+                f"node {name!r} has no ERROR/CONFIDENCE clause; "
+                "sketch transfer is undefined"
+            )
+        key_width = sum(
+            g.ctype.width for g in node.group_by if not g.is_temporal
+        )
+        per_site = summary_wire_bytes(
+            node.accuracy.epsilon,
+            node.accuracy.delta,
+            len(node.aggregates),
+            key_width,
+        )
+        return float(num_sites) * per_site
+
+    def prefers_sketch(self, name: str, num_sites: int = 1) -> bool:
+        """True iff the accuracy clause permits sketches for ``name`` AND
+        the modeled sketch transfer beats exact SUB/SUPER shipping.
+
+        Never returns True without an accuracy clause — exactness is only
+        traded away when the query explicitly priced the trade.
+        """
+        node = self._dag.node(name)
+        if node.accuracy is None:
+            return False
+        if not all(call.approximate for call in node.aggregates):
+            return False
+        return self.sketch_transfer_bytes(name, num_sites) < (
+            self.sub_transfer_bytes(name)
+        )

@@ -39,6 +39,7 @@ class QueryDag:
                     )
                 self._parents[child].append(node.name)
         self._topo = self._topological_sort()
+        self._check_windowed_roots()
 
     @classmethod
     def from_catalog(
@@ -121,6 +122,25 @@ class QueryDag:
             seen.add(current)
             stack.extend(self._nodes[current].inputs)
         return seen
+
+    def _check_windowed_roots(self) -> None:
+        """Windowed and approximate aggregations must be DAG roots.
+
+        A RANGE/SLIDE window relabels results by window end (re-reading
+        each pane in several outputs when sliding) and a sketch answer
+        carries error, so neither produces a stream another query may
+        safely consume as exact tumbling-window input.
+        """
+        for name, node in self._nodes.items():
+            if not (node.window is not None or node.is_approximate):
+                continue
+            if self._parents[name]:
+                consumers = ", ".join(sorted(self._parents[name]))
+                what = "windowed" if node.window is not None else "approximate"
+                raise SemanticError(
+                    f"{what} query {name!r} must be a DAG root, but is "
+                    f"consumed by {consumers}"
+                )
 
     def _topological_sort(self) -> List[str]:
         in_degree = {name: len(node.inputs) for name, node in self._nodes.items()}

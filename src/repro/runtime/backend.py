@@ -30,7 +30,8 @@ from ..engine.columnar import (
     ensure_columns,
     ensure_rows,
 )
-from ..engine.operators import Batch, MergeOp, NullPadOp, build_operator
+from ..engine.operators import Batch, MergeOp, NullPadOp
+from ..engine.panes import WindowSpec
 from ..engine.streaming import (
     ColumnBuffer,
     RowBuffer,
@@ -38,10 +39,12 @@ from ..engine.streaming import (
     StreamingAggregate,
     StreamingJoin,
     StreamingNode,
+    StreamingWindowedAggregate,
     mapped_watermark,
     merge_watermarks,
     unknown_watermark,
 )
+from ..engine.variants import build_variant_operator
 from ..expr.evaluator import compile_expr
 from ..expr.expressions import Attr, ScalarExpr
 from ..expr.vectorizer import UnsupportedExpression, vectorize_expr
@@ -59,7 +62,10 @@ class CompiledOperator:
 
     ``columnar`` records the backend's compile-time choice; ``process``
     only coerces inputs to that fixed representation — there is no
-    per-batch capability check or fallback left to make.
+    per-batch capability check or fallback left to make.  ``row_native``
+    marks a node whose *designed* representation is the row operator
+    even under the columnar backend (the windowed and sketch aggregation
+    variants) — by construction, not a missing-kernel fallback.
 
     Instances are picklable by *recipe*: operators hold vectorized
     closures that cannot cross process boundaries, so pickling ships the
@@ -70,12 +76,19 @@ class CompiledOperator:
     payload.
     """
 
-    __slots__ = ("operator", "columnar", "recipe")
+    __slots__ = ("operator", "columnar", "recipe", "row_native")
 
-    def __init__(self, operator, columnar: bool, recipe: Optional[tuple] = None):
+    def __init__(
+        self,
+        operator,
+        columnar: bool,
+        recipe: Optional[tuple] = None,
+        row_native: bool = False,
+    ):
         self.operator = operator
         self.columnar = columnar
         self.recipe = recipe
+        self.row_native = row_native
 
     def __reduce__(self):
         if self.recipe is None:
@@ -214,13 +227,24 @@ class EngineBackend:
         # partial rows that already carry the column by name; FULL/SUB
         # evaluate the group-by expression over raw input.
         temporal = next((g for g in analyzed.group_by if g.is_temporal), None)
+        if node.variant is Variant.SKETCH_SUPER or (
+            analyzed.window is not None
+            and node.variant in (Variant.FULL, Variant.SUPER)
+        ):
+            # Window-labelled emission: results are keyed by window end,
+            # not by pane, so release is governed by complete *windows*.
+            return self._windowed_aggregate(node, analyzed, temporal)
         if temporal is None:
             filter_expr = None
         elif node.variant is Variant.SUPER:
             filter_expr = Attr(temporal.name)
         else:
             filter_expr = temporal.expr
-        if node.variant is Variant.SUB:
+        if node.variant is Variant.SKETCH_SUB:
+            # Summary rows carry only the pane column (plus the opaque
+            # digest); it alone propagates a bound.
+            outputs = [(temporal.name, Attr(temporal.name))]
+        elif node.variant is Variant.SUB:
             # Sub-aggregates emit group-by columns plus opaque partial
             # states; only the group-by columns carry bounds.
             outputs = [(g.name, Attr(g.name)) for g in analyzed.group_by]
@@ -235,6 +259,25 @@ class EngineBackend:
             temporal.name if temporal is not None else None,
             filter_expr,
             outputs,
+        )
+
+    def _windowed_aggregate(
+        self, node: DistNode, analyzed, temporal
+    ) -> StreamingNode:
+        compiled = self.compile_node(node)
+        spec = analyzed.window if analyzed.window is not None else WindowSpec(1, 1)
+        # FULL consumes raw rows (pane = group-by expression); SUPER and
+        # SKETCH_SUPER consume shipped rows already carrying the column.
+        pane_expr = (
+            temporal.expr
+            if node.variant is Variant.FULL
+            else Attr(temporal.name)
+        )
+        outputs = list(
+            zip((c.name for c in analyzed.columns), analyzed.select_exprs)
+        )
+        return StreamingWindowedAggregate(
+            compiled, spec, pane_expr, temporal.name, outputs
         )
 
     def _aggregate_parts(self, node: DistNode, filter_expr: Optional[ScalarExpr]):
@@ -256,7 +299,9 @@ class RowBackend(EngineBackend):
         elif node.kind is DistKind.NULLPAD:
             operator = NullPadOp(self._dag.node(node.query), node.pad_side)
         else:
-            operator = build_operator(self._dag.node(node.query), node.variant.value)
+            operator = build_variant_operator(
+                self._dag.node(node.query), node.variant.value
+            )
         return CompiledOperator(
             operator, columnar=False, recipe=(self.name, self._dag, node)
         )
@@ -298,7 +343,8 @@ class ColumnarBackend(EngineBackend):
         self._row = RowBackend(dag)
 
     def supports(self, node: DistNode) -> bool:
-        return self.compile_node(node).columnar
+        compiled = self.compile_node(node)
+        return compiled.columnar or compiled.row_native
 
     def _compile(self, node: DistNode) -> CompiledOperator:
         recipe = (self.name, self._dag, node)
@@ -309,9 +355,18 @@ class ColumnarBackend(EngineBackend):
                 self._dag.node(node.query), node.pad_side
             )
         else:
-            operator = build_columnar_operator(
-                self._dag.node(node.query), node.variant.value
-            )
+            analyzed = self._dag.node(node.query)
+            if _row_native_variant(analyzed, node.variant):
+                # Window reassembly and sketch digests are designed as
+                # row operators (their state is per-group, not per-batch)
+                # — this is the node's native form, not a fallback.
+                return CompiledOperator(
+                    build_variant_operator(analyzed, node.variant.value),
+                    columnar=False,
+                    recipe=recipe,
+                    row_native=True,
+                )
+            operator = build_columnar_operator(analyzed, node.variant.value)
         if operator is None:
             return self._row.compile_node(node)
         return CompiledOperator(operator, columnar=True, recipe=recipe)
@@ -348,6 +403,22 @@ class ColumnarBackend(EngineBackend):
         if compiled.columnar:
             return compiled, ColumnBuffer(key_fn)
         return self._row._aggregate_parts(node, filter_expr)
+
+
+def _row_native_variant(analyzed, variant: Variant) -> bool:
+    """Aggregation variants whose native representation is the row operator
+    even on the columnar backend: the sketch pair always, and the
+    window-reassembly sides (FULL/SUPER) of a windowed node.  The SUB side
+    of a windowed node computes ordinary tumbling panes, so the vectorized
+    kernel still applies."""
+    if analyzed.kind is not NodeKind.AGGREGATION:
+        return False
+    if variant in (Variant.SKETCH_SUB, Variant.SKETCH_SUPER):
+        return True
+    return analyzed.window is not None and variant in (
+        Variant.FULL,
+        Variant.SUPER,
+    )
 
 
 def create_backend(engine: str, dag: QueryDag) -> EngineBackend:

@@ -281,15 +281,21 @@ class MetricsRecorder:
                 rows_in * costs.selection + rows_out * costs.emit, "selection"
             )
         elif analyzed_kind is NodeKind.AGGREGATION:
-            if node.variant is Variant.SUPER:
+            if node.variant in (Variant.SUPER, Variant.SKETCH_SUPER):
+                category = (
+                    "sketch-super"
+                    if node.variant is Variant.SKETCH_SUPER
+                    else "super-aggregate"
+                )
                 host.charge(
                     rows_in * costs.super_merge + rows_out * costs.emit,
-                    "super-aggregate",
+                    category,
                 )
             else:
-                category = (
-                    "sub-aggregate" if node.variant is Variant.SUB else "aggregate"
-                )
+                category = {
+                    Variant.SUB: "sub-aggregate",
+                    Variant.SKETCH_SUB: "sketch-sub",
+                }.get(node.variant, "aggregate")
                 host.charge(
                     rows_in * costs.aggregate_update + rows_out * costs.emit,
                     category,
@@ -304,7 +310,12 @@ class MetricsRecorder:
     # -- compile-time decisions ------------------------------------------------
 
     def record_compiled_node(
-        self, node_id: str, label: str, fallback: bool, host: Optional[int] = None
+        self,
+        node_id: str,
+        label: str,
+        fallback: bool,
+        host: Optional[int] = None,
+        variant: Optional[str] = None,
     ) -> None:
         """One plan node's engine resolution, recorded at compile time.
 
@@ -313,20 +324,22 @@ class MetricsRecorder:
         row operator.  Fallbacks are kept per node id in
         ``fallback_nodes`` and surfaced in the event trace and the
         ``repro timeline`` summary, so a silent row downgrade is visible
-        the moment it reappears.
+        the moment it reappears.  ``variant`` is the optimizer-chosen
+        aggregation variant for OP nodes (None for MERGE/NULLPAD), so the
+        exact-vs-sketch decision is visible per node in the trace.
         """
         if fallback:
             self.fallback_nodes[node_id] = label
         if self.record_events:
-            self._event(
-                {
-                    "event": "compile",
-                    "node": node_id,
-                    "label": label,
-                    "fallback": fallback,
-                },
-                host=host,
-            )
+            event = {
+                "event": "compile",
+                "node": node_id,
+                "label": label,
+                "fallback": fallback,
+            }
+            if variant is not None:
+                event["variant"] = variant
+            self._event(event, host=host)
 
     @property
     def fallback_count(self) -> int:

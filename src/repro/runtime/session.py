@@ -47,6 +47,7 @@ from typing import (
 from ..distopt.plan_ir import DistKind, DistNode, DistributedPlan, Variant
 from ..engine.aggregates import states_width
 from ..engine.columnar import ensure_rows
+from ..engine.sketches import summary_wire_bytes
 from ..engine.operators import Batch
 from ..engine.streaming import StreamingNode, Watermark
 from ..plan.dag import QueryDag
@@ -222,6 +223,9 @@ class SimulationResult:
     # (node id -> human-readable operator label).  Empty means every node
     # ran on the engine's native representation.
     fallback_nodes: Dict[str, str] = field(default_factory=dict)
+    # The optimizer-chosen aggregation variant per OP plan node
+    # (node id -> "full"/"sub"/"super"/"sketch_sub"/"sketch_super").
+    node_variants: Dict[str, str] = field(default_factory=dict)
     # Per-host ingest-queue accounting; populated only when a streaming
     # run had flow control or fault injection active.
     flow_stats: Dict[int, HostFlowStats] = field(default_factory=dict)
@@ -306,13 +310,23 @@ class ExecutionSession:
         # resolution of each node is remembered so every run can replay
         # it into the (reset) MetricsRecorder.
         self._compiled_info: List[tuple] = []
+        self._node_variants: Dict[str, str] = {}
         for node in plan.topological():
             if node.kind is DistKind.SOURCE:
                 continue
             backend.compile_node(node)
+            variant = node.variant.value if node.kind is DistKind.OP else None
             self._compiled_info.append(
-                (node.node_id, _node_label(node), not backend.supports(node), node.host)
+                (
+                    node.node_id,
+                    _node_label(node),
+                    not backend.supports(node),
+                    node.host,
+                    variant,
+                )
             )
+            if variant is not None:
+                self._node_variants[node.node_id] = variant
 
     @property
     def backend(self) -> EngineBackend:
@@ -387,8 +401,10 @@ class ExecutionSession:
         recorder = self._recorder
         backend = self._backend
         recorder.reset()
-        for node_id, label, fallback, host in self._compiled_info:
-            recorder.record_compiled_node(node_id, label, fallback, host=host)
+        for node_id, label, fallback, host, variant in self._compiled_info:
+            recorder.record_compiled_node(
+                node_id, label, fallback, host=host, variant=variant
+            )
         prepared = {
             stream: backend.prepare(rows) for stream, rows in source_rows.items()
         }
@@ -529,6 +545,7 @@ class ExecutionSession:
             peak_batch_rows=peak if streaming else None,
             node_stats=dict(recorder.node_stats),
             fallback_nodes=dict(recorder.fallback_nodes),
+            node_variants=dict(self._node_variants),
             flow_stats=dict(recorder.flow_stats),
             execution=executor.mode,
             rebalance=rebalancer.log if rebalancer is not None else None,
@@ -697,4 +714,19 @@ class ExecutionSession:
         if node.variant is Variant.SUB:
             gb_width = sum(g.ctype.width for g in analyzed.group_by)
             return float(gb_width + states_width(analyzed.aggregates))
+        if node.variant is Variant.SKETCH_SUB:
+            # One summary row per pane per host: fixed-size sketch grids
+            # plus the worst-case candidate list, independent of group
+            # cardinality — the whole point of the sketch variant.
+            key_width = sum(
+                g.ctype.width for g in analyzed.group_by if not g.is_temporal
+            )
+            return float(
+                summary_wire_bytes(
+                    analyzed.accuracy.epsilon,
+                    analyzed.accuracy.delta,
+                    len(analyzed.aggregates),
+                    key_width,
+                )
+            )
         return float(analyzed.schema.tuple_width())

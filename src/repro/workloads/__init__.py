@@ -17,7 +17,9 @@ from .experiments import (
 )
 from .queries import (
     COMPLEX_EPOCH_SECONDS,
+    approx_heavy_catalog,
     complex_catalog,
+    sliding_flows_catalog,
     subnet_jitter_catalog,
     suspicious_flows_catalog,
 )
@@ -27,6 +29,7 @@ __all__ = [
     "Configuration",
     "OverloadPoint",
     "RunOutcome",
+    "approx_heavy_catalog",
     "complex_catalog",
     "experiment1_configurations",
     "experiment2_configurations",
@@ -36,6 +39,7 @@ __all__ = [
     "measure_selectivities",
     "overload_sweep",
     "run_configuration",
+    "sliding_flows_catalog",
     "subnet_jitter_catalog",
     "suspicious_flows_catalog",
     "sweep_hosts",

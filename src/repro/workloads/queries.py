@@ -50,6 +50,26 @@ WHERE S1.srcIP = S2.srcIP and S1.destIP = S2.destIP
   and S2.tb = S1.tb + 1;
 """
 
+# RANGE/SLIDE and ERROR/CONFIDENCE take literal numbers at parse time
+# (macro parameters substitute into expressions only), so these scripts are
+# formatted textually by their catalog functions.
+SLIDING_FLOWS_SQL = """
+DEFINE QUERY sliding_flows AS
+SELECT tb, srcIP, COUNT(*) as cnt, SUM(len) as bytes
+FROM TCP
+GROUP BY time as tb, srcIP
+RANGE {range} SLIDE {slide};
+"""
+
+APPROX_HEAVY_SQL = """
+DEFINE QUERY approx_heavy AS
+SELECT tb, srcIP, destIP, APPROX_COUNT(*) as cnt, APPROX_SUM(len) as bytes
+FROM TCP
+GROUP BY time as tb, srcIP, destIP
+RANGE {range} SLIDE {slide}
+ERROR {error} CONFIDENCE {confidence};
+"""
+
 COMPLEX_SQL = """
 DEFINE QUERY flows AS
 SELECT tb, srcIP, destIP, COUNT(*) as cnt
@@ -93,6 +113,45 @@ def subnet_jitter_catalog() -> Tuple[Catalog, QueryDag]:
     catalog = Catalog()
     catalog.add_stream(tcp_schema())
     catalog.load_script(SUBNET_JITTER_SQL)
+    return catalog, QueryDag.from_catalog(catalog)
+
+
+def sliding_flows_catalog(
+    window_panes: int = 3, slide_panes: int = 1
+) -> Tuple[Catalog, QueryDag]:
+    """Exact per-source sliding-window flow counts (RANGE/SLIDE clause).
+
+    Exercises the exact sliding path: pane-level SUB states on the hosts
+    when the input is distributed, window reassembly in the SUPER."""
+    catalog = Catalog()
+    catalog.add_stream(tcp_schema())
+    catalog.load_script(
+        SLIDING_FLOWS_SQL.format(range=window_panes, slide=slide_panes)
+    )
+    return catalog, QueryDag.from_catalog(catalog)
+
+
+def approx_heavy_catalog(
+    epsilon: float = 0.05,
+    confidence: float = 0.95,
+    window_panes: int = 3,
+    slide_panes: int = 1,
+) -> Tuple[Catalog, QueryDag]:
+    """Approximate sliding-window heavy hitters with an accuracy clause.
+
+    The APPROX_* calls plus ``ERROR/CONFIDENCE`` make the node eligible
+    for the SKETCH_SUB/SKETCH_SUPER split: hosts ship fixed-size per-pane
+    sketch summaries instead of exact partial rows."""
+    catalog = Catalog()
+    catalog.add_stream(tcp_schema())
+    catalog.load_script(
+        APPROX_HEAVY_SQL.format(
+            range=window_panes,
+            slide=slide_panes,
+            error=epsilon,
+            confidence=confidence,
+        )
+    )
     return catalog, QueryDag.from_catalog(catalog)
 
 

@@ -41,7 +41,9 @@ from repro.engine import batches_equal
 from repro.partitioning import PartitioningSet
 from repro.runtime.flowcontrol import Fault
 from repro.workloads import (
+    approx_heavy_catalog,
     complex_catalog,
+    sliding_flows_catalog,
     subnet_jitter_catalog,
     suspicious_flows_catalog,
 )
@@ -201,6 +203,79 @@ def assert_streaming_matches_oneshot(
         for stats in stream.flow_stats.values():
             assert stats.conserves()
             assert stats.total_dropped == 0
+    return oneshot, stream
+
+
+#: (window_panes, slide_panes) shapes the sliding sweep rotates through:
+#: overlapping slide-1 windows, a strided window, a tumbling multi-pane
+#: window (RANGE == SLIDE > 1 relabels by window end), and a wide window.
+SLIDING_SHAPES = [(2, 1), (3, 1), (4, 2), (3, 3), (6, 2)]
+
+
+def assert_sliding_matches_oneshot(
+    seed, engine, execution="inprocess", workers=None
+):
+    """One randomized sliding/approximate parity trial.
+
+    Rotates window shapes and partitionings with ``seed``; even seeds run
+    the exact sliding workload, odd seeds the sketch-backed approximate
+    one.  Asserts the full observational equivalence between streaming
+    and one-shot (outputs, CPU by category, network by link), that no
+    node fell back off the columnar engine, and — both paths being
+    deterministic by construction — that the run's outputs are
+    byte-identical to the row engine's one-shot run of the same plan.
+    """
+    rng = random.Random(seed ^ 0x511D)
+    window, slide = SLIDING_SHAPES[seed % len(SLIDING_SHAPES)]
+    if seed % 2 == 0:
+        catalog_fn = lambda: sliding_flows_catalog(window, slide)
+        output, expected_variants = "sliding_flows", {"sub", "super"}
+        ps_pool = PS_CHOICES
+    else:
+        catalog_fn = lambda: approx_heavy_catalog(
+            epsilon=rng.choice((0.02, 0.05, 0.1)),
+            confidence=0.95,
+            window_panes=window,
+            slide_panes=slide,
+        )
+        output, expected_variants = "approx_heavy", {
+            "sketch_sub", "sketch_super",
+        }
+        # Keep the splitter incompatible with the group-by so the
+        # optimizer actually takes the sketch split (a compatible PS
+        # correctly prefers the exact FULL push — tested elsewhere).
+        ps_pool = [None, PartitioningSet.of("srcPort")]
+    _, dag = catalog_fn()
+    packets = random_packets(seed)
+    hosts = rng.choice((1, 2, 3))
+    ps = rng.choice(ps_pool)
+    placement = Placement(hosts, 2)
+    plan = DistributedOptimizer(dag, placement, ps).optimize()
+    if ps is None:
+        splitter = RoundRobinSplitter(placement.num_partitions)
+    else:
+        splitter = HashSplitter(placement.num_partitions, ps)
+    sim = ClusterSimulator(dag, plan, stream_rate=1000, engine=engine)
+    oneshot = sim.run({"TCP": packets}, splitter, 10.0)
+    stream = sim.run_streaming(
+        {"TCP": packets}, splitter, 10.0, execution=execution, workers=workers
+    )
+    assert_same_simulation(oneshot, stream)
+    assert oneshot.fallback_nodes == {}
+    assert stream.fallback_nodes == {}
+    chosen = set(oneshot.node_variants.values())
+    if ps is None and hosts > 1:
+        # Round-robin splitting is incompatible with every group-by, so
+        # the split (exact or sketch) must actually have been taken.
+        assert chosen == expected_variants, chosen
+    else:
+        assert chosen <= expected_variants | {"full"}, chosen
+    # Cross-engine determinism: the same plan on the row engine must
+    # produce byte-identical outputs (sketches are deterministic too).
+    reference = ClusterSimulator(
+        dag, plan, stream_rate=1000, engine="row"
+    ).run({"TCP": packets}, splitter, 10.0)
+    assert batches_equal(reference.outputs[output], oneshot.outputs[output])
     return oneshot, stream
 
 

@@ -120,6 +120,88 @@ class TestTimeline:
         assert "agg recv" in out
         assert "cpu[h1]" in out
 
+    def test_timeline_shows_variants(self, capsys):
+        code = main(
+            [
+                "timeline",
+                "--experiment",
+                "1",
+                "--config",
+                "naive",
+                "--hosts",
+                "2",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "aggregation variants:" in out
+        assert "sub" in out and "super" in out
+        assert "sketch" not in out  # exact run: no sketch variant anywhere
+
+    def test_timeline_approximate(self, capsys):
+        code = main(
+            [
+                "timeline",
+                "--experiment",
+                "1",
+                "--config",
+                "naive",
+                "--hosts",
+                "2",
+                "--seed",
+                "3",
+                "--approximate",
+                "--epsilon",
+                "0.1",
+                "--delta",
+                "0.1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sketch_sub" in out
+        assert "sketch_super" in out
+        assert "ERROR 0.1 CONFIDENCE 0.9" in out
+        assert "row-fallback nodes: none" in out
+
+    def test_timeline_epsilon_requires_approximate(self, capsys):
+        code = main(
+            [
+                "timeline",
+                "--experiment",
+                "1",
+                "--config",
+                "naive",
+                "--hosts",
+                "2",
+                "--epsilon",
+                "0.1",
+            ]
+        )
+        assert code == 2
+        assert "--approximate" in capsys.readouterr().err
+
+    def test_timeline_approximate_rejects_bad_bounds(self, capsys):
+        for flag, value in (("--epsilon", "1.5"), ("--delta", "0.0")):
+            code = main(
+                [
+                    "timeline",
+                    "--experiment",
+                    "1",
+                    "--config",
+                    "naive",
+                    "--hosts",
+                    "2",
+                    "--approximate",
+                    flag,
+                    value,
+                ]
+            )
+            assert code == 2
+            assert "must lie in (0, 1)" in capsys.readouterr().err
+
     def test_timeline_ambiguous_config(self, capsys):
         code = main(
             ["timeline", "--experiment", "3", "--config", "partitioned"]

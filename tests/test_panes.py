@@ -116,6 +116,52 @@ class TestWindowSpec:
         for pane in (0, 10):
             assert any(e - 1 <= pane <= e for e in ends)
 
+    def test_pane_zero_slide_one(self):
+        # Pane 0 alone: the first window end is 0 itself ((0+1) % 1 == 0)
+        # and ends run out to window_panes - 1.
+        assert WindowSpec(1, 1).window_ends_covering([0]) == [0]
+        assert WindowSpec(4, 1).window_ends_covering([0]) == [0, 1, 2, 3]
+
+    def test_pane_zero_alignment_with_larger_slide(self):
+        # With slide 3, aligned ends satisfy (e+1) % 3 == 0, so end 0 is
+        # unaligned: pane 0's earliest window is the one ending at 2.
+        spec = WindowSpec(window_panes=4, slide_panes=3)
+        ends = spec.window_ends_covering([0])
+        assert ends == [2]
+        for end in ends:
+            assert (end + 1) % spec.slide_panes == 0
+            assert end - spec.window_panes + 1 <= 0 <= end
+
+    def test_pane_zero_tumbling_degeneration(self):
+        # window == slide: pane 0 belongs to exactly one window, the
+        # tumbling block [0, w-1].
+        for width in (1, 2, 3, 5):
+            spec = WindowSpec(width, width)
+            assert spec.window_ends_covering([0]) == [width - 1]
+
+    def test_slide_two_ends_are_odd_and_minimal(self):
+        # slide > 1 edge case: candidate ends advance in slide steps from
+        # the aligned start, and only windows actually touching a live
+        # pane are kept — no end below the first pane, none whose window
+        # starts past the last pane.
+        spec = WindowSpec(window_panes=5, slide_panes=2)
+        ends = spec.window_ends_covering([4, 5])
+        assert ends == [5, 7, 9]
+        assert all((e + 1) % 2 == 0 for e in ends)
+        assert min(ends) >= 4 and max(ends) - spec.window_panes + 1 <= 5
+
+    def test_window_equals_slide_tiles_without_overlap(self):
+        # window == slide degeneration over a pane run: consecutive
+        # windows are disjoint and every pane lands in exactly one.
+        spec = WindowSpec(window_panes=3, slide_panes=3)
+        ends = spec.window_ends_covering(range(9))
+        assert ends == [2, 5, 8]
+        covered = sorted(
+            pane for end in ends
+            for pane in range(end - spec.window_panes + 1, end + 1)
+        )
+        assert covered == list(range(9))
+
 
 class TestSlidingEvaluation:
     def test_matches_oracle_slide_one(self, flows_node):

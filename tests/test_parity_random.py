@@ -25,6 +25,7 @@ import pytest
 
 from tests.parity import (
     assert_rebalanced_matches_oneshot,
+    assert_sliding_matches_oneshot,
     assert_streaming_matches_oneshot,
     random_packets,
     skewed_packets,
@@ -48,6 +49,25 @@ def test_randomized_parity(seed, engine):
     capacity = 25 if seed % 5 == 0 else None
     assert_streaming_matches_oneshot(
         workload, seed, engine, capacity, execution=EXECUTION, workers=WORKERS
+    )
+
+
+SLIDING = os.environ.get("REPRO_PARITY_SLIDING") == "1"
+
+
+@pytest.mark.skipif(
+    not SLIDING, reason="set REPRO_PARITY_SLIDING=1 to run"
+)
+@pytest.mark.parametrize("engine", ("row", "columnar"))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_randomized_sliding_parity(seed, engine):
+    """Sliding-window and sketch-variant parity: even seeds run the exact
+    RANGE/SLIDE workload, odd seeds the approximate one; window shapes
+    and partitionings rotate with the seed (see parity.SLIDING_SHAPES).
+    ``REPRO_PARITY_EXECUTION=parallel`` reruns the sweep on forked
+    workers like the main sweep."""
+    assert_sliding_matches_oneshot(
+        seed, engine, execution=EXECUTION, workers=WORKERS
     )
 
 

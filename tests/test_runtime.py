@@ -137,7 +137,7 @@ class TestCompileTimeResolution:
         def forbidden(*args, **kwargs):
             raise AssertionError("operator compilation during execution")
 
-        monkeypatch.setattr(backend_module, "build_operator", forbidden)
+        monkeypatch.setattr(backend_module, "build_variant_operator", forbidden)
         monkeypatch.setattr(backend_module, "build_columnar_operator", forbidden)
         monkeypatch.setattr(
             type(sim.session.backend), "supports", forbidden, raising=True

@@ -1,0 +1,282 @@
+"""Property tests for the sketch layer (engine.sketches).
+
+The distributed correctness story rests on three claims, each tested
+here directly:
+
+* Count-Min never undercounts, and overshoots ``eps * N`` with
+  probability at most ``delta`` (the §tentpole accuracy contract);
+* plain sketches are *linear*, so splitting a stream across hosts and
+  merging the per-host sketches reproduces the single-site sketch
+  bit-for-bit — aggregation order and placement never change the answer;
+* exponential histograms answer window range sums exactly while no
+  bucket merge crosses the query boundary (the regime the sketch-SUPER
+  operator pins itself into by sizing ``k >= 2 * window_panes``).
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.sketches import (
+    CountMinSketch,
+    EcmSketch,
+    EpochSummary,
+    ExponentialHistogram,
+    sketch_dimensions,
+    summary_wire_bytes,
+)
+
+keys = st.integers(min_value=0, max_value=40)
+weights = st.integers(min_value=0, max_value=50)
+streams = st.lists(st.tuples(keys, weights), max_size=200)
+
+
+# -- Count-Min ---------------------------------------------------------------
+
+
+@settings(deadline=None, max_examples=60)
+@given(stream=streams, seed=st.integers(0, 7), conservative=st.booleans())
+def test_cm_never_underestimates(stream, seed, conservative):
+    sketch = CountMinSketch.from_error(
+        0.1, 0.05, seed=seed, conservative=conservative
+    )
+    truth = {}
+    for key, weight in stream:
+        sketch.update((key,), weight)
+        truth[key] = truth.get(key, 0) + weight
+    for key, total in truth.items():
+        assert sketch.estimate((key,)) >= total
+    # Keys never inserted still get a non-negative upper bound.
+    assert sketch.estimate(("never",)) >= 0
+
+
+def test_cm_error_bound_holds_with_confidence():
+    """Observed overshoot beyond eps*N must be rare: the failure rate over
+    many independent (key, sketch-seed) trials stays below delta with
+    generous slack.  The trial stream is adversarial for a sketch —
+    many distinct keys, Zipf-ish repetition — not tuned to pass."""
+    epsilon, delta = 0.05, 0.1
+    rng = random.Random(0xC0FFEE)
+    violations = 0
+    trials = 0
+    for trial in range(40):
+        sketch = CountMinSketch.from_error(epsilon, delta, seed=trial)
+        truth = {}
+        for _ in range(2000):
+            key = min(rng.randrange(1, 500) for _ in range(2))
+            sketch.update((key,))
+            truth[key] = truth.get(key, 0) + 1
+        n = sketch.total
+        sample = rng.sample(sorted(truth), 25)
+        for key in sample:
+            trials += 1
+            if sketch.estimate((key,)) - truth[key] > epsilon * n:
+                violations += 1
+    # Expected failure rate <= delta = 0.1; allow 2x slack for variance.
+    assert violations <= 2 * delta * trials
+
+
+@settings(deadline=None, max_examples=60)
+@given(stream=streams, cut=st.integers(0, 200), seed=st.integers(0, 7))
+def test_cm_merge_is_exact(stream, cut, seed):
+    """Linearity: any split of the stream merges back to the single-site
+    sketch, cell for cell."""
+    single = CountMinSketch(width=30, depth=3, seed=seed)
+    left = CountMinSketch(width=30, depth=3, seed=seed)
+    right = CountMinSketch(width=30, depth=3, seed=seed)
+    for index, (key, weight) in enumerate(stream):
+        single.update((key,), weight)
+        (left if index < cut else right).update((key,), weight)
+    left.merge(right)
+    assert left == single
+
+
+def test_cm_merge_refuses_shape_and_conservative_mismatch():
+    plain = CountMinSketch(width=8, depth=2)
+    with pytest.raises(ValueError):
+        plain.merge(CountMinSketch(width=9, depth=2))
+    with pytest.raises(ValueError):
+        plain.merge(CountMinSketch(width=8, depth=2, seed=5))
+    conservative = CountMinSketch(width=8, depth=2, conservative=True)
+    with pytest.raises(ValueError):
+        plain.merge(conservative)
+    with pytest.raises(ValueError):
+        conservative.merge(CountMinSketch(width=8, depth=2))
+
+
+@settings(deadline=None, max_examples=40)
+@given(stream=streams)
+def test_conservative_update_is_tighter(stream):
+    plain = CountMinSketch(width=10, depth=2)
+    tight = CountMinSketch(width=10, depth=2, conservative=True)
+    truth = {}
+    for key, weight in stream:
+        plain.update((key,), weight)
+        tight.update((key,), weight)
+        truth[key] = truth.get(key, 0) + weight
+    for key, total in truth.items():
+        assert total <= tight.estimate((key,)) <= plain.estimate((key,))
+
+
+def test_cm_rejects_negative_weights_and_bad_dimensions():
+    sketch = CountMinSketch(width=4, depth=1)
+    with pytest.raises(ValueError):
+        sketch.update(("k",), -1)
+    with pytest.raises(ValueError):
+        CountMinSketch(width=0, depth=1)
+    for epsilon, delta in ((0.0, 0.5), (1.0, 0.5), (0.5, 0.0), (0.5, 1.0)):
+        with pytest.raises(ValueError):
+            sketch_dimensions(epsilon, delta)
+
+
+def test_sketch_dimensions_match_paper_formulas():
+    width, depth = sketch_dimensions(0.01, 0.05)
+    assert width == math.ceil(math.e / 0.01)
+    assert depth == math.ceil(math.log(1 / 0.05))
+
+
+# -- exponential histograms --------------------------------------------------
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    amounts=st.lists(st.integers(0, 30), min_size=1, max_size=24),
+    start=st.integers(0, 24),
+)
+def test_eh_exact_when_k_exceeds_bucket_count(amounts, start):
+    """With k at least the number of insertions no merge ever happens, so
+    every range sum is exact — the regime the sketch-SUPER pins."""
+    histogram = ExponentialHistogram(k=len(amounts) + 1)
+    for pane, amount in enumerate(amounts):
+        histogram.add(pane, amount)
+    expected = sum(amount for pane, amount in enumerate(amounts) if pane >= start)
+    assert histogram.query(start) == expected
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    amounts=st.lists(st.integers(1, 5), min_size=4, max_size=60),
+    k=st.integers(1, 4),
+)
+def test_eh_estimate_bounded_by_straddler(amounts, k):
+    """With small k (merging active) the estimate errs by at most half the
+    straddling bucket — so never by more than half the total."""
+    histogram = ExponentialHistogram(k=k)
+    for pane, amount in enumerate(amounts):
+        histogram.add(pane, amount)
+    for start in range(len(amounts)):
+        truth = sum(amounts[start:])
+        estimate = histogram.query(start)
+        assert 0 <= estimate <= sum(amounts)
+        # The straddler contributes (size+1)//2; everything newer is
+        # counted exactly, so the absolute error is under total/2 + 1.
+        assert abs(estimate - truth) <= sum(amounts) // 2 + 1
+
+
+def test_eh_expire_drops_old_buckets():
+    histogram = ExponentialHistogram(k=100)
+    for pane in range(10):
+        histogram.add(pane, 1)
+    histogram.expire(6)
+    assert histogram.query(0) == 4  # panes 6..9 survive
+    assert histogram.total() == 4
+
+
+# -- ECM composition ---------------------------------------------------------
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    panes=st.lists(
+        st.lists(st.tuples(keys, st.integers(1, 9)), max_size=30),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_ecm_full_window_matches_merged_cm(panes):
+    """Absorbing per-pane sketches and querying the full window must agree
+    with merging the same sketches directly (k large => EH exact)."""
+    width, depth, seed = 20, 3, 1
+    ecm = EcmSketch(width, depth, seed, k=2 * len(panes) + 4)
+    merged = CountMinSketch(width, depth, seed=seed)
+    seen = set()
+    for pane, stream in enumerate(panes):
+        pane_sketch = CountMinSketch(width, depth, seed=seed)
+        for key, weight in stream:
+            pane_sketch.update((key,), weight)
+            merged.update((key,), weight)
+            seen.add(key)
+        ecm.absorb(pane, pane_sketch)
+    for key in seen:
+        assert ecm.estimate((key,), 0) == merged.estimate((key,))
+    assert ecm.window_total(0) == merged.total
+
+
+def test_ecm_expire_bounds_state():
+    ecm = EcmSketch(8, 2, seed=0, k=64)
+    for pane in range(20):
+        sketch = CountMinSketch(8, 2, seed=0)
+        sketch.update((pane % 3,))
+        ecm.absorb(pane, sketch)
+    ecm.expire(15)
+    assert set(ecm.pane_totals) == {15, 16, 17, 18, 19}
+    assert ecm.window_total(15) == 5
+    for cell in ecm.cells.values():
+        assert all(bucket[0] >= 15 for bucket in cell.buckets)
+
+
+# -- epoch summaries ---------------------------------------------------------
+
+
+def _summary(pane, stream, seed=0):
+    sketch = CountMinSketch(16, 2, seed=seed)
+    truth = {}
+    for key, weight in stream:
+        sketch.update((key,), weight)
+        truth[key] = truth.get(key, 0) + weight
+    return EpochSummary(
+        pane=pane,
+        sketches=(sketch,),
+        candidates=tuple(sorted(truth, key=repr)),
+        rows=len(stream),
+    )
+
+
+@settings(deadline=None, max_examples=40)
+@given(stream=streams, cut=st.integers(0, 200))
+def test_summary_merge_equals_single_site(stream, cut):
+    """The distributed invariant end to end: per-host summaries merged at
+    the aggregator carry exactly the single-site sketch."""
+    whole = _summary(3, stream)
+    left = _summary(3, stream[:cut])
+    right = _summary(3, stream[cut:])
+    merged = left.merge(right)
+    assert merged.sketches[0] == whole.sketches[0]
+    assert merged.rows == whole.rows
+    assert set(merged.candidates) == set(whole.candidates)
+
+
+def test_summary_merge_rejects_pane_mismatch():
+    with pytest.raises(ValueError):
+        _summary(1, [(1, 1)]).merge(_summary(2, [(1, 1)]))
+
+
+def test_summary_merge_leaves_inputs_untouched():
+    left = _summary(0, [(1, 2), (2, 3)])
+    before = left.sketches[0].counts.copy()
+    left.merge(_summary(0, [(1, 5)]))
+    assert np.array_equal(left.sketches[0].counts, before)
+
+
+def test_summary_wire_bytes_is_data_independent():
+    """The modeled wire size depends only on the clause and query shape."""
+    a = summary_wire_bytes(0.05, 0.05, 2, 8)
+    assert a == summary_wire_bytes(0.05, 0.05, 2, 8)
+    width, depth = sketch_dimensions(0.05, 0.05)
+    assert a == 2 * width * depth * 8 + math.ceil(1 / 0.05) * 8 + 16
+    # Shrinking epsilon grows the summary; cardinality never enters.
+    assert summary_wire_bytes(0.01, 0.05, 2, 8) > a

@@ -1,0 +1,324 @@
+"""The aggregation variant seam: dispatch, optimizer choice, execution.
+
+Covers the refactored aggregation path end to end:
+
+* ``build_variant_operator`` routes every (node shape, variant) pair to
+  the right operator class — the seam every backend compiles through;
+* the optimizer splits accuracy-clause queries into
+  SKETCH_SUB/SKETCH_SUPER, never chooses sketches without a clause, and
+  defers to the cost model's sketch-transfer term when one is supplied;
+* full simulations surface the chosen variant per node and keep the
+  streaming/one-shot and row/columnar equivalences intact;
+* sketch results respect the declared accuracy against a brute-force
+  oracle, and every epsilon-heavy key is reported.
+"""
+
+import collections
+
+import pytest
+
+from repro.cluster import ClusterSimulator, HashSplitter, RoundRobinSplitter
+from repro.distopt import DistributedOptimizer, Placement
+from repro.distopt.plan_ir import DistKind, Variant
+from repro.engine import batches_equal
+from repro.engine.operators import AggregateOp, SubAggregateOp, SuperAggregateOp
+from repro.engine.variants import (
+    SketchSubOp,
+    SketchSuperOp,
+    SlidingAggregateOp,
+    SlidingSuperOp,
+    build_variant_operator,
+)
+from repro.partitioning import PartitioningSet
+from repro.partitioning.cost_model import CostModel
+from repro.workloads import approx_heavy_catalog, sliding_flows_catalog
+from tests.parity import assert_same_simulation, random_packets
+
+WINDOW_PANES = 3
+
+
+@pytest.fixture
+def sliding_dag():
+    _, dag = sliding_flows_catalog(window_panes=WINDOW_PANES, slide_panes=1)
+    return dag
+
+
+@pytest.fixture
+def approx_dag():
+    _, dag = approx_heavy_catalog(
+        epsilon=0.05, confidence=0.95, window_panes=WINDOW_PANES, slide_panes=1
+    )
+    return dag
+
+
+# -- dispatch ----------------------------------------------------------------
+
+
+def test_variant_dispatch_for_windowed_aggregation(sliding_dag):
+    node = sliding_dag.node("sliding_flows")
+    assert isinstance(build_variant_operator(node, "full"), SlidingAggregateOp)
+    assert isinstance(build_variant_operator(node, "sub"), SubAggregateOp)
+    assert isinstance(build_variant_operator(node, "super"), SlidingSuperOp)
+
+
+def test_variant_dispatch_for_tumbling_aggregation(catalog):
+    node = catalog.define_query(
+        "flows",
+        "SELECT tb, srcIP, COUNT(*) as cnt FROM TCP GROUP BY time as tb, srcIP",
+    )
+    assert isinstance(build_variant_operator(node, "full"), AggregateOp)
+    assert isinstance(build_variant_operator(node, "sub"), SubAggregateOp)
+    assert isinstance(build_variant_operator(node, "super"), SuperAggregateOp)
+
+
+def test_variant_dispatch_for_sketches(approx_dag):
+    node = approx_dag.node("approx_heavy")
+    assert isinstance(build_variant_operator(node, "sketch_sub"), SketchSubOp)
+    assert isinstance(build_variant_operator(node, "sketch_super"), SketchSuperOp)
+    with pytest.raises(ValueError):
+        build_variant_operator(node, "bogus")
+
+
+def test_sketch_variant_requires_accuracy_clause(sliding_dag):
+    node = sliding_dag.node("sliding_flows")
+    with pytest.raises(ValueError):
+        build_variant_operator(node, "sketch_sub")
+    with pytest.raises(ValueError):
+        build_variant_operator(node, "sketch_super")
+
+
+# -- cost model --------------------------------------------------------------
+
+
+def test_sketch_transfer_term_is_rate_independent(approx_dag):
+    low = CostModel(approx_dag, 1_000)
+    high = CostModel(approx_dag, 1_000_000)
+    sites = 4
+    assert low.sketch_transfer_bytes("approx_heavy", sites) == (
+        high.sketch_transfer_bytes("approx_heavy", sites)
+    )
+    # Exact SUB shipping grows with the rate; the summary does not.
+    assert high.sub_transfer_bytes("approx_heavy") > (
+        low.sub_transfer_bytes("approx_heavy")
+    )
+
+
+def test_prefers_sketch_flips_with_scale(approx_dag):
+    assert not CostModel(approx_dag, 200).prefers_sketch("approx_heavy", 6)
+    assert CostModel(approx_dag, 1_000_000).prefers_sketch("approx_heavy", 6)
+
+
+def test_sketch_transfer_undefined_without_clause(sliding_dag):
+    model = CostModel(sliding_dag, 1_000_000)
+    assert not model.prefers_sketch("sliding_flows", 6)
+    with pytest.raises(ValueError):
+        model.sketch_transfer_bytes("sliding_flows")
+
+
+# -- optimizer ---------------------------------------------------------------
+
+
+def _variants(plan, query):
+    return collections.Counter(
+        node.variant
+        for node in plan.nodes.values()
+        if node.kind is DistKind.OP and node.query == query
+    )
+
+
+def test_optimizer_splits_approx_into_sketch_pair(approx_dag):
+    placement = Placement(3, 2)
+    optimizer = DistributedOptimizer(approx_dag, placement, None)
+    plan = optimizer.optimize()
+    counts = _variants(plan, "approx_heavy")
+    assert counts[Variant.SKETCH_SUB] == 3
+    assert counts[Variant.SKETCH_SUPER] == 1
+    assert "SKETCH_SUB/SKETCH_SUPER" in optimizer.report.decisions["approx_heavy"]
+
+
+def test_optimizer_never_sketches_exact_queries(sliding_dag):
+    """Exactness is never traded away silently: an identical query without
+    the accuracy clause takes the exact SUB/SUPER split."""
+    placement = Placement(3, 2)
+    plan = DistributedOptimizer(sliding_dag, placement, None).optimize()
+    counts = _variants(plan, "sliding_flows")
+    assert counts[Variant.SKETCH_SUB] == 0
+    assert counts[Variant.SKETCH_SUPER] == 0
+    assert counts[Variant.SUB] == 3
+    assert counts[Variant.SUPER] == 1
+
+
+def test_optimizer_defers_to_cost_model(approx_dag):
+    placement = Placement(3, 2)
+    cheap = CostModel(approx_dag, 200)
+    plan = DistributedOptimizer(
+        approx_dag, placement, None, cost_model=cheap
+    ).optimize()
+    assert _variants(plan, "approx_heavy")[Variant.SKETCH_SUB] == 0
+
+    heavy = CostModel(approx_dag, 1_000_000)
+    plan = DistributedOptimizer(
+        approx_dag, placement, None, cost_model=heavy
+    ).optimize()
+    assert _variants(plan, "approx_heavy")[Variant.SKETCH_SUB] == 3
+
+
+def test_compatible_partitioning_still_pushes_full(approx_dag):
+    """A partitioning compatible with the group-by keeps the exact FULL
+    push even for approximate queries — exactness at no network premium
+    beats a sketch."""
+    placement = Placement(3, 2)
+    ps = PartitioningSet.of("srcIP", "destIP")
+    optimizer = DistributedOptimizer(approx_dag, placement, ps)
+    plan = optimizer.optimize()
+    counts = _variants(plan, "approx_heavy")
+    assert counts[Variant.SKETCH_SUB] == 0
+    assert counts[Variant.FULL] == 3
+    assert "pushed FULL" in optimizer.report.decisions["approx_heavy"]
+
+
+# -- execution ---------------------------------------------------------------
+
+
+def _run(dag, deliver_name, engine, packets, hosts=3, ps=None, **stream_kwargs):
+    placement = Placement(hosts, 2)
+    plan = DistributedOptimizer(dag, placement, ps).optimize()
+    if ps is None:
+        splitter = RoundRobinSplitter(placement.num_partitions)
+    else:
+        splitter = HashSplitter(placement.num_partitions, ps)
+    sim = ClusterSimulator(dag, plan, stream_rate=1000, engine=engine)
+    oneshot = sim.run({"TCP": packets}, splitter, 10.0)
+    stream = sim.run_streaming({"TCP": packets}, splitter, 10.0, **stream_kwargs)
+    return oneshot, stream
+
+
+@pytest.mark.parametrize("engine", ["row", "columnar"])
+def test_sliding_execution_parity(sliding_dag, engine):
+    packets = random_packets(23)
+    oneshot, stream = _run(sliding_dag, "sliding_flows", engine, packets)
+    assert_same_simulation(oneshot, stream)
+    assert oneshot.fallback_nodes == {}
+    assert stream.fallback_nodes == {}
+    assert set(oneshot.node_variants.values()) == {"sub", "super"}
+
+
+@pytest.mark.parametrize("engine", ["row", "columnar"])
+def test_sketch_execution_parity(approx_dag, engine):
+    packets = random_packets(23)
+    oneshot, stream = _run(approx_dag, "approx_heavy", engine, packets)
+    assert_same_simulation(oneshot, stream)
+    assert oneshot.fallback_nodes == {}
+    assert stream.fallback_nodes == {}
+    assert set(oneshot.node_variants.values()) == {"sketch_sub", "sketch_super"}
+
+
+def test_sketch_identical_across_engines(approx_dag):
+    """The sketch path is deterministic: both engines produce the same
+    estimates, not merely estimates within the same error bound."""
+    packets = random_packets(29)
+    row, _ = _run(approx_dag, "approx_heavy", "row", packets)
+    columnar, _ = _run(approx_dag, "approx_heavy", "columnar", packets)
+    assert batches_equal(
+        row.outputs["approx_heavy"], columnar.outputs["approx_heavy"]
+    )
+
+
+def test_sketch_parallel_execution_matches(approx_dag):
+    """Summaries crossing real process boundaries (pickled through the
+    shared-memory transport) must not change the simulation."""
+    packets = random_packets(31)
+    oneshot, stream = _run(
+        approx_dag, "approx_heavy", "columnar", packets, execution="parallel"
+    )
+    assert_same_simulation(oneshot, stream)
+
+
+def test_sliding_full_push_matches_central(sliding_dag):
+    """Compatible partitioning pushes windowed FULL copies per host; their
+    union must equal the single-host central answer exactly."""
+    packets = random_packets(37)
+    ps = PartitioningSet.of("srcIP")
+    pushed, _ = _run(sliding_dag, "sliding_flows", "columnar", packets, ps=ps)
+    assert set(pushed.node_variants.values()) == {"full"}
+
+    central_placement = Placement(1, 1)
+    central_plan = DistributedOptimizer(
+        sliding_dag, central_placement, None
+    ).optimize()
+    central = ClusterSimulator(
+        sliding_dag, central_plan, stream_rate=1000, engine="row"
+    ).run({"TCP": packets}, RoundRobinSplitter(1), 10.0)
+    assert batches_equal(
+        pushed.outputs["sliding_flows"], central.outputs["sliding_flows"]
+    )
+
+
+def test_sketch_accuracy_against_oracle(approx_dag):
+    """Estimates never undercount, overshoot eps*N only within the delta
+    budget, and every epsilon-heavy key of every window is reported."""
+    epsilon = 0.05
+    packets = random_packets(11)
+    oneshot, _ = _run(approx_dag, "approx_heavy", "columnar", packets)
+
+    by_pane = collections.defaultdict(list)
+    for packet in packets:
+        by_pane[packet["time"]].append(packet)
+    truth, totals = {}, {}
+    for end in range(min(by_pane), max(by_pane) + WINDOW_PANES):
+        rows = [
+            row
+            for pane in range(end - WINDOW_PANES + 1, end + 1)
+            for row in by_pane.get(pane, [])
+        ]
+        if not rows:
+            continue
+        for row in rows:
+            key = (end, row["srcIP"], row["destIP"])
+            count, size = truth.get(key, (0, 0))
+            truth[key] = (count + 1, size + row["len"])
+        totals[end] = (len(rows), sum(row["len"] for row in rows))
+
+    reported = set()
+    violations = estimates = 0
+    for row in oneshot.outputs["approx_heavy"]:
+        key = (row["tb"], row["srcIP"], row["destIP"])
+        reported.add(key)
+        true_count, true_bytes = truth.get(key, (0, 0))
+        window_count, window_bytes = totals[row["tb"]]
+        assert row["cnt"] >= true_count, key
+        assert row["bytes"] >= true_bytes, key
+        estimates += 2
+        violations += row["cnt"] - true_count > epsilon * window_count
+        violations += row["bytes"] - true_bytes > epsilon * window_bytes
+    assert estimates > 0
+    # delta = 0.05 allows a 5% failure rate; take 2x slack for variance.
+    assert violations <= max(1, 0.1 * estimates)
+
+    for key, (true_count, _) in truth.items():
+        window_count, _ = totals[key[0]]
+        if true_count >= epsilon * window_count:
+            assert key in reported, f"missing heavy key {key}"
+
+
+def test_metrics_surface_sketch_categories(approx_dag):
+    packets = random_packets(13)
+    placement = Placement(3, 2)
+    plan = DistributedOptimizer(approx_dag, placement, None).optimize()
+    splitter = RoundRobinSplitter(placement.num_partitions)
+    sim = ClusterSimulator(
+        approx_dag, plan, stream_rate=1000, engine="columnar",
+        record_events=True,
+    )
+    oneshot = sim.run({"TCP": packets}, splitter, 10.0)
+    categories = set()
+    for host in oneshot.hosts:
+        categories.update(host.by_category)
+    assert "sketch-sub" in categories
+    assert "sketch-super" in categories
+    compile_variants = {
+        event.get("variant")
+        for event in sim.metrics.events
+        if event.get("event") == "compile"
+    }
+    assert {"sketch_sub", "sketch_super"} <= compile_variants
