@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Shedding-quality benchmark: semantic vs. blind recall at equal budget.
+
+Query-aware shedding exists for one reason: when the ingest budget is a
+fraction of the offered rate, *which* rows are dropped decides how much
+of the answer survives.  A blind ``drop-newest`` queue sheds by arrival
+order, spreading damage across every group; the semantic
+:class:`~repro.runtime.shedding.SheddingPolicy` ranks the backlog by
+plan-derived value (selection gates, HAVING feasibility, open join
+buckets, doomed groups) and concentrates the same drop budget on rows
+that were never going to contribute.  This benchmark measures that gap
+directly: each workload runs unbounded (the recall reference), then with
+semantic shedding and with ``drop-newest`` at *identical* per-host
+capacity, over several seeded hot-key traces; recall is the per-query
+answer multiset overlap with the reference, averaged over seeds.
+
+Writes ``benchmarks/results/BENCH_shedding.json`` with two sections:
+
+* ``modeled`` — per ``<workload>@<fraction>``: mean per-query recall of
+  the semantic and blind runs and their ratio.  Shedding decisions are
+  deterministic, so ``scripts/check_bench_regression.py`` *gates* on it:
+  on the ``suspicious`` workload (bit-fold HAVING — the clearest case
+  for feasibility pruning) semantic recall must beat blind by at least
+  1.2x at the 0.25 and 0.1 capacity fractions, and no workload may ever
+  recall *less* than blind at equal budget.
+* ``wall`` — measured wall-clock seconds per workload.  Machine-
+  dependent; informational only.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_shedding.py
+    PYTHONPATH=src python benchmarks/bench_shedding.py --seeds 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import random
+import time
+
+from repro.cluster import (
+    ClusterSimulator,
+    HashSplitter,
+    QueuePolicy,
+    SheddingPolicy,
+)
+from repro.distopt import DistributedOptimizer, Placement
+from repro.partitioning import PartitioningSet
+from repro.workloads import (
+    complex_catalog,
+    per_query_recall,
+    subnet_jitter_catalog,
+    suspicious_flows_catalog,
+)
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+OUTPUT = os.path.join(RESULTS_DIR, "BENCH_shedding.json")
+
+NUM_HOSTS = 2
+PARTITIONS_PER_HOST = 2
+EPOCHS = 9
+ROWS_PER_EPOCH = 60
+FRACTIONS = (0.5, 0.25, 0.1)
+
+WORKLOADS = {
+    "suspicious": (suspicious_flows_catalog, None),
+    "jitter": (subnet_jitter_catalog, ("subnet_stats", "tcp_flows", "jitter")),
+    "complex": (complex_catalog, ("flows", "heavy_flows", "flow_pairs")),
+}
+
+
+def make_packets(seed):
+    """A seeded hot-key TCP trace (one dominant srcIP, flag values that
+    OR-fold toward the suspicious workload's 0x29 attack pattern) — the
+    same shape the shedding parity sweep uses, regenerated here so the
+    benchmark stays importable without the test tree."""
+    rng = random.Random(seed ^ 0x5EDB)
+    pool = [0x0A000000 + i for i in range(12)]
+    hot = rng.choice(pool)
+    packets = []
+    for epoch in range(EPOCHS):
+        for _ in range(rng.randint(ROWS_PER_EPOCH // 2, ROWS_PER_EPOCH)):
+            packets.append(
+                {
+                    "time": epoch,
+                    "timestamp": epoch * 1000 + rng.randint(0, 999),
+                    "srcIP": hot if rng.random() < 0.6 else rng.choice(pool),
+                    "destIP": 0xC0A80000 + rng.randrange(4),
+                    "srcPort": rng.choice((1024, 2048, 4096, 8192)),
+                    "destPort": rng.choice((80, 443)),
+                    "protocol": 6,
+                    "flags": rng.choice((0, 1, 2, 8, 16, 32, 41)),
+                    "len": rng.randint(40, 1500),
+                }
+            )
+    packets.sort(key=lambda p: p["time"])
+    return packets
+
+
+def _mean_recall(reference, bounded):
+    recall = per_query_recall(reference.outputs, bounded.outputs)
+    defined = [value for value in recall.values() if not math.isnan(value)]
+    return sum(defined) / len(defined) if defined else float("nan")
+
+
+def run_workload(name, seeds):
+    catalog_fn, deliver = WORKLOADS[name]
+    _, dag = catalog_fn()
+    ps = PartitioningSet.of("srcIP")
+    placement = Placement(NUM_HOSTS, PARTITIONS_PER_HOST)
+    plan = DistributedOptimizer(dag, placement, ps, deliver=deliver).optimize()
+    splitter = HashSplitter(placement.num_partitions, ps)
+
+    started = time.perf_counter()
+    sums = {fraction: [0.0, 0.0] for fraction in FRACTIONS}
+    for seed in seeds:
+        packets = make_packets(seed)
+        sim = ClusterSimulator(dag, plan, stream_rate=1000, engine="columnar")
+        reference = sim.run_streaming({"TCP": packets}, splitter, 10.0)
+        per_host = len(packets) / EPOCHS / NUM_HOSTS
+        for fraction in FRACTIONS:
+            capacity = max(4, int(per_host * fraction))
+            semantic = sim.run_streaming(
+                {"TCP": packets}, splitter, 10.0,
+                shedding=SheddingPolicy(capacity),
+            )
+            blind = sim.run_streaming(
+                {"TCP": packets}, splitter, 10.0,
+                queue_policy=QueuePolicy(capacity, "drop-newest"),
+            )
+            for stats in semantic.flow_stats.values():
+                assert stats.conserves()
+            sums[fraction][0] += _mean_recall(reference, semantic)
+            sums[fraction][1] += _mean_recall(reference, blind)
+    elapsed = time.perf_counter() - started
+
+    modeled = {}
+    for fraction in FRACTIONS:
+        semantic_mean = sums[fraction][0] / len(seeds)
+        blind_mean = sums[fraction][1] / len(seeds)
+        modeled[f"{name}@{fraction}"] = {
+            "workload": name,
+            "fraction": fraction,
+            "seeds": len(seeds),
+            "semantic_mean_recall": semantic_mean,
+            "blind_mean_recall": blind_mean,
+            "recall_ratio": (
+                semantic_mean / blind_mean if blind_mean else float("inf")
+            ),
+        }
+    return modeled, {"seconds": elapsed}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--seeds", type=int, default=5,
+        help="number of seeded traces to average over (default: 5)",
+    )
+    parser.add_argument("--output", default=OUTPUT)
+    args = parser.parse_args(argv)
+    seeds = range(args.seeds)
+
+    modeled = {}
+    wall = {}
+    for name in sorted(WORKLOADS):
+        entries, timing = run_workload(name, seeds)
+        modeled.update(entries)
+        wall[name] = timing
+
+    payload = {
+        "schema": "bench_shedding/v1",
+        "workloads": sorted(WORKLOADS),
+        "hosts": NUM_HOSTS,
+        "partitions_per_host": PARTITIONS_PER_HOST,
+        "epochs": EPOCHS,
+        "fractions": list(FRACTIONS),
+        "cpu_count": os.cpu_count(),
+        "modeled": modeled,
+        "wall": wall,
+    }
+    os.makedirs(os.path.dirname(args.output), exist_ok=True)
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"wrote {args.output}")
+    for key in sorted(modeled):
+        entry = modeled[key]
+        print(
+            f"  modeled  {key:<18} recall {entry['semantic_mean_recall']:.3f} "
+            f"semantic vs {entry['blind_mean_recall']:.3f} blind "
+            f"({entry['recall_ratio']:5.2f}x)"
+        )
+    for name in sorted(wall):
+        print(f"  wall     {name:<18} {wall[name]['seconds']:.3f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

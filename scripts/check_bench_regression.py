@@ -37,6 +37,13 @@ the largest group cardinality the sketch variant must ship at least
 exact SUB/SUPER split, and every cardinality's observed error must
 respect the query's accuracy clause; wall timings are informational.
 
+The shedding-quality benchmark (``benchmarks/bench_shedding.py`` →
+``benchmarks/results/BENCH_shedding.json``) is gated absolutely too:
+semantic shedding must keep beating blind ``drop-newest`` recall by at
+least ``SHEDDING_RECALL_RATIO_FLOOR``x on the suspicious workload at
+the deep-overload capacity fractions, and must never recall less than
+blind anywhere; wall timings are informational.
+
 Exit status: 0 when every benchmark holds, 1 on any regression or when an
 input file is missing or unreadable.
 """
@@ -66,11 +73,28 @@ SKETCH_CURRENT = os.path.join(
 SKETCH_BASELINE = os.path.join(
     REPO_ROOT, "benchmarks", "baseline", "BENCH_sketch.json"
 )
+SHEDDING_CURRENT = os.path.join(
+    REPO_ROOT, "benchmarks", "results", "BENCH_shedding.json"
+)
+SHEDDING_BASELINE = os.path.join(
+    REPO_ROOT, "benchmarks", "baseline", "BENCH_shedding.json"
+)
 
 #: Minimum steady-state host-load (max/mean) improvement the rebalancer
 #: must deliver over static placement on the skewed trace — the PR's
 #: acceptance bar, enforced absolutely rather than relative to baseline.
 SKEW_IMPROVEMENT_FLOOR = 0.30
+
+#: On the suspicious workload — bit-fold HAVING feasibility, the clearest
+#: case for query-aware shedding — the semantic policy's mean per-query
+#: recall must beat blind ``drop-newest`` by at least this factor at the
+#: deep-overload capacity fractions (0.25 and 0.1), enforced absolutely.
+#: Every other (workload, fraction) pair is merely forbidden from
+#: recalling *less* than blind at equal drop budget.
+SHEDDING_RECALL_RATIO_FLOOR = 1.2
+
+#: The capacity fractions the recall-ratio floor is gated at.
+SHEDDING_GATED_FRACTIONS = (0.25, 0.1)
 
 #: At the highest group cardinality the sketch variant must ship at
 #: least this many times fewer bytes to the aggregator than the exact
@@ -307,6 +331,69 @@ def compare_sketch(baseline_path: str, current_path: str) -> int:
     return 0
 
 
+def compare_shedding(baseline_path: str, current_path: str) -> int:
+    """Gate the shedding-quality benchmark's modeled recall dominance.
+
+    Absent files are not an error — the sweep is optional.  Two absolute
+    gates: on the ``suspicious`` workload the semantic/blind recall
+    ratio must clear :data:`SHEDDING_RECALL_RATIO_FLOOR` at each of
+    :data:`SHEDDING_GATED_FRACTIONS`, and no (workload, fraction) pair
+    may recall less than blind at equal budget (ratio >= 1.0).
+    """
+    if not os.path.exists(current_path):
+        print("\nno shedding benchmark results; skipping "
+              "(run benchmarks/bench_shedding.py to produce them)")
+        return 0
+    try:
+        with open(current_path) as handle:
+            current = json.load(handle)
+        baseline_modeled = {}
+        if os.path.exists(baseline_path):
+            with open(baseline_path) as handle:
+                baseline_modeled = json.load(handle).get("modeled", {})
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error reading shedding benchmark files: {exc}")
+        return 1
+    print("\nshedding quality benchmark "
+          f"(floor: {SHEDDING_RECALL_RATIO_FLOOR:.1f}x recall on "
+          "suspicious at fractions "
+          f"{'/'.join(str(f) for f in SHEDDING_GATED_FRACTIONS)}):")
+    regressions = []
+    modeled = current.get("modeled", {})
+    names = sorted(set(baseline_modeled) | set(modeled))
+    width = max((len(name) for name in names), default=0)
+    for name in names:
+        entry = modeled.get(name)
+        if entry is None:
+            print(f"MISSING  {name:<{width}}  (in baseline, not in current)")
+            regressions.append(name)
+            continue
+        ratio = entry.get("recall_ratio", 0.0)
+        gated = (
+            entry.get("workload") == "suspicious"
+            and entry.get("fraction") in SHEDDING_GATED_FRACTIONS
+        )
+        floor = SHEDDING_RECALL_RATIO_FLOOR if gated else 1.0
+        ok = ratio >= floor
+        status = ("ok" if gated else "info") if ok else "REGRESSED"
+        print(f"{status:<10}{name:<{width}}  recall "
+              f"{entry.get('semantic_mean_recall', 0.0):.3f} semantic vs "
+              f"{entry.get('blind_mean_recall', 0.0):.3f} blind "
+              f"({ratio:5.2f}x, need >= {floor:.1f})"
+              + ("  [gated]" if gated else ""))
+        if not ok:
+            regressions.append(name)
+    for name in sorted(current.get("wall", {})):
+        entry = current["wall"][name]
+        print(f"info      {name:<{width}}  "
+              f"{entry.get('seconds', 0.0):8.3f}s (informational)")
+    if regressions:
+        print(f"\n{len(regressions)} shedding metric(s) failed the "
+              "recall-dominance gate")
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--current", default=CURRENT)
@@ -344,6 +431,9 @@ def main(argv=None) -> int:
         if os.path.exists(SKETCH_CURRENT):
             shutil.copyfile(SKETCH_CURRENT, SKETCH_BASELINE)
             print(f"baseline updated: {SKETCH_BASELINE}")
+        if os.path.exists(SHEDDING_CURRENT):
+            shutil.copyfile(SHEDDING_CURRENT, SHEDDING_BASELINE)
+            print(f"baseline updated: {SHEDDING_BASELINE}")
         return 0
     if not os.path.exists(args.baseline):
         print(f"no baseline at {args.baseline}; create one with --update")
@@ -360,7 +450,10 @@ def main(argv=None) -> int:
     )
     skew_status = compare_skew(SKEW_BASELINE, SKEW_CURRENT)
     sketch_status = compare_sketch(SKETCH_BASELINE, SKETCH_CURRENT)
-    return max(status, parallel_status, skew_status, sketch_status)
+    shedding_status = compare_shedding(SHEDDING_BASELINE, SHEDDING_CURRENT)
+    return max(
+        status, parallel_status, skew_status, sketch_status, shedding_status
+    )
 
 
 if __name__ == "__main__":

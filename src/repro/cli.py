@@ -28,6 +28,7 @@ from .distopt import DistributedOptimizer, Placement, render_plan
 from .gsql.catalog import Catalog
 from .runtime.flowcontrol import BLOCK, QUEUE_MODES, Fault, FaultPlan, QueuePolicy
 from .runtime.rebalance import RebalancePolicy
+from .runtime.shedding import SHED_STRATEGIES, SheddingPolicy
 from .gsql.schema import tcp_schema
 from .partitioning import FieldsConstraint, PartitioningSet, choose_partitioning
 from .plan import QueryDag
@@ -206,9 +207,26 @@ def cmd_timeline(args) -> int:
             file=sys.stderr,
         )
         return 2
+    shedding = None
+    if args.shedding is not None:
+        if args.queue_limit is None:
+            print(
+                "error: --shedding requires --queue-limit (the per-host "
+                "capacity the shedder enforces)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.queue_policy != BLOCK:
+            print(
+                "error: --shedding replaces --queue-policy; pass one or "
+                "the other",
+                file=sys.stderr,
+            )
+            return 2
+        shedding = SheddingPolicy(args.queue_limit, args.shedding)
     queue_policy = (
         QueuePolicy(args.queue_limit, args.queue_policy)
-        if args.queue_limit is not None
+        if args.queue_limit is not None and shedding is None
         else None
     )
     faults = FaultPlan(tuple(args.fault)) if args.fault else None
@@ -249,6 +267,7 @@ def cmd_timeline(args) -> int:
             execution=args.execution,
             workers=args.workers,
             rebalance=rebalance,
+            shedding=shedding,
         )
     except ValueError as error:
         # e.g. a --fault targeting a host outside the cluster, or
@@ -303,6 +322,19 @@ def cmd_timeline(args) -> int:
         )
     if queue_policy is not None:
         print(f"ingest queue: {queue_policy.describe()}")
+    if shedding is not None:
+        print(f"load shedding: {shedding.describe()}")
+        if result.shed_counts:
+            charged = ", ".join(
+                f"{query}={rows}"
+                for query, rows in sorted(result.shed_counts.items())
+            )
+            print(f"shed rows charged per query: {charged}")
+        elif any(s.total_dropped for s in result.flow_stats.values()):
+            # every shed row was provably worthless to every query
+            print("shed rows charged per query: none (only dead rows shed)")
+        else:
+            print("shed rows charged per query: none (capacity held)")
     if result.flow_stats:
         print("\ningest per host (rows):")
         print(f"{'host':>6} {'in':>10} {'delivered':>10} {'dropped':>10}")
@@ -440,6 +472,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=QUEUE_MODES,
         default=BLOCK,
         help="overflow handling for --queue-limit (default: block, lossless)",
+    )
+    timeline.add_argument(
+        "--shedding",
+        choices=SHED_STRATEGIES,
+        default=None,
+        help="rank overflow rows by plan-derived value and shed the "
+        "least valuable first (requires --queue-limit; replaces "
+        "--queue-policy)",
     )
     timeline.add_argument(
         "--fault",

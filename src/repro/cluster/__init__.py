@@ -10,6 +10,7 @@ from .simulator import (
     QueuePolicy,
     RebalanceLog,
     RebalancePolicy,
+    SheddingPolicy,
     SimulationResult,
     Timeline,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "RebalanceLog",
     "RebalancePolicy",
     "RoundRobinSplitter",
+    "SheddingPolicy",
     "SimulationResult",
     "Splitter",
     "Timeline",

@@ -31,6 +31,7 @@ from ..runtime.flowcontrol import FaultPlan, QueuePolicy
 from ..runtime.metrics import MetricsRecorder, Timeline
 from ..runtime.rebalance import RebalanceLog, RebalancePolicy
 from ..runtime.session import ExecutionSession, SimulationResult
+from ..runtime.shedding import SheddingPolicy
 from .costs import DEFAULT_COSTS, CostTable, default_capacity
 from .host import Host
 from .network import NetworkMeter
@@ -43,6 +44,7 @@ __all__ = [
     "QueuePolicy",
     "RebalanceLog",
     "RebalancePolicy",
+    "SheddingPolicy",
     "SimulationResult",
     "Timeline",
 ]
@@ -134,6 +136,7 @@ class ClusterSimulator:
         execution: str = "inprocess",
         workers: Optional[int] = None,
         rebalance: Optional[RebalancePolicy] = None,
+        shedding: Optional[SheddingPolicy] = None,
     ) -> SimulationResult:
         """Execute the plan one epoch at a time with bounded memory.
 
@@ -173,6 +176,13 @@ class ClusterSimulator:
         only which host executes (and is charged for) the affected
         operators — query outputs stay byte-identical to the static run.
         The decision trail lands in :attr:`SimulationResult.rebalance`.
+
+        ``shedding`` activates query-aware load shedding
+        (:class:`~repro.runtime.shedding.SheddingPolicy`): on overflow
+        each host sheds the lowest plan-derived-value rows instead of
+        the newest, with per-query loss attribution in
+        :attr:`SimulationResult.shed_counts`.  Mutually exclusive with
+        ``queue_policy``.
         """
         return self._session.execute(
             source_rows,
@@ -185,4 +195,5 @@ class ClusterSimulator:
             execution=execution,
             workers=workers,
             rebalance=rebalance,
+            shedding=shedding,
         )

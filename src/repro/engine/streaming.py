@@ -37,11 +37,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..expr.evaluator import compile_expr
+from ..expr.evaluator import compile_expr, compile_key
 from ..expr.expressions import Attr, Binary, Const, ScalarExpr
 from ..expr.vectorizer import materialize, vectorize_expr
 from ..gsql.analyzer import AnalyzedNode
-from .columnar import ColumnBatch
+from .columnar import ColumnBatch, ensure_rows
 from .operators import Batch, Row
 
 Number = Union[int, float]
@@ -280,6 +280,12 @@ class StreamingNode:
         None means the node is stateless."""
         return None
 
+    def value_hints(self):
+        """Canonical summary of buffered state for semantic shedding
+        (:mod:`repro.runtime.shedding`), taken *after* this step's
+        :meth:`step`.  None means the node offers no hints."""
+        return None
+
     def import_state(self, state) -> None:
         """Adopt a peer's exported state into this (fresh) node."""
         if state is not None:
@@ -489,6 +495,8 @@ class StreamingJoin(StreamingNode):
     def __init__(self, operator, node: AnalyzedNode):
         equality = next((eq for eq in node.equalities if eq.temporal), None)
         self._operator = operator
+        self._equalities = list(node.equalities)
+        self._hint_keys = None
         self._left_expr = equality.left if equality is not None else None
         self._right_expr = equality.right if equality is not None else None
         if operator.columnar:
@@ -526,6 +534,24 @@ class StreamingJoin(StreamingNode):
         left, right = state
         self._left.import_rows(left)
         self._right.import_rows(right)
+
+    def value_hints(self):
+        """The join keys currently buffered on each side — the "open
+        buckets" a future arrival could still complete.  Frozensets are
+        only ever used for membership, so worker-reported hints merge
+        with in-process ones without any ordering concerns."""
+        if self._hint_keys is None:
+            self._hint_keys = (
+                compile_key([eq.left for eq in self._equalities]),
+                compile_key([eq.right for eq in self._equalities]),
+            )
+        left_key, right_key = self._hint_keys
+        sides = []
+        for buffer, key_fn in ((self._left, left_key), (self._right, right_key)):
+            exported = buffer.export_rows()
+            rows = ensure_rows(exported) if exported is not None else []
+            sides.append(frozenset(key_fn(row) for row in rows))
+        return (sides[0], sides[1])
 
     def step(self, inputs, watermarks, flush):
         left_in, right_in = (self._operator.coerce(batch) for batch in inputs)

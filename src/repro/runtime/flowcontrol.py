@@ -54,6 +54,7 @@ from typing import (
 
 from ..distopt.plan_ir import DistKind, DistributedPlan
 from ..engine.streaming import take_prefix
+from .shedding import SheddingPolicy, ValueModel, shed_lowest_value
 
 if TYPE_CHECKING:
     from .backend import EngineBackend
@@ -297,10 +298,14 @@ class QueuedIngestController(IngestController):
         policy: Optional[QueuePolicy],
         faults: Optional[FaultPlan],
         host_of_partition: Optional[Callable[[int], int]] = None,
+        shedding: Optional[SheddingPolicy] = None,
+        value_model: Optional[ValueModel] = None,
     ):
         self._backend = backend
         self._recorder = recorder
         self._policy = policy
+        self._shedding = shedding
+        self._value_model = value_model
         self._faults = faults if faults is not None else FaultPlan()
         self._sources: List[Tuple[str, int, int]] = [
             (node.stream, next(iter(node.partitions)), node.host)
@@ -359,6 +364,10 @@ class QueuedIngestController(IngestController):
                     recorder.record_fault(host, SKIP, count)
                     rows_in[host] += count
                     dropped[host] += count
+                    if self._value_model is not None:
+                        # Lost rows corrupt their groups exactly like
+                        # shed rows: stop protecting those groups.
+                        self._value_model.mark_lost(stream, batch)
                     continue
                 if self._faults.active(DUPLICATE, host, index) is not None:
                     recorder.record_fault(host, DUPLICATE, count)
@@ -385,6 +394,14 @@ class QueuedIngestController(IngestController):
                 host, arrivals[host], rows_in, dropped, accepted, flush
             )
         self._refresh_floors()
+        if self._value_model is not None:
+            # Fold this step's deliveries into the model's running
+            # HAVING-feasibility state.  The folds are commutative, but
+            # iterate in sorted key order anyway so the walk itself is
+            # reproducible.
+            for (stream, _), pieces in sorted(self._delivered.items()):
+                for piece in pieces:
+                    self._value_model.observe_delivered(stream, piece)
         return accepted
 
     def batch(self, stream: str, partition: int):
@@ -456,10 +473,31 @@ class QueuedIngestController(IngestController):
                     _, entry.batch = take_prefix(entry.batch, excess)
                     dropped[host] += excess
                     excess = 0
+        # Semantic shedding: admit everything (admission room stayed
+        # infinite above), then shed the backlog above capacity in
+        # ascending plan-derived value order.  Like drop-oldest, every
+        # arrival counts as accepted — the splitter cursor advanced on
+        # admission, shedding only charges drops.
+        shedding = self._shedding
+        if not flush and shedding is not None:
+            excess = sum(len(e.batch) for e in queue) - shedding.capacity
+            if excess > 0:
+                shed, charged = shed_lowest_value(
+                    queue, excess, self._value_model
+                )
+                dropped[host] += shed
+                for _ in range(len(queue)):
+                    entry = queue.popleft()
+                    if len(entry.batch):
+                        queue.append(entry)
+                self._recorder.record_shed(host, shed, charged)
         # Delivery: up to the step budget, FIFO; the flush drains fully.
         budget = math.inf
-        if not flush and policy is not None:
-            budget = policy.capacity
+        if not flush:
+            if policy is not None:
+                budget = policy.capacity
+            elif shedding is not None:
+                budget = shedding.capacity
         delivered = 0
         while queue and budget > 0:
             entry = queue[0]
@@ -504,6 +542,8 @@ def create_ingest_controller(
     policy: Optional[QueuePolicy],
     faults: Optional[FaultPlan],
     host_of_partition: Optional[Callable[[int], int]] = None,
+    shedding: Optional[SheddingPolicy] = None,
+    value_model: Optional[ValueModel] = None,
 ) -> IngestController:
     """The pass-through controller unless flow control is requested.
 
@@ -520,8 +560,9 @@ def create_ingest_controller(
         )
         if kept:
             ingest_faults = FaultPlan(kept)
-    if policy is None and ingest_faults is None:
+    if policy is None and shedding is None and ingest_faults is None:
         return IngestController()
     return QueuedIngestController(
-        plan, backend, recorder, policy, ingest_faults, host_of_partition
+        plan, backend, recorder, policy, ingest_faults, host_of_partition,
+        shedding=shedding, value_model=value_model,
     )

@@ -137,7 +137,8 @@ def _worker_main(conn) -> None:  # pragma: no cover — runs in forked children
     """
     try:
         message = conn.recv()
-        _, engine, dag, assigned, operators, export_ids, epoch_column = message
+        (_, engine, dag, assigned, operators, export_ids, epoch_column,
+         hint_ids) = message
         backend = create_backend(engine, dag)
         for compiled in operators:
             backend.cached_operators[_operator_key(compiled.recipe[2])] = compiled
@@ -227,6 +228,7 @@ def _worker_main(conn) -> None:  # pragma: no cover — runs in forked children
             stats: Dict[str, Tuple[int, float]] = {}
             returns: Dict[str, object] = {}
             out_watermarks: Dict[str, Watermark] = {}
+            hints: Dict[str, object] = {}
             for node in by_stage.get(stage, ()):
                 node_id = node.node_id
                 if node.kind is DistKind.SOURCE:
@@ -245,13 +247,20 @@ def _worker_main(conn) -> None:  # pragma: no cover — runs in forked children
                     outputs[node_id] = result
                     watermarks[node_id] = watermark
                     stats[node_id] = (len(result), wall)
+                    if node_id in hint_ids:
+                        # A node steps exactly once per step, so this
+                        # post-step snapshot equals what the in-process
+                        # executor reads after its own loop.
+                        hints[node_id] = snode.value_hints()
                 if node_id in export_ids:
                     returns[node_id] = outputs[node_id]
                     out_watermarks[node_id] = watermarks[node_id]
             buffered = max(
                 (snode.buffered_rows() for snode in snodes.values()), default=0
             )
-            conn.send(("done", stats, returns, out_watermarks, buffered, pid))
+            conn.send(
+                ("done", stats, returns, out_watermarks, buffered, pid, hints)
+            )
     except (EOFError, KeyboardInterrupt):
         pass
     except BaseException:
@@ -279,9 +288,11 @@ class ParallelExecutor(StepExecutor):
         epoch_column: str,
         return_ids: Set[str],
         workers: Optional[int] = None,
+        hint_ids: Optional[Set[str]] = None,
     ):
         self._order = list(order)
         self._return_ids = set(return_ids)
+        self._hint_ids = set(hint_ids) if hint_ids else set()
         hosts_used = sorted({node.host for node in self._order})
         requested = workers if workers is not None else len(hosts_used)
         if len(hosts_used) < 2:
@@ -483,7 +494,7 @@ class ParallelExecutor(StepExecutor):
             }
             connection.send(
                 ("init", backend.name, dag, assigned, operators, exports,
-                 epoch_column)
+                 epoch_column, self._hint_ids)
             )
         for worker, connection in enumerate(self._connections):
             reply = self._receive(worker)
@@ -497,6 +508,7 @@ class ParallelExecutor(StepExecutor):
         produced: Dict[str, object] = {}
         watermarks: Dict[str, Watermark] = {}
         buffered_by_worker: Dict[int, int] = {}
+        value_hints: Dict[str, object] = {}
         for stage_no in range(self._num_stages):
             handles: List = []
             participants = self._stage_workers[stage_no]
@@ -521,9 +533,8 @@ class ParallelExecutor(StepExecutor):
                     ("step", self._step, stage_no, flush, message_sources, inbound)
                 )
             for worker in participants:
-                stats, returns, reply_watermarks, buffered, pid = self._receive(
-                    worker
-                )
+                (stats, returns, reply_watermarks, buffered, pid,
+                 hints) = self._receive(worker)
                 for node_id, (rows_out, wall) in stats.items():
                     out_lens[node_id] = rows_out
                     walls[node_id] = wall
@@ -531,6 +542,7 @@ class ParallelExecutor(StepExecutor):
                 produced.update(returns)
                 watermarks.update(reply_watermarks)
                 buffered_by_worker[worker] = buffered
+                value_hints.update(hints)
             # Workers copied the payload out before replying: every one of
             # this stage's segments can be unlinked now.
             for handle in handles:
@@ -541,6 +553,7 @@ class ParallelExecutor(StepExecutor):
             pids=pids,
             returns={node_id: produced[node_id] for node_id in self._return_ids},
             buffered_rows=max(buffered_by_worker.values(), default=0),
+            value_hints=value_hints,
         )
 
     def _receive(self, worker: int) -> tuple:

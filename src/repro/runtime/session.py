@@ -55,6 +55,7 @@ from ..traces.generator import slice_by_epoch
 from .backend import EngineBackend
 from .flowcontrol import FaultPlan, QueuePolicy, create_ingest_controller
 from .metrics import HostFlowStats, MetricsRecorder, Timeline
+from .shedding import SheddingPolicy, ValueModel
 from .rebalance import RebalanceController, RebalanceLog, RebalancePolicy
 
 if TYPE_CHECKING:
@@ -94,6 +95,10 @@ class StepOutcome:
     returns: Dict[str, Batch]
     #: Largest buffer resident inside any streaming node after the step.
     buffered_rows: int
+    #: Post-step buffered-state summaries for the nodes the session
+    #: asked to report (semantic shedding's open-join-bucket hints);
+    #: node id -> whatever the node's ``value_hints()`` returned.
+    value_hints: Dict[str, object] = field(default_factory=dict)
 
 
 class StepExecutor:
@@ -136,10 +141,12 @@ class InProcessExecutor(StepExecutor):
         order: Sequence[DistNode],
         epoch_column: str,
         return_ids: Set[str],
+        hint_ids: Optional[Set[str]] = None,
     ):
         self._order = list(order)
         self._epoch_column = epoch_column
         self._return_ids = set(return_ids)
+        self._hint_ids = set(hint_ids) if hint_ids else set()
         # Streaming wrappers hold buffers across steps: fresh per run.
         self._nodes: Dict[str, StreamingNode] = {
             node.node_id: backend.streaming_node(node)
@@ -190,6 +197,10 @@ class InProcessExecutor(StepExecutor):
             pids={},
             returns={node_id: outputs[node_id] for node_id in self._return_ids},
             buffered_rows=buffered,
+            value_hints={
+                node_id: self._nodes[node_id].value_hints()
+                for node_id in self._hint_ids
+            },
         )
 
 
@@ -229,6 +240,10 @@ class SimulationResult:
     # Per-host ingest-queue accounting; populated only when a streaming
     # run had flow control or fault injection active.
     flow_stats: Dict[int, HostFlowStats] = field(default_factory=dict)
+    # Semantic-shedding attribution: delivered query name -> rows shed
+    # that still carried value for it.  Empty unless the run passed
+    # ``shedding=SheddingPolicy(...)`` and actually shed.
+    shed_counts: Dict[str, int] = field(default_factory=dict)
     # How operators actually executed: "inprocess" or "parallel".  A run
     # requested as parallel that fell back reports "inprocess" here (the
     # fallback reason is in the event trace's "execution" record).
@@ -348,6 +363,7 @@ class ExecutionSession:
         execution: str = "inprocess",
         workers: Optional[int] = None,
         rebalance: Optional[RebalancePolicy] = None,
+        shedding: Optional[SheddingPolicy] = None,
     ) -> SimulationResult:
         """Split, execute, and meter the plan; one epoch per step.
 
@@ -376,6 +392,13 @@ class ExecutionSession:
         host executes (and is charged for) the affected nodes — query
         outputs stay byte-identical to the static run.  Requires
         ``streaming``; ``leave``/``join`` membership faults require it.
+
+        ``shedding`` activates query-aware load shedding
+        (:mod:`repro.runtime.shedding`): each host admits every arrival
+        but sheds the backlog above capacity in ascending plan-derived
+        value order instead of by arrival position.  Requires
+        ``streaming`` and is mutually exclusive with ``queue_policy``
+        (it *is* the queue policy of the run).
         """
         self._check_splitter(splitter)
         if execution not in EXECUTION_MODES:
@@ -388,6 +411,16 @@ class ExecutionSession:
             raise ValueError(
                 "flow control and fault injection require streaming execution"
             )
+        if shedding is not None:
+            if not streaming:
+                raise ValueError(
+                    "semantic shedding requires streaming execution"
+                )
+            if queue_policy is not None:
+                raise ValueError(
+                    "shedding and queue_policy are mutually exclusive — "
+                    "a shedding policy is the run's queue policy"
+                )
         if rebalance is not None and not streaming:
             raise ValueError("adaptive rebalancing requires streaming execution")
         if faults:
@@ -423,7 +456,13 @@ class ExecutionSession:
             }
             epochs = [_WHOLE_TRACE]
         order = self._plan.topological()
-        executor = self._create_executor(execution, workers, order, epoch_column)
+        value_model = (
+            ValueModel(self._dag, self._plan) if shedding is not None else None
+        )
+        hint_ids = set(value_model.hint_nodes) if value_model is not None else None
+        executor = self._create_executor(
+            execution, workers, order, epoch_column, hint_ids
+        )
         delivered: Dict[str, Batch] = {name: [] for name in self._plan.delivery}
         counts: Dict[str, int] = {node.node_id: 0 for node in order}
         offsets: Dict[str, int] = {stream: 0 for stream in slices}
@@ -448,6 +487,8 @@ class ExecutionSession:
             host_of_partition=(
                 rebalancer.directory.host_of if rebalancer is not None else None
             ),
+            shedding=shedding,
+            value_model=value_model,
         )
         peak = 0
         try:
@@ -509,6 +550,11 @@ class ExecutionSession:
                         ),
                     )
                 outcome = executor.run_step(flush, sources)
+                if value_model is not None:
+                    # The nodes' post-step buffered-key reports feed the
+                    # *next* step's shed decisions — one step of lag,
+                    # identical under both executors by construction.
+                    value_model.update_hints(outcome.value_hints)
                 peak = max(
                     peak,
                     self._replay_step(outcome, sources, order, counts, host_of),
@@ -547,6 +593,7 @@ class ExecutionSession:
             fallback_nodes=dict(recorder.fallback_nodes),
             node_variants=dict(self._node_variants),
             flow_stats=dict(recorder.flow_stats),
+            shed_counts=dict(recorder.shed_counts),
             execution=executor.mode,
             rebalance=rebalancer.log if rebalancer is not None else None,
         )
@@ -559,6 +606,7 @@ class ExecutionSession:
         workers: Optional[int],
         order: Sequence[DistNode],
         epoch_column: str,
+        hint_ids: Optional[Set[str]] = None,
     ) -> StepExecutor:
         """Build this run's executor, recording the mode (and any
         parallel-to-inprocess fallback reason) in the event trace."""
@@ -570,7 +618,7 @@ class ExecutionSession:
             try:
                 executor = ParallelExecutor(
                     self._plan, self._backend, order, epoch_column,
-                    return_ids, workers,
+                    return_ids, workers, hint_ids=hint_ids,
                 )
             except ParallelUnavailable as unavailable:
                 recorder.record_execution_mode("inprocess", reason=str(unavailable))
@@ -581,7 +629,9 @@ class ExecutionSession:
                 return executor
         else:
             recorder.record_execution_mode("inprocess")
-        return InProcessExecutor(self._backend, order, epoch_column, return_ids)
+        return InProcessExecutor(
+            self._backend, order, epoch_column, return_ids, hint_ids=hint_ids
+        )
 
     def _apply_rebalance(
         self,

@@ -11,6 +11,7 @@ from .experiments import (
     format_overload,
     measure_selectivities,
     overload_sweep,
+    per_query_recall,
     run_configuration,
     sweep_hosts,
     trace_sources,
@@ -38,6 +39,7 @@ __all__ = [
     "format_overload",
     "measure_selectivities",
     "overload_sweep",
+    "per_query_recall",
     "run_configuration",
     "sliding_flows_catalog",
     "subnet_jitter_catalog",

@@ -9,7 +9,9 @@ plan with the partition-aware optimizer and executes it on the simulator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from collections import Counter
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..cluster.costs import DEFAULT_COSTS, CostTable
@@ -18,6 +20,7 @@ from ..cluster.simulator import (
     FaultPlan,
     QueuePolicy,
     RebalancePolicy,
+    SheddingPolicy,
     SimulationResult,
 )
 from ..cluster.splitter import HashSplitter, RoundRobinSplitter, Splitter
@@ -212,6 +215,7 @@ def run_configuration(
     execution: str = "inprocess",
     workers: Optional[int] = None,
     rebalance: Optional[RebalancePolicy] = None,
+    shedding: Optional[SheddingPolicy] = None,
 ) -> RunOutcome:
     """Build the distributed plan for one configuration and simulate it.
 
@@ -266,12 +270,18 @@ def run_configuration(
             execution=execution,
             workers=workers,
             rebalance=rebalance,
+            shedding=shedding,
         )
     else:
-        if queue_policy is not None or faults or rebalance is not None:
+        if (
+            queue_policy is not None
+            or faults
+            or rebalance is not None
+            or shedding is not None
+        ):
             raise ValueError(
-                "flow control, fault injection, and rebalancing require "
-                "streaming execution"
+                "flow control, fault injection, rebalancing, and shedding "
+                "require streaming execution"
             )
         result = simulator.run(
             sources, splitter, trace.duration_sec,
@@ -324,10 +334,68 @@ class OverloadPoint:
     rows_delivered: int
     rows_dropped: int
     output_rows: int  # total delivered application output rows
+    # Per-query answer recall against the unbounded reference run:
+    # |output ∩ reference| / |reference| as row multisets.  NaN when the
+    # reference itself is empty — a query that selects nothing under this
+    # trace has no recall to speak of, and reporting 1.0 there would
+    # conflate "shed to zero output" with "selects nothing".
+    recall: Dict[str, float] = field(default_factory=dict)
 
     @property
     def delivered_fraction(self) -> float:
         return self.rows_delivered / self.rows_in if self.rows_in else 1.0
+
+    @property
+    def mean_recall(self) -> float:
+        """Mean per-query recall, skipping NaN (empty-reference) queries;
+        NaN if no query has a defined recall."""
+        defined = [r for r in self.recall.values() if not math.isnan(r)]
+        if not defined:
+            return float("nan")
+        return sum(defined) / len(defined)
+
+
+def _canonical_rows(batch) -> Counter:
+    """A batch as a multiset of hashable rows, engine-agnostic: NumPy
+    scalars unwrap to Python values so row and columnar outputs compare
+    equal, and column order never matters."""
+    return Counter(
+        tuple(
+            sorted(
+                (key, value.item() if hasattr(value, "item") else value)
+                for key, value in row.items()
+            )
+        )
+        for row in batch
+    )
+
+
+def per_query_recall(
+    reference_outputs: Dict[str, Sequence],
+    outputs: Dict[str, Sequence],
+) -> Dict[str, float]:
+    """Answer recall of ``outputs`` against an unbounded reference run.
+
+    For each delivered query: the fraction of the reference output rows
+    (as a multiset) the bounded run still produced.  A query whose
+    reference output is empty reports NaN — it has no answers to lose,
+    which is not the same thing as losing none.
+    """
+    recall: Dict[str, float] = {}
+    for name in sorted(reference_outputs):
+        reference = _canonical_rows(reference_outputs[name])
+        total = sum(reference.values())
+        if total == 0:
+            recall[name] = float("nan")
+            continue
+        produced = _canonical_rows(outputs.get(name, ()))
+        recall[name] = sum((reference & produced).values()) / total
+    return recall
+
+
+#: ``overload_sweep`` modes: the blind ``QueuePolicy`` queue modes plus
+#: query-aware ``"semantic"`` shedding.
+SEMANTIC_MODE = "semantic"
 
 
 def overload_sweep(
@@ -349,11 +417,39 @@ def overload_sweep(
     delivery and query output degrade.  With a lossy ``mode`` the curve
     shows graceful degradation: drops grow as capacity shrinks while every
     epoch still completes and per-host accounting stays conserved.
+
+    ``mode`` is one of the :class:`QueuePolicy` modes (``block``,
+    ``drop-newest``, ``drop-oldest``) or ``"semantic"`` for query-aware
+    shedding (:class:`~repro.runtime.shedding.SheddingPolicy`).  Every
+    point carries per-query ``recall`` against an unbounded reference run
+    of the same configuration, so the sweep reads as answer-quality
+    (not just delivery-volume) degradation curves.
     """
+    from ..runtime.flowcontrol import QUEUE_MODES
+
+    valid_modes = QUEUE_MODES + (SEMANTIC_MODE,)
+    if mode not in valid_modes:
+        raise ValueError(
+            f"overload mode must be one of {valid_modes}, got {mode!r}"
+        )
+    reference = run_configuration(
+        dag,
+        trace,
+        configuration,
+        num_hosts,
+        costs=costs,
+        host_capacity=host_capacity,
+        engine=engine,
+        streaming=True,
+    )
     points: List[OverloadPoint] = []
     fair_share = trace.rate / num_hosts
     for fraction in fractions:
         capacity = max(1, int(fair_share * fraction))
+        if mode == SEMANTIC_MODE:
+            bounds = {"shedding": SheddingPolicy(capacity)}
+        else:
+            bounds = {"queue_policy": QueuePolicy(capacity, mode)}
         outcome = run_configuration(
             dag,
             trace,
@@ -363,7 +459,7 @@ def overload_sweep(
             host_capacity=host_capacity,
             engine=engine,
             streaming=True,
-            queue_policy=QueuePolicy(capacity, mode),
+            **bounds,
         )
         stats = outcome.result.flow_stats.values()
         points.append(
@@ -376,23 +472,38 @@ def overload_sweep(
                 output_rows=sum(
                     len(batch) for batch in outcome.result.outputs.values()
                 ),
+                recall=per_query_recall(
+                    reference.result.outputs, outcome.result.outputs
+                ),
             )
         )
     return points
 
 
 def format_overload(title: str, points: Sequence[OverloadPoint]) -> str:
-    """Render a graceful-degradation curve as a small table."""
+    """Render a graceful-degradation curve as a small table.
+
+    One recall column per delivered query (NaN prints as ``-``: the
+    reference run produced no rows for that query under this trace).
+    """
+    queries = sorted(points[0].recall) if points else []
     lines = [title]
+    recall_header = "".join(
+        f" {('recall:' + name)[-16:]:>16}" for name in queries
+    )
     lines.append(
         f"{'capacity':>10} {'fraction':>9} {'rows in':>10} "
-        f"{'delivered':>10} {'dropped':>10} {'output':>8}"
+        f"{'delivered':>10} {'dropped':>10} {'output':>8}" + recall_header
     )
     for point in points:
+        cells = ""
+        for name in queries:
+            value = point.recall[name]
+            cells += f" {'-':>16}" if math.isnan(value) else f" {value:>16.3f}"
         lines.append(
             f"{point.capacity:>10} {point.fraction:>9.2f} {point.rows_in:>10} "
             f"{point.rows_delivered:>10} {point.rows_dropped:>10} "
-            f"{point.output_rows:>8}"
+            f"{point.output_rows:>8}" + cells
         )
     return "\n".join(lines)
 

@@ -24,6 +24,7 @@ per-link network counters.  This module holds the reusable pieces:
   compared there.
 """
 
+import math
 import random
 
 import pytest
@@ -35,6 +36,7 @@ from repro.cluster import (
     QueuePolicy,
     RebalancePolicy,
     RoundRobinSplitter,
+    SheddingPolicy,
 )
 from repro.distopt import DistributedOptimizer, Placement
 from repro.engine import batches_equal
@@ -43,6 +45,7 @@ from repro.runtime.flowcontrol import Fault
 from repro.workloads import (
     approx_heavy_catalog,
     complex_catalog,
+    per_query_recall,
     sliding_flows_catalog,
     subnet_jitter_catalog,
     suspicious_flows_catalog,
@@ -332,3 +335,94 @@ def assert_rebalanced_matches_oneshot(
             assert stats.conserves()
             assert stats.total_dropped == 0
     return oneshot, stream
+
+
+#: capacity fractions the shedding sweep rotates through — both well
+#: below the offered rate so every epoch actually overflows.
+SHEDDING_FRACTIONS = (0.25, 0.1)
+
+
+def assert_shedding_dominates(
+    workload, seed, engine, execution="inprocess", workers=None,
+):
+    """One randomized shedding-quality trial.
+
+    A hot-key trace (the same shape the rebalance sweep uses — skew is
+    what makes group-level doom accounting pay off) runs three times at
+    identical per-host capacity: unbounded (the recall reference),
+    semantic shedding, and a blind ``drop-newest`` queue.  The oracle
+    asserts conservation (in == delivered + dropped + queued, per epoch),
+    that the semantic run's mean per-query recall is at least the blind
+    run's, and — when ``execution="parallel"`` — that the forked-worker
+    semantic run is byte-identical to the in-process one: outputs,
+    per-node counts, per-query shed attribution, and the per-epoch flow
+    series (value hints ride the worker protocol, so the shed decisions
+    themselves must match row for row).
+
+    Returns ``(semantic_mean, blind_mean)`` so sweep callers can
+    additionally assert *strict* dominance in aggregate — per seed only
+    weak dominance holds (a lucky blind drop can tie).
+    """
+    catalog_fn, deliver = WORKLOADS[workload]
+    _, dag = catalog_fn()
+    rng = random.Random(seed ^ 0x5EDD)
+    packets = skewed_packets(seed)
+    hosts = rng.choice((2, 3))
+    ps = PartitioningSet.of("srcIP")
+    placement = Placement(hosts, 2)
+    plan = DistributedOptimizer(dag, placement, ps, deliver=deliver).optimize()
+    splitter = HashSplitter(placement.num_partitions, ps)
+    epochs = sorted({p["time"] for p in packets})
+    fraction = SHEDDING_FRACTIONS[seed % len(SHEDDING_FRACTIONS)]
+    # Floor of 4: at 1-2 rows/epoch there is nothing left to *rank* and
+    # which row survives is pure tie-breaking luck for either policy.
+    capacity = max(4, int(len(packets) / len(epochs) / hosts * fraction))
+    sim = ClusterSimulator(dag, plan, stream_rate=1000, engine=engine)
+    reference = sim.run_streaming({"TCP": packets}, splitter, 10.0)
+    semantic = sim.run_streaming(
+        {"TCP": packets}, splitter, 10.0,
+        shedding=SheddingPolicy(capacity),
+    )
+    blind = sim.run_streaming(
+        {"TCP": packets}, splitter, 10.0,
+        queue_policy=QueuePolicy(capacity, "drop-newest"),
+    )
+    for stats in semantic.flow_stats.values():
+        assert stats.conserves()
+    for stats in blind.flow_stats.values():
+        assert stats.conserves()
+    # Capacity is far below the offered rate, so the shedder must have
+    # actually been exercised — a no-op trial proves nothing.
+    assert sum(s.total_dropped for s in semantic.flow_stats.values()) > 0
+    assert sum(semantic.shed_counts.values()) > 0
+    semantic_recall = per_query_recall(reference.outputs, semantic.outputs)
+    blind_recall = per_query_recall(reference.outputs, blind.outputs)
+    semantic_scores = [
+        v for v in semantic_recall.values() if not math.isnan(v)
+    ]
+    blind_scores = [v for v in blind_recall.values() if not math.isnan(v)]
+    assert semantic_scores, "reference run produced no output to recall"
+    semantic_mean = sum(semantic_scores) / len(semantic_scores)
+    blind_mean = sum(blind_scores) / len(blind_scores)
+    assert semantic_mean >= blind_mean - 1e-9, (
+        f"semantic recall {semantic_mean:.4f} < blind {blind_mean:.4f} "
+        f"(workload={workload} seed={seed} capacity={capacity})"
+    )
+    if execution == "parallel":
+        forked = ClusterSimulator(
+            dag, plan, stream_rate=1000, engine=engine
+        ).run_streaming(
+            {"TCP": packets}, splitter, 10.0,
+            shedding=SheddingPolicy(capacity),
+            execution=execution, workers=workers,
+        )
+        assert forked.execution == "parallel"
+        assert set(forked.outputs) == set(semantic.outputs)
+        for name in semantic.outputs:
+            assert batches_equal(
+                semantic.outputs[name], forked.outputs[name]
+            ), name
+        assert forked.node_output_counts == semantic.node_output_counts
+        assert forked.shed_counts == semantic.shed_counts
+        assert forked.flow_stats == semantic.flow_stats
+    return semantic_mean, blind_mean

@@ -17,6 +17,14 @@ the migrations against a ``delay`` fault, every fifth runs the streaming
 side on forked workers), asserting outputs stay byte-identical to the
 static one-shot run and that migrations actually happened across the
 sweep — a sweep where the trigger never fired would test nothing.
+
+Setting ``REPRO_PARITY_SHEDDING=1`` enables the shedding-quality sweep:
+the same fifty hot-key seeds run unbounded, with semantic shedding, and
+with a blind ``drop-newest`` queue at identical capacity; per seed the
+semantic run's mean per-query recall must be at least the blind run's
+(every other seed also proving the forked-worker semantic run
+byte-identical to in-process), and across the sweep the dominance must
+be strict per engine.
 """
 
 import os
@@ -25,6 +33,7 @@ import pytest
 
 from tests.parity import (
     assert_rebalanced_matches_oneshot,
+    assert_shedding_dominates,
     assert_sliding_matches_oneshot,
     assert_streaming_matches_oneshot,
     random_packets,
@@ -104,6 +113,46 @@ def test_rebalance_sweep_migrated(engine):
     assert _SWEEP_MIGRATIONS[engine] > 0, (
         "no seed in the rebalance sweep triggered a migration — the "
         "parity leg exercised nothing"
+    )
+
+
+SHEDDING = os.environ.get("REPRO_PARITY_SHEDDING") == "1"
+
+#: (semantic, blind) mean-recall totals across the shedding sweep, keyed
+#: by engine.  ``test_shedding_sweep_strictly_dominates`` runs after the
+#: parametrized sweep (pytest preserves definition order) and asserts
+#: the aggregate gap is strict — per seed only weak dominance holds.
+_SWEEP_RECALL = {"row": [0.0, 0.0], "columnar": [0.0, 0.0]}
+
+
+@pytest.mark.skipif(
+    not SHEDDING, reason="set REPRO_PARITY_SHEDDING=1 to run"
+)
+@pytest.mark.parametrize("engine", ("row", "columnar"))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_randomized_shedding_dominance(seed, engine):
+    # rotate workloads; every other seed re-runs the semantic shed on
+    # forked workers and asserts it byte-identical to in-process
+    workload = ("suspicious", "jitter", "complex")[seed % 3]
+    execution = "parallel" if seed % 2 == 0 else "inprocess"
+    semantic, blind = assert_shedding_dominates(
+        workload, seed, engine, execution=execution,
+        workers=2 if execution == "parallel" else None,
+    )
+    _SWEEP_RECALL[engine][0] += semantic
+    _SWEEP_RECALL[engine][1] += blind
+
+
+@pytest.mark.skipif(
+    not SHEDDING, reason="set REPRO_PARITY_SHEDDING=1 to run"
+)
+@pytest.mark.parametrize("engine", ("row", "columnar"))
+def test_shedding_sweep_strictly_dominates(engine):
+    semantic, blind = _SWEEP_RECALL[engine]
+    assert semantic > blind, (
+        f"semantic shedding recalled no more than drop-newest across the "
+        f"sweep ({semantic:.3f} vs {blind:.3f}) — the value model "
+        f"bought nothing"
     )
 
 

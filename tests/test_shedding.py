@@ -1,0 +1,245 @@
+"""Query-aware load shedding: the value model's contract, property-tested.
+
+Three invariant families over :class:`~repro.runtime.shedding.SheddingPolicy`:
+
+* **conservation** — shedding is accounting-neutral: per host, per epoch,
+  ``prior backlog + rows_in == rows_delivered + rows_dropped + backlog``
+  under *every* overflow policy, blind or semantic, and nothing survives
+  the final flush;
+* **determinism** — the value ranking is a pure function of the plan and
+  the delivered prefix, so re-running the same bounded trace reproduces
+  outputs, per-epoch flow series, and per-query shed attribution exactly;
+* **lossless capacity never sheds** — a capacity at or above the offered
+  rate makes the shedder a no-op: zero drops, zero shed charges, and
+  outputs byte-identical to the unbounded run.
+
+Plus the recall plumbing the shedding-quality harness stands on:
+``per_query_recall`` multiset math (NaN for empty-reference queries, not
+1.0), ``OverloadPoint.mean_recall`` NaN-skipping, and ``overload_sweep``
+rejecting unknown modes before it runs anything.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    ClusterSimulator,
+    HashSplitter,
+    QueuePolicy,
+    SheddingPolicy,
+)
+from repro.distopt import DistributedOptimizer, Placement
+from repro.engine import batches_equal
+from repro.partitioning import PartitioningSet
+from repro.runtime.flowcontrol import QUEUE_MODES
+from repro.traces import Trace
+from repro.workloads import (
+    OverloadPoint,
+    experiment1_configurations,
+    format_overload,
+    overload_sweep,
+    per_query_recall,
+    suspicious_flows_catalog,
+)
+
+from tests.parity import WORKLOADS, skewed_packets
+
+CAPACITY = 8  # rows/epoch per host — far below skewed_packets' offered rate
+
+
+def _simulation(workload, seed, hosts=2, engine="columnar"):
+    catalog_fn, deliver = WORKLOADS[workload]
+    _, dag = catalog_fn()
+    packets = skewed_packets(seed)
+    ps = PartitioningSet.of("srcIP")
+    placement = Placement(hosts, 2)
+    plan = DistributedOptimizer(dag, placement, ps, deliver=deliver).optimize()
+    splitter = HashSplitter(placement.num_partitions, ps)
+    sim = ClusterSimulator(dag, plan, stream_rate=1000, engine=engine)
+    return sim, packets, splitter
+
+
+def _stream(sim, packets, splitter, **bounds):
+    return sim.run_streaming({"TCP": packets}, splitter, 10.0, **bounds)
+
+
+class TestSheddingPolicy:
+    def test_defaults_and_describe(self):
+        policy = SheddingPolicy(25)
+        assert policy.strategy == "semantic"
+        assert not policy.lossless
+        assert "semantic" in policy.describe()
+        assert "25" in policy.describe()
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            SheddingPolicy(0)
+        with pytest.raises(ValueError, match="capacity"):
+            SheddingPolicy(-3)
+
+    def test_rejects_bad_strategy(self):
+        with pytest.raises(ValueError, match="strategy"):
+            SheddingPolicy(10, "drop-newest")
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    workload=st.sampled_from(sorted(WORKLOADS)),
+    mode=st.sampled_from(QUEUE_MODES + ("semantic",)),
+)
+def test_conservation_under_every_policy(seed, workload, mode):
+    """in == delivered + dropped (+ queued per epoch) whichever way
+    overflow is handled — semantic shedding included."""
+    sim, packets, splitter = _simulation(workload, seed)
+    if mode == "semantic":
+        bounds = {"shedding": SheddingPolicy(CAPACITY)}
+    else:
+        bounds = {"queue_policy": QueuePolicy(CAPACITY, mode)}
+    stream = _stream(sim, packets, splitter, **bounds)
+    assert stream.flow_stats
+    for stats in stream.flow_stats.values():
+        assert stats.conserves()
+        assert stats.total_in == stats.total_delivered + stats.total_dropped
+    if mode == "semantic":
+        dropped = sum(s.total_dropped for s in stream.flow_stats.values())
+        # attribution is per (row, query) — a dropped row may be charged
+        # to every query it would have fed, but to each at most once
+        for query, charged in stream.shed_counts.items():
+            assert charged <= dropped, query
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    workload=st.sampled_from(sorted(WORKLOADS)),
+)
+def test_value_ranking_is_deterministic(seed, workload):
+    """Two fresh simulators over the same bounded trace make identical
+    shed decisions: outputs, flow series, and attribution all match."""
+    first_sim, packets, splitter = _simulation(workload, seed)
+    first = _stream(
+        first_sim, packets, splitter, shedding=SheddingPolicy(CAPACITY)
+    )
+    second_sim, _, _ = _simulation(workload, seed)
+    second = _stream(
+        second_sim, packets, splitter, shedding=SheddingPolicy(CAPACITY)
+    )
+    assert set(first.outputs) == set(second.outputs)
+    for name in first.outputs:
+        assert batches_equal(first.outputs[name], second.outputs[name]), name
+    assert first.node_output_counts == second.node_output_counts
+    assert first.shed_counts == second.shed_counts
+    assert first.flow_stats == second.flow_stats
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    workload=st.sampled_from(sorted(WORKLOADS)),
+)
+def test_lossless_capacity_never_sheds(seed, workload):
+    """A capacity at or above the offered rate is a no-op: the bounded
+    run is byte-identical to the unbounded one and nothing is charged."""
+    sim, packets, splitter = _simulation(workload, seed)
+    unbounded = _stream(sim, packets, splitter)
+    bounded = _stream(
+        sim, packets, splitter, shedding=SheddingPolicy(len(packets))
+    )
+    assert set(unbounded.outputs) == set(bounded.outputs)
+    for name in unbounded.outputs:
+        assert batches_equal(
+            unbounded.outputs[name], bounded.outputs[name]
+        ), name
+    assert unbounded.node_output_counts == bounded.node_output_counts
+    assert bounded.shed_counts == {}
+    for stats in bounded.flow_stats.values():
+        assert stats.conserves()
+        assert stats.total_dropped == 0
+        assert stats.total_delivered == stats.total_in
+
+
+# -- recall plumbing -------------------------------------------------------------
+
+
+def test_per_query_recall_multiset_math():
+    reference = {"q": [{"a": 1}, {"a": 1}, {"a": 2}]}
+    assert per_query_recall(reference, {"q": [{"a": 1}, {"a": 2}]}) == {
+        "q": pytest.approx(2 / 3)
+    }
+    # duplicates only count as often as the reference holds them
+    assert per_query_recall(reference, {"q": [{"a": 2}] * 5}) == {
+        "q": pytest.approx(1 / 3)
+    }
+    # column order is irrelevant; a missing query recalls nothing
+    assert per_query_recall(
+        {"q": [{"a": 1, "b": 2}]}, {"q": [{"b": 2, "a": 1}]}
+    ) == {"q": 1.0}
+    assert per_query_recall(reference, {}) == {"q": 0.0}
+
+
+def test_per_query_recall_empty_reference_is_nan():
+    recall = per_query_recall({"q": []}, {"q": [{"a": 1}]})
+    assert math.isnan(recall["q"])
+
+
+def test_mean_recall_skips_nan():
+    point = OverloadPoint(
+        fraction=0.5, capacity=10, rows_in=100, rows_delivered=50,
+        rows_dropped=50, output_rows=5,
+        recall={"a": 0.5, "b": float("nan"), "c": 1.0},
+    )
+    assert point.mean_recall == pytest.approx(0.75)
+    empty = OverloadPoint(
+        fraction=0.5, capacity=10, rows_in=100, rows_delivered=50,
+        rows_dropped=50, output_rows=0, recall={"a": float("nan")},
+    )
+    assert math.isnan(empty.mean_recall)
+
+
+def test_format_overload_renders_nan_as_dash():
+    point = OverloadPoint(
+        fraction=0.25, capacity=5, rows_in=40, rows_delivered=10,
+        rows_dropped=30, output_rows=2,
+        recall={"live": 0.625, "silent": float("nan")},
+    )
+    rendered = format_overload("overload", [point])
+    header, row = rendered.splitlines()[1:]
+    assert "recall:live" in header and "recall:silent" in header
+    assert "0.625" in row
+    assert row.rstrip().endswith("-")
+
+
+# -- the sweep itself ------------------------------------------------------------
+
+
+def test_overload_sweep_rejects_unknown_mode(tiny_trace):
+    _, dag = suspicious_flows_catalog()
+    configuration = experiment1_configurations()[2]  # Partitioned
+    with pytest.raises(ValueError, match="semantic"):
+        overload_sweep(
+            dag, tiny_trace, configuration, num_hosts=2, mode="bogus"
+        )
+
+
+def test_overload_sweep_semantic_mode_reports_recall():
+    """A semantic sweep over a hot-key trace: conserved at every point,
+    recall defined (the trace actually produces suspicious flows), and
+    degrading no faster than capacity."""
+    _, dag = suspicious_flows_catalog()
+    configuration = experiment1_configurations()[2]  # Partitioned
+    packets = skewed_packets(3)
+    trace = Trace(packets=packets, duration_sec=len({p["time"] for p in packets}))
+    points = overload_sweep(
+        dag, trace, configuration, num_hosts=2,
+        fractions=(1.0, 0.25), mode="semantic",
+    )
+    assert [p.fraction for p in points] == [1.0, 0.25]
+    for point in points:
+        assert point.rows_in == point.rows_delivered + point.rows_dropped
+        assert not math.isnan(point.mean_recall)
+    assert points[-1].rows_dropped > 0
+    assert points[-1].mean_recall <= points[0].mean_recall + 1e-9
